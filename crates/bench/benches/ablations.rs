@@ -1,0 +1,42 @@
+//! Timing side of the design-choice ablations: what insertion, look-ahead
+//! and level recomputation *cost* (their schedule-quality effect is in the
+//! `ablations` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagsched_core::{bnp::Mcp, unc::Dcp, Env, Scheduler};
+use dagsched_suites::rgnos::{self, RgnosParams};
+use std::hint::black_box;
+
+fn ablation_timing(c: &mut Criterion) {
+    let g = rgnos::generate(RgnosParams::new(150, 1.0, 3, 21));
+    let env = Env::bnp(16);
+
+    let mut group = c.benchmark_group("mcp_slot_policy");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for (label, insertion) in [("insertion", true), ("append", false)] {
+        let algo = Mcp { insertion };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &g, |b, g| {
+            b.iter(|| black_box(algo.schedule(black_box(g), &env).unwrap().schedule.makespan()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dcp_lookahead");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for (label, lookahead) in [("lookahead", true), ("greedy", false)] {
+        let algo = Dcp { lookahead };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &g, |b, g| {
+            b.iter(|| black_box(algo.schedule(black_box(g), &env).unwrap().schedule.makespan()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_timing);
+criterion_main!(benches);

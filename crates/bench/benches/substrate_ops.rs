@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the substrates every scheduler leans on: level
+//! computations, timeline slot searches, route walks, dynamic levels, and
+//! the branch-and-bound on an RGBOS-sized instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dagsched_graph::{levels, TaskId};
+use dagsched_optimal::{solve, OptimalParams};
+use dagsched_platform::{Network, ProcId, Schedule, Topology, Track};
+use dagsched_suites::{rgbos, rgnos::RgnosParams, traced};
+use std::hint::black_box;
+
+fn graph_levels(c: &mut Criterion) {
+    let g = dagsched_suites::rgnos::generate(RgnosParams::new(500, 1.0, 3, 7));
+    c.bench_function("levels/b_levels_500", |b| {
+        b.iter(|| black_box(levels::b_levels(black_box(&g))))
+    });
+    c.bench_function("levels/critical_path_500", |b| {
+        b.iter(|| black_box(levels::critical_path(black_box(&g))))
+    });
+    let s = Schedule::new(g.num_tasks(), g.num_tasks());
+    c.bench_function("levels/dynlevels_500_empty", |b| {
+        b.iter(|| black_box(dagsched_core::common::DynLevels::compute(&g, &s)))
+    });
+}
+
+fn timeline_ops(c: &mut Criterion) {
+    // A fragmented track with 256 occupations and holes between them.
+    let mut track: Track<TaskId> = Track::new();
+    for i in 0..256u64 {
+        track.insert(i * 10, i * 10 + 6, TaskId(i as u32)).unwrap();
+    }
+    c.bench_function("track/earliest_fit_hole", |b| {
+        b.iter(|| black_box(track.earliest_fit(black_box(3), 4)))
+    });
+    c.bench_function("track/earliest_fit_tail", |b| {
+        b.iter(|| black_box(track.earliest_fit(black_box(3), 7)))
+    });
+}
+
+fn network_ops(c: &mut Criterion) {
+    let topo = Topology::hypercube(3).unwrap();
+    c.bench_function("topology/route_hypercube3", |b| {
+        b.iter(|| black_box(topo.route(ProcId(0), ProcId(7))))
+    });
+    let mut net = Network::new(topo);
+    for i in 0..64u32 {
+        net.commit(TaskId(i), TaskId(i + 1000), ProcId(0), ProcId(7), (i as u64) * 3, 5);
+    }
+    c.bench_function("network/probe_loaded", |b| {
+        b.iter(|| black_box(net.probe_arrival(ProcId(0), ProcId(7), 10, 5)))
+    });
+}
+
+fn generators(c: &mut Criterion) {
+    c.bench_function("gen/rgnos_500", |b| {
+        b.iter(|| black_box(dagsched_suites::rgnos::generate(RgnosParams::new(500, 1.0, 3, 1))))
+    });
+    c.bench_function("gen/cholesky_24", |b| {
+        b.iter(|| black_box(traced::cholesky(24, 1.0)))
+    });
+}
+
+fn bnb(c: &mut Criterion) {
+    let g = rgbos::generate(rgbos::RgbosParams { nodes: 14, ccr: 1.0, seed: 5 });
+    c.bench_function("optimal/bnb_14_nodes", |b| {
+        b.iter(|| {
+            black_box(solve(
+                &g,
+                &OptimalParams {
+                    procs: Some(4),
+                    node_limit: 500_000,
+                    heuristic_incumbent: true,
+                },
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, graph_levels, timeline_ops, network_ops, generators, bnb);
+criterion_main!(benches);

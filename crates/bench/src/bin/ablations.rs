@@ -1,0 +1,5 @@
+//! Design-choice ablations (insertion, DCP look-ahead, priority attribute).
+fn main() {
+    let cfg = dagsched_bench::Config::from_env();
+    dagsched_bench::experiments::print_tables(&dagsched_bench::experiments::ablate::run(&cfg));
+}

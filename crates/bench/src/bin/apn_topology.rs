@@ -1,0 +1,6 @@
+//! The topology-sensitivity experiment the paper describes but omits for
+//! space (§6.4): APN algorithms across networks of increasing connectivity.
+fn main() {
+    let cfg = dagsched_bench::Config::from_env();
+    dagsched_bench::experiments::print_tables(&dagsched_bench::experiments::topology::run(&cfg));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 2(a-c) of the paper (average NSL on RGNOS).
+fn main() {
+    let cfg = dagsched_bench::Config::from_env();
+    dagsched_bench::experiments::print_tables(&dagsched_bench::experiments::figs::fig2(&cfg));
+}

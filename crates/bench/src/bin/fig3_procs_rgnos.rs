@@ -1,0 +1,5 @@
+//! Regenerates Figure 3(a-b) of the paper (processors used on RGNOS).
+fn main() {
+    let cfg = dagsched_bench::Config::from_env();
+    dagsched_bench::experiments::print_tables(&dagsched_bench::experiments::figs::fig3(&cfg));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 4(a-c) of the paper (NSL on Cholesky traced graphs).
+fn main() {
+    let cfg = dagsched_bench::Config::from_env();
+    dagsched_bench::experiments::print_tables(&dagsched_bench::experiments::figs::fig4(&cfg));
+}

@@ -1,0 +1,27 @@
+//! Runs every experiment in paper order and streams all tables to stdout.
+//! `TASKBENCH_FULL=1` switches to paper-scale sample counts.
+use dagsched_bench::experiments as exp;
+use dagsched_core::AlgoClass;
+
+fn main() {
+    let cfg = dagsched_bench::Config::from_env();
+    eprintln!("taskbench run_all: seed={:#x} full={}", cfg.seed, cfg.full);
+    let sections: Vec<(&str, Vec<dagsched_metrics::Table>)> = vec![
+        ("Table 1", exp::table1::run(&cfg)),
+        ("Table 2", exp::rgbos::run(&cfg, AlgoClass::Unc)),
+        ("Table 3", exp::rgbos::run(&cfg, AlgoClass::Bnp)),
+        ("Table 4", exp::rgpos::run(&cfg, AlgoClass::Unc)),
+        ("Table 5", exp::rgpos::run(&cfg, AlgoClass::Bnp)),
+        ("Table 6", exp::table6::run(&cfg)),
+        ("Figure 2", exp::figs::fig2(&cfg)),
+        ("Figure 3", exp::figs::fig3(&cfg)),
+        ("Figure 4", exp::figs::fig4(&cfg)),
+        ("Topology", exp::topology::run(&cfg)),
+        ("UNC+CS", exp::unc_cs::run(&cfg)),
+        ("Ablations", exp::ablate::run(&cfg)),
+    ];
+    for (name, tables) in sections {
+        eprintln!("--- {name} ---");
+        exp::print_tables(&tables);
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1 of the paper. `TASKBENCH_FULL=1` for paper-scale runs.
+fn main() {
+    let cfg = dagsched_bench::Config::from_env();
+    dagsched_bench::experiments::print_tables(&dagsched_bench::experiments::table1::run(&cfg));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 3 of the paper (RGBOS degradation, BNP class).
+fn main() {
+    let cfg = dagsched_bench::Config::from_env();
+    let t = dagsched_bench::experiments::rgbos::run(&cfg, dagsched_core::AlgoClass::Bnp);
+    dagsched_bench::experiments::print_tables(&t);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 4 of the paper (RGPOS degradation, UNC class).
+fn main() {
+    let cfg = dagsched_bench::Config::from_env();
+    let t = dagsched_bench::experiments::rgpos::run(&cfg, dagsched_core::AlgoClass::Unc);
+    dagsched_bench::experiments::print_tables(&t);
+}

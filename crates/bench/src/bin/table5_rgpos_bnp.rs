@@ -1,0 +1,6 @@
+//! Regenerates Table 5 of the paper (RGPOS degradation, BNP class).
+fn main() {
+    let cfg = dagsched_bench::Config::from_env();
+    let t = dagsched_bench::experiments::rgpos::run(&cfg, dagsched_core::AlgoClass::Bnp);
+    dagsched_bench::experiments::print_tables(&t);
+}

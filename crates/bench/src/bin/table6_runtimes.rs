@@ -1,0 +1,5 @@
+//! Regenerates Table 6 of the paper (running times on RGNOS).
+fn main() {
+    let cfg = dagsched_bench::Config::from_env();
+    dagsched_bench::experiments::print_tables(&dagsched_bench::experiments::table6::run(&cfg));
+}

@@ -1,0 +1,5 @@
+//! The BNP vs UNC+CS study proposed in the paper's conclusions (§7).
+fn main() {
+    let cfg = dagsched_bench::Config::from_env();
+    dagsched_bench::experiments::print_tables(&dagsched_bench::experiments::unc_cs::run(&cfg));
+}

@@ -1,0 +1,160 @@
+//! Figures 2, 3 and 4 — NSL and processor-count series (§6.4, §6.5).
+//!
+//! * **Fig. 2(a–c)** — average NSL vs graph size on RGNOS, one sub-table
+//!   per class (UNC, BNP, APN). APN runs on the 8-processor hypercube.
+//! * **Fig. 3(a–b)** — average number of processors used vs graph size on
+//!   RGNOS for the UNC and BNP classes (BNP given a virtually unlimited
+//!   machine, §6.4.2).
+//! * **Fig. 4(a–c)** — average NSL on Cholesky-factorization traced graphs
+//!   vs matrix dimension, one sub-table per class.
+
+use dagsched_core::{registry, AlgoClass, Env};
+use dagsched_metrics::{table::f2, Running, Table};
+use dagsched_suites::{rgnos::RgnosParams, traced};
+
+use crate::runner::run_timed;
+use crate::Config;
+
+fn class_env(cfg: &Config, class: AlgoClass, v: usize) -> Env {
+    match class {
+        AlgoClass::Apn => Env::apn(cfg.apn_topology()),
+        _ => Env::bnp(cfg.bnp_unlimited_procs(v)),
+    }
+}
+
+/// Fig. 2: average NSL of the UNC (a), BNP (b) and APN (c) algorithms on
+/// RGNOS, by graph size.
+pub fn fig2(cfg: &Config) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for (sub, class) in [("(a) UNC", AlgoClass::Unc), ("(b) BNP", AlgoClass::Bnp), ("(c) APN", AlgoClass::Apn)] {
+        let algos = registry::by_class(class);
+        let names: Vec<&'static str> = algos.iter().map(|a| a.name()).collect();
+        let mut header: Vec<&str> = vec!["v"];
+        header.extend(names.iter().copied());
+        let mut t =
+            Table::new(format!("Figure 2{sub}: average NSL on RGNOS vs graph size"), &header);
+        for (si, v) in cfg.rgnos_sizes().into_iter().enumerate() {
+            let env = class_env(cfg, class, v);
+            let mut acc = vec![Running::new(); algos.len()];
+            for (pi, (ccr, par)) in cfg.rgnos_points().into_iter().enumerate() {
+                let seed = cfg
+                    .seed
+                    .wrapping_mul(0xA076_1D64_78BD_642F)
+                    .wrapping_add((si * 1000 + pi) as u64);
+                let g = dagsched_suites::rgnos::generate(RgnosParams::new(v, ccr, par, seed));
+                for (ai, algo) in algos.iter().enumerate() {
+                    acc[ai].push(run_timed(algo.as_ref(), &g, &env).nsl);
+                }
+            }
+            let mut row = vec![v.to_string()];
+            row.extend(acc.iter().map(|r| f2(r.mean())));
+            t.row(row);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// Fig. 3: average number of processors used on RGNOS by the UNC (a) and
+/// BNP (b) algorithms.
+pub fn fig3(cfg: &Config) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for (sub, class) in [("(a) UNC", AlgoClass::Unc), ("(b) BNP", AlgoClass::Bnp)] {
+        let algos = registry::by_class(class);
+        let names: Vec<&'static str> = algos.iter().map(|a| a.name()).collect();
+        let mut header: Vec<&str> = vec!["v"];
+        header.extend(names.iter().copied());
+        let mut t = Table::new(
+            format!("Figure 3{sub}: average processors used on RGNOS vs graph size"),
+            &header,
+        );
+        for (si, v) in cfg.rgnos_sizes().into_iter().enumerate() {
+            let env = class_env(cfg, class, v);
+            let mut acc = vec![Running::new(); algos.len()];
+            for (pi, (ccr, par)) in cfg.rgnos_points().into_iter().enumerate() {
+                let seed = cfg
+                    .seed
+                    .wrapping_mul(0xA076_1D64_78BD_642F)
+                    .wrapping_add((si * 1000 + pi) as u64);
+                let g = dagsched_suites::rgnos::generate(RgnosParams::new(v, ccr, par, seed));
+                for (ai, algo) in algos.iter().enumerate() {
+                    acc[ai].push(run_timed(algo.as_ref(), &g, &env).procs_used as f64);
+                }
+            }
+            let mut row = vec![v.to_string()];
+            row.extend(acc.iter().map(|r| format!("{:.1}", r.mean())));
+            t.row(row);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// Fig. 4: average NSL on Cholesky traced graphs vs matrix dimension, per
+/// class.
+pub fn fig4(cfg: &Config) -> Vec<Table> {
+    let dims: Vec<usize> = if cfg.full {
+        traced::cholesky_dimensions()
+    } else {
+        vec![8, 12, 16, 20, 24]
+    };
+    let ccrs: [f64; 2] = [0.1, 1.0];
+    let mut tables = Vec::new();
+    for (sub, class) in [("(a) UNC", AlgoClass::Unc), ("(b) BNP", AlgoClass::Bnp), ("(c) APN", AlgoClass::Apn)] {
+        let algos = registry::by_class(class);
+        let names: Vec<&'static str> = algos.iter().map(|a| a.name()).collect();
+        let mut header: Vec<&str> = vec!["N", "v"];
+        header.extend(names.iter().copied());
+        let mut t = Table::new(
+            format!("Figure 4{sub}: average NSL on Cholesky graphs vs matrix dimension"),
+            &header,
+        );
+        for &n in &dims {
+            let v = n * (n + 1) / 2;
+            let env = class_env(cfg, class, v);
+            let mut acc = vec![Running::new(); algos.len()];
+            for &ccr in &ccrs {
+                let g = traced::cholesky(n, ccr);
+                for (ai, algo) in algos.iter().enumerate() {
+                    acc[ai].push(run_timed(algo.as_ref(), &g, &env).nsl);
+                }
+            }
+            let mut row = vec![n.to_string(), v.to_string()];
+            row.extend(acc.iter().map(|r| f2(r.mean())));
+            t.row(row);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_runs_on_smallest_dims() {
+        // One dimension, all three classes — checks the plumbing end to end.
+        let cfg = Config::quick(2);
+        let g = traced::cholesky(6, 1.0);
+        for class in [AlgoClass::Unc, AlgoClass::Bnp, AlgoClass::Apn] {
+            let env = class_env(&cfg, class, g.num_tasks());
+            for algo in registry::by_class(class) {
+                let rec = run_timed(algo.as_ref(), &g, &env);
+                assert!(rec.nsl >= 1.0, "{}: NSL {}", algo.name(), rec.nsl);
+            }
+        }
+    }
+
+    #[test]
+    fn nsl_is_at_least_one_everywhere() {
+        let cfg = Config::quick(4);
+        let g = dagsched_suites::rgnos::generate(RgnosParams::new(50, 1.0, 2, 11));
+        for class in [AlgoClass::Unc, AlgoClass::Bnp] {
+            let env = class_env(&cfg, class, 50);
+            for algo in registry::by_class(class) {
+                assert!(run_timed(algo.as_ref(), &g, &env).nsl >= 1.0, "{}", algo.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! One module per experiment; every `run` function returns renderable
+//! [`dagsched_metrics::Table`]s so the thin binaries and `run_all` share
+//! identical code paths.
+
+pub mod ablate;
+pub mod figs;
+pub mod rgbos;
+pub mod rgpos;
+pub mod table1;
+pub mod table6;
+pub mod topology;
+pub mod unc_cs;
+
+use dagsched_metrics::Table;
+
+/// Print tables to stdout with blank lines between them.
+pub fn print_tables(tables: &[Table]) {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    for t in tables {
+        let _ = writeln!(lock, "{}", t.ascii());
+    }
+}

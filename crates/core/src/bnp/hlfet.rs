@@ -1,0 +1,107 @@
+//! HLFET — Highest Level First with Estimated Times (Adam, Chandy &
+//! Dickson, 1974; as catalogued in §4 of the paper).
+//!
+//! Taxonomy (§3): **static list**, priority = *static level* (computation-
+//! only b-level), **non-insertion**, greedy (min-EST processor), not
+//! CP-based. One of the earliest and simplest list schedulers; the paper
+//! uses it as the BNP baseline.
+//!
+//! Complexity: O(v² + v·p) — each step scans the ready set and all
+//! processors.
+
+use dagsched_graph::{levels, TaskGraph};
+use dagsched_platform::PlaceError;
+
+use crate::common::{best_proc, ReadySet, SlotPolicy};
+use crate::{AlgoClass, Env, Outcome, SchedError, Scheduler};
+
+/// The HLFET scheduler. Stateless; construct freely.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Hlfet;
+
+impl Scheduler for Hlfet {
+    fn name(&self) -> &'static str {
+        "HLFET"
+    }
+
+    fn class(&self) -> AlgoClass {
+        AlgoClass::Bnp
+    }
+
+    fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
+        let mut s = super::new_schedule(g, env)?;
+        let sl = levels::static_levels(g);
+        let mut ready = ReadySet::new(g);
+        while !ready.is_empty() {
+            let n = ready
+                .argmax_by_key(|n| sl[n.index()])
+                .expect("ready set is non-empty");
+            let (p, est) = best_proc(g, &s, n, SlotPolicy::Append);
+            match s.place(n, p, est, g.weight(n)) {
+                Ok(()) => {}
+                Err(e @ PlaceError::Overlap { .. }) => {
+                    unreachable!("append EST never overlaps: {e}")
+                }
+                Err(e) => unreachable!("internal placement error: {e}"),
+            }
+            ready.take(g, n);
+        }
+        Ok(Outcome { schedule: s, network: None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnp::testutil;
+    use dagsched_graph::GraphBuilder;
+
+    #[test]
+    fn satisfies_bnp_contract() {
+        testutil::standard_contract(&Hlfet);
+    }
+
+    #[test]
+    fn prefers_higher_static_level() {
+        // Two entries: a (long downstream chain) and b (leaf). HLFET must
+        // schedule a first; with one processor that puts a at time 0.
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(1);
+        let b = gb.add_task(1);
+        let c = gb.add_task(10);
+        gb.add_edge(a, c, 0).unwrap();
+        let g = gb.build().unwrap();
+        let out = testutil::run(&Hlfet, &g, 1);
+        assert_eq!(out.schedule.start_of(a), Some(0));
+        assert!(out.schedule.start_of(b).unwrap() > 0);
+    }
+
+    #[test]
+    fn non_insertion_leaves_holes_unused() {
+        // a(1) →(8) b(1); filler f(6) independent.
+        // HLFET (SLs: a=2, f=6, b=1) schedules f first on P0, a on P1 (est 0),
+        // then b: EST on P0 = max(2+8, 6)=10? a finishes at 1 on P1, so on
+        // P0 data ready = 9, proc ready = 6 → 9; on P1 = 1. b goes to P1.
+        // The point: makespan is computed with append-only placements.
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(1);
+        let _f = gb.add_task(6);
+        let b = gb.add_task(1);
+        gb.add_edge(a, b, 8).unwrap();
+        let g = gb.build().unwrap();
+        let out = testutil::run(&Hlfet, &g, 2);
+        // a and b co-located (start 0 and 1), f alone.
+        assert_eq!(out.schedule.proc_of(a), out.schedule.proc_of(b));
+        assert_eq!(out.schedule.makespan(), 6);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = testutil::classic_nine();
+        let a = testutil::run(&Hlfet, &g, 3);
+        let b = testutil::run(&Hlfet, &g, 3);
+        for n in g.tasks() {
+            assert_eq!(a.schedule.placement(n), b.schedule.placement(n));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! ISH — Insertion Scheduling Heuristic (Kruatrachue & Lewis, 1987).
+//!
+//! Taxonomy (§3): **static list**, priority = static level, greedy,
+//! non-CP-based — exactly HLFET — **plus hole filling**: whenever placing
+//! the selected node at its (append-policy) earliest start time leaves an
+//! idle hole on the processor, ISH pulls further ready nodes into the hole
+//! as long as they fit without delaying the node that created it **and**
+//! without delaying themselves (a filler must start no later in the hole
+//! than on its own best processor; unconditional filling trades locality
+//! for hole utilization and measurably hurts at high CCR).
+//!
+//! The paper singles ISH out in its conclusions: "a simple algorithm such
+//! as ISH employing insertion can yield dramatic performance" (§7).
+//!
+//! Complexity: O(v² + v·p) like HLFET; hole filling adds an O(ready) scan
+//! per placement.
+
+use dagsched_graph::{levels, TaskGraph};
+
+use crate::common::{best_proc, drt, ReadySet, SlotPolicy};
+use crate::{AlgoClass, Env, Outcome, SchedError, Scheduler};
+
+/// The ISH scheduler.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Ish;
+
+impl Scheduler for Ish {
+    fn name(&self) -> &'static str {
+        "ISH"
+    }
+
+    fn class(&self) -> AlgoClass {
+        AlgoClass::Bnp
+    }
+
+    fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
+        let mut s = super::new_schedule(g, env)?;
+        let sl = levels::static_levels(g);
+        let mut ready = ReadySet::new(g);
+        while !ready.is_empty() {
+            let n = ready.argmax_by_key(|n| sl[n.index()]).expect("non-empty");
+            let (p, est) = best_proc(g, &s, n, SlotPolicy::Append);
+            let hole_start = s.timeline(p).ready_time();
+            s.place(n, p, est, g.weight(n)).expect("append EST cannot collide");
+            ready.take(g, n);
+
+            // Hole filling: the placement created the idle hole
+            // [hole_start, est) on p. Fill it left-to-right with the
+            // highest-static-level ready nodes that (a) fit entirely and
+            // (b) would start no later in the hole than on their own best
+            // processor — filling must never delay the filler itself,
+            // otherwise it trades schedule length for hole utilization.
+            let mut cursor = hole_start;
+            while cursor < est {
+                let mut filler: Option<(u64, dagsched_graph::TaskId, u64)> = None;
+                for m in ready.iter() {
+                    let start = drt(g, &s, m, p).max(cursor);
+                    if start + g.weight(m) > est {
+                        continue; // does not fit in the remaining hole
+                    }
+                    let (_, best_elsewhere) = best_proc(g, &s, m, SlotPolicy::Append);
+                    if start > best_elsewhere {
+                        continue; // the hole would delay this node
+                    }
+                    let key = (sl[m.index()], std::cmp::Reverse(m.0));
+                    if filler.is_none_or(|(bk, bm, _)| key > (bk, std::cmp::Reverse(bm.0)))
+                    {
+                        filler = Some((sl[m.index()], m, start));
+                    }
+                }
+                let Some((_, m, start)) = filler else { break };
+                s.place(m, p, start, g.weight(m)).expect("filler fits in the hole");
+                ready.take(g, m);
+                cursor = start + g.weight(m);
+            }
+        }
+        Ok(Outcome { schedule: s, network: None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnp::testutil;
+    use dagsched_graph::GraphBuilder;
+
+    #[test]
+    fn satisfies_bnp_contract() {
+        testutil::standard_contract(&Ish);
+    }
+
+    #[test]
+    fn fills_the_communication_hole() {
+        // a(2) →(10) b(2): b must idle until t=12 on a second processor or
+        // t=2 locally. Add independent fillers f1(3), f2(3) with low static
+        // level. With 1 processor: a, then b at 2 — no hole. With 2:
+        // everything fits on P0: a[0,2) b[2,4), fillers elsewhere.
+        // Force the hole: chain a→b with comm 0 but a long sibling branch.
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(2); // SL high via long child
+        let b = gb.add_task(9); // a→b heavy
+        let _f = gb.add_task(3); // filler, independent
+        gb.add_edge(a, b, 7).unwrap();
+        let g = gb.build().unwrap();
+        // On 2 procs: ISH picks a (SL=11) → P0@0. Then b: best EST is P0@2
+        // (local) vs P1@9+... wait, b on P1: drt = 2+7 = 9. P0 wins at 2.
+        // No hole. Then f on P1@0. makespan = 11.
+        let out = testutil::run(&Ish, &g, 2);
+        assert_eq!(out.schedule.makespan(), 11);
+
+        // Now make staying local expensive: occupy P0 late so the hole
+        // appears. a(2)@P0, blocker B(20) child of a with comm 0 keeps P0
+        // busy [2,22); b then goes to P1 at 9, leaving hole [0,9) on P1
+        // where f (3) fits at 0.
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(2);
+        let blocker = gb.add_task(20);
+        let b = gb.add_task(9);
+        let f = gb.add_task(3);
+        gb.add_edge(a, blocker, 0).unwrap();
+        gb.add_edge(a, b, 7).unwrap();
+        let g = gb.build().unwrap();
+        let out = testutil::run(&Ish, &g, 2);
+        // f must have been inserted into the hole before b on P1 (or run on
+        // P0 before a? its SL is lowest so holes are its only chance).
+        let fp = out.schedule.placement(f).unwrap();
+        let bp = out.schedule.placement(b).unwrap();
+        assert_eq!(fp.proc, bp.proc);
+        assert!(fp.finish <= bp.start, "filler must not delay the hole creator");
+        assert_eq!(out.schedule.makespan(), 22);
+    }
+
+    #[test]
+    fn never_worse_than_hlfet_on_small_fixtures() {
+        // ISH = HLFET + hole filling; on these fixtures filling only helps.
+        use crate::bnp::Hlfet;
+        for p in [2usize, 3, 4] {
+            let g = testutil::classic_nine();
+            let ish = testutil::run(&Ish, &g, p).schedule.makespan();
+            let hlfet = testutil::run(&Hlfet, &g, p).schedule.makespan();
+            assert!(ish <= hlfet, "p={p}: ISH {ish} > HLFET {hlfet}");
+        }
+    }
+
+    #[test]
+    fn name_and_class() {
+        assert_eq!(Ish.name(), "ISH");
+        assert_eq!(Ish.class(), crate::AlgoClass::Bnp);
+    }
+}

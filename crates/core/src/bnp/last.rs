@@ -1,0 +1,144 @@
+//! LAST — Localized Allocation of Static Tasks (Baxter & Patel, 1989).
+//!
+//! Taxonomy (§3): **dynamic list**, priority = `D_NODE` — the fraction of a
+//! node's incident edge weight that connects to already-scheduled nodes —
+//! non-insertion, **not** CP-based (the only BNP algorithm here whose
+//! priority ignores levels entirely; the paper's Table 3 ranks it worst in
+//! class, and our EXPERIMENTS.md confirms the shape).
+//!
+//! LAST's goal is communication locality: always grow the schedule around
+//! the nodes most strongly wired to what has already been placed, putting
+//! each on the processor where it can start earliest.
+//!
+//! Candidates are the *ready* nodes, so for a candidate every predecessor
+//! edge is already "defined" (scheduled); successor edges count as defined
+//! only in the degenerate case of zero-weight... they never are, so
+//! `D_NODE(n) = Σ_{q∈preds} c(q,n) / (Σ_{q∈preds} c(q,n) + Σ_{s∈succs} c(n,s))`.
+//! Entry nodes (no incident defined weight) get `D_NODE = 0`; ties are
+//! broken by the larger total incident edge weight, then smaller id —
+//! matching the original's preference for "heavy" nodes.
+//!
+//! Complexity: O(v·(e + p)).
+
+use dagsched_graph::{TaskGraph, TaskId};
+
+use crate::common::{best_proc, ReadySet, SlotPolicy};
+use crate::{AlgoClass, Env, Outcome, SchedError, Scheduler};
+
+/// The LAST scheduler.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Last;
+
+impl Scheduler for Last {
+    fn name(&self) -> &'static str {
+        "LAST"
+    }
+
+    fn class(&self) -> AlgoClass {
+        AlgoClass::Bnp
+    }
+
+    fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
+        let mut s = super::new_schedule(g, env)?;
+        // Total incident edge weight per node (static).
+        let total: Vec<u64> = g
+            .tasks()
+            .map(|n| {
+                g.preds(n).iter().map(|&(_, c)| c).sum::<u64>()
+                    + g.succs(n).iter().map(|&(_, c)| c).sum::<u64>()
+            })
+            .collect();
+        let mut ready = ReadySet::new(g);
+        while !ready.is_empty() {
+            let n = select(g, &ready, &total);
+            let (p, est) = best_proc(g, &s, n, SlotPolicy::Append);
+            s.place(n, p, est, g.weight(n)).expect("append EST cannot collide");
+            ready.take(g, n);
+        }
+        Ok(Outcome { schedule: s, network: None })
+    }
+}
+
+/// Pick the ready node with max `D_NODE` (defined fraction), tie-broken by
+/// total incident weight descending, then id ascending. Computed with
+/// integer cross-multiplication to stay exact.
+fn select(g: &TaskGraph, ready: &ReadySet, total: &[u64]) -> TaskId {
+    let mut best: Option<(TaskId, u64, u64)> = None; // (node, defined, total)
+    for n in ready.iter() {
+        let defined: u64 = g.preds(n).iter().map(|&(_, c)| c).sum();
+        let tot = total[n.index()];
+        let better = match best {
+            None => true,
+            Some((bn, bd, bt)) => {
+                // defined/tot > bd/bt  ⇔  defined·bt > bd·tot (0-denominator
+                // treated as ratio 0).
+                let lhs = defined as u128 * bt.max(1) as u128;
+                let rhs = bd as u128 * tot.max(1) as u128;
+                lhs > rhs
+                    || (lhs == rhs && (tot > bt || (tot == bt && n.0 < bn.0)))
+            }
+        };
+        if better {
+            best = Some((n, defined, tot));
+        }
+    }
+    best.expect("ready set non-empty").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnp::testutil;
+    use dagsched_graph::GraphBuilder;
+
+    #[test]
+    fn satisfies_bnp_contract() {
+        testutil::standard_contract(&Last);
+    }
+
+    #[test]
+    fn prefers_strongly_connected_candidates() {
+        // After a is placed, u (edge weight 50 of 50 incident) must be
+        // selected before x (edge weight 1 of 1+100 incident = defined 1%).
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(2);
+        let u = gb.add_task(2);
+        let x = gb.add_task(2);
+        let xd = gb.add_task(2);
+        gb.add_edge(a, u, 50).unwrap();
+        gb.add_edge(a, x, 1).unwrap();
+        gb.add_edge(x, xd, 100).unwrap();
+        let g = gb.build().unwrap();
+        let out = testutil::run(&Last, &g, 1);
+        let su = out.schedule.start_of(u).unwrap();
+        let sx = out.schedule.start_of(x).unwrap();
+        assert!(su < sx, "u@{su} must precede x@{sx}");
+    }
+
+    #[test]
+    fn entry_tie_broken_by_total_weight() {
+        // Two entries, no defined edges: heavier-wired first.
+        let mut gb = GraphBuilder::new();
+        let light = gb.add_task(3);
+        let heavy = gb.add_task(3);
+        let c1 = gb.add_task(1);
+        let c2 = gb.add_task(1);
+        gb.add_edge(light, c1, 1).unwrap();
+        gb.add_edge(heavy, c2, 40).unwrap();
+        let g = gb.build().unwrap();
+        let out = testutil::run(&Last, &g, 1);
+        assert!(
+            out.schedule.start_of(heavy).unwrap() < out.schedule.start_of(light).unwrap()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = testutil::classic_nine();
+        let a = testutil::run(&Last, &g, 4);
+        let b = testutil::run(&Last, &g, 4);
+        for n in g.tasks() {
+            assert_eq!(a.schedule.placement(n), b.schedule.placement(n));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! MCP — Modified Critical Path (Wu & Gajski, 1990).
+//!
+//! Taxonomy (§3): **static list**, priority = lexicographically ordered
+//! **ALAP lists**, **insertion** slot policy, greedy, CP-based (ALAP = CP −
+//! b-level, so critical-path nodes — ALAP 0 — always sort first).
+//!
+//! Each node carries the ascending list of the ALAP times of itself and all
+//! of its descendants; nodes are scheduled in ascending lexicographic order
+//! of those lists. Because ALAP strictly increases along every edge, this
+//! order is topologically consistent, so every node is ready when its turn
+//! comes. Each node goes to the processor offering the earliest
+//! **insertion-policy** start time.
+//!
+//! The paper finds MCP the best BNP algorithm overall and the fastest
+//! (Table 6) — notable because it shows a *static* priority can beat
+//! dynamic ones when paired with insertion.
+//!
+//! Complexity: O(v² log v) for the lists (v nodes × ≤v descendants, sorted)
+//! + O(v·p·v) scheduling; the paper quotes O(v² log v).
+
+use dagsched_graph::{levels, TaskGraph, TaskId};
+
+use crate::common::{est_on, SlotPolicy};
+use crate::{AlgoClass, Env, Outcome, SchedError, Scheduler};
+use dagsched_platform::ProcId;
+
+/// The MCP scheduler.
+///
+/// `insertion` defaults to `true` (the published algorithm). Setting it to
+/// `false` yields the append-only ablation used by the `ablate_insertion`
+/// bench to quantify the paper's "insertion is better than non-insertion"
+/// conclusion (§7).
+#[derive(Debug, Clone, Copy)]
+pub struct Mcp {
+    pub insertion: bool,
+}
+
+impl Default for Mcp {
+    fn default() -> Self {
+        Mcp { insertion: true }
+    }
+}
+
+/// Build each node's ascending ALAP list (own ALAP + all descendants').
+fn alap_lists(g: &TaskGraph, alap: &[u64]) -> Vec<Vec<u64>> {
+    g.tasks()
+        .map(|n| {
+            let mut list: Vec<u64> = std::iter::once(alap[n.index()])
+                .chain(g.descendants(n).into_iter().map(|d| alap[d.index()]))
+                .collect();
+            list.sort_unstable();
+            list
+        })
+        .collect()
+}
+
+impl Scheduler for Mcp {
+    fn name(&self) -> &'static str {
+        "MCP"
+    }
+
+    fn class(&self) -> AlgoClass {
+        AlgoClass::Bnp
+    }
+
+    fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
+        let mut s = super::new_schedule(g, env)?;
+        let alap = levels::alap_times(g);
+        let lists = alap_lists(g, &alap);
+        let mut order: Vec<TaskId> = g.tasks().collect();
+        order.sort_by(|&a, &b| lists[a.index()].cmp(&lists[b.index()]).then(a.0.cmp(&b.0)));
+
+        let policy = if self.insertion { SlotPolicy::Insertion } else { SlotPolicy::Append };
+        for n in order {
+            let mut best = (ProcId(0), u64::MAX);
+            for pi in 0..s.num_procs() as u32 {
+                let p = ProcId(pi);
+                let est = est_on(g, &s, n, p, policy);
+                if est < best.1 {
+                    best = (p, est);
+                }
+            }
+            s.place(n, best.0, best.1, g.weight(n)).expect("chosen slot fits");
+        }
+        Ok(Outcome { schedule: s, network: None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnp::testutil;
+
+    #[test]
+    fn satisfies_bnp_contract() {
+        testutil::standard_contract(&Mcp::default());
+    }
+
+    #[test]
+    fn alap_order_is_topological() {
+        let g = testutil::classic_nine();
+        let alap = levels::alap_times(&g);
+        let lists = alap_lists(&g, &alap);
+        let mut order: Vec<TaskId> = g.tasks().collect();
+        order.sort_by(|&a, &b| lists[a.index()].cmp(&lists[b.index()]).then(a.0.cmp(&b.0)));
+        assert!(dagsched_graph::topo::is_topological(&g, &order));
+        // CP nodes (ALAP 0) come first; the entry node leads.
+        assert_eq!(order[0], TaskId(0));
+    }
+
+    #[test]
+    fn alap_lists_start_with_own_alap() {
+        let g = testutil::classic_nine();
+        let alap = levels::alap_times(&g);
+        let lists = alap_lists(&g, &alap);
+        for n in g.tasks() {
+            assert_eq!(lists[n.index()][0], alap[n.index()], "{n}");
+        }
+        // Exit node's list is a singleton.
+        assert_eq!(lists[8].len(), 1);
+        // Entry node's list covers the whole graph.
+        assert_eq!(lists[0].len(), 9);
+    }
+
+    #[test]
+    fn insertion_exploits_holes() {
+        // a(2)→(10)b(3) forces b to wait; independent c(4) can fill.
+        // MCP ALAPs: CP = a→b = 15. With c(4): alap(c) = 15-4 = 11.
+        use dagsched_graph::GraphBuilder;
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(2);
+        let b = gb.add_task(3);
+        let _c = gb.add_task(4);
+        gb.add_edge(a, b, 10).unwrap();
+        let g = gb.build().unwrap();
+        let out = testutil::run(&Mcp::default(), &g, 2);
+        // Everything fits by 9: a[0,2) b[2,5) on P0 (local edge), c on P1
+        // or inserted. Makespan must be ≤ 9 and is 5 in the best layout.
+        assert!(out.schedule.makespan() <= 9);
+    }
+
+    #[test]
+    fn beats_or_matches_hlfet_on_classic_nine() {
+        // Insertion + CP order: the paper ranks MCP above HLFET.
+        use crate::bnp::Hlfet;
+        let g = testutil::classic_nine();
+        for p in [2usize, 4, 8] {
+            let mcp = testutil::run(&Mcp::default(), &g, p).schedule.makespan();
+            let hlfet = testutil::run(&Hlfet, &g, p).schedule.makespan();
+            assert!(mcp <= hlfet, "p={p}: MCP {mcp} vs HLFET {hlfet}");
+        }
+    }
+}

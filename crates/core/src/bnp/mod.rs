@@ -1,0 +1,127 @@
+//! BNP — bounded-number-of-processors scheduling algorithms.
+//!
+//! All six operate on a fully connected, contention-free machine with a
+//! fixed processor count (§4 of the paper): HLFET, ISH, MCP, ETF, DLS and
+//! LAST. They are list schedulers differing in priority attribute, list
+//! dynamism and slot policy — exactly the §3 taxonomy axes.
+
+pub mod dls;
+pub mod etf;
+pub mod hlfet;
+pub mod ish;
+pub mod last;
+pub mod mcp;
+
+pub use dls::Dls;
+pub use etf::Etf;
+pub use hlfet::Hlfet;
+pub use ish::Ish;
+pub use last::Last;
+pub use mcp::Mcp;
+
+use crate::{Env, SchedError};
+use dagsched_platform::Schedule;
+
+/// Common entry guard for BNP algorithms.
+pub(crate) fn new_schedule(
+    g: &dagsched_graph::TaskGraph,
+    env: &Env,
+) -> Result<Schedule, SchedError> {
+    let p = env.procs();
+    if p == 0 {
+        return Err(SchedError::NoProcessors);
+    }
+    Ok(Schedule::new(g.num_tasks(), p))
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared fixtures for the per-algorithm tests.
+
+    use crate::{AlgoClass, Env, Outcome, Scheduler};
+    use dagsched_graph::{GraphBuilder, TaskGraph};
+
+    /// The classic-nine peer graph, rebuilt here to keep `dagsched-core`
+    /// free of a dev-dependency cycle with `dagsched-suites` modules.
+    pub fn classic_nine() -> TaskGraph {
+        let mut b = GraphBuilder::named("classic-nine");
+        let w = [2u64, 3, 3, 4, 5, 4, 4, 4, 1];
+        let n: Vec<_> = w.iter().map(|&w| b.add_task(w)).collect();
+        for (s, d, c) in [
+            (0usize, 1usize, 4u64),
+            (0, 2, 1),
+            (0, 3, 1),
+            (0, 4, 1),
+            (1, 6, 1),
+            (2, 5, 1),
+            (2, 6, 5),
+            (3, 5, 5),
+            (3, 7, 4),
+            (4, 7, 10),
+            (5, 8, 4),
+            (6, 8, 6),
+            (7, 8, 5),
+        ] {
+            b.add_edge(n[s], n[d], c).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// A single chain: any sane algorithm must keep it on one processor.
+    pub fn chain4() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..4).map(|_| b.add_task(5)).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], 100).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// Independent tasks: must spread across processors.
+    pub fn independent(n: usize, w: u64) -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_task(w);
+        }
+        b.build().unwrap()
+    }
+
+    /// Run `algo` on `g` with `p` processors, validating the result.
+    pub fn run(algo: &dyn Scheduler, g: &TaskGraph, p: usize) -> Outcome {
+        assert_eq!(algo.class(), AlgoClass::Bnp);
+        let out = algo.schedule(g, &Env::bnp(p)).expect("scheduling must succeed");
+        out.validate(g).unwrap_or_else(|e| panic!("{} invalid: {e}", algo.name()));
+        assert!(out.network.is_none(), "BNP algorithms do not schedule messages");
+        out
+    }
+
+    /// Exercise the standard BNP contract on all fixtures.
+    pub fn standard_contract(algo: &dyn Scheduler) {
+        // Chain with heavy comm: serialized on one processor, length = Σw.
+        let chain = chain4();
+        let out = run(algo, &chain, 4);
+        assert_eq!(out.schedule.makespan(), 20, "{}: chain must not be split", algo.name());
+        assert_eq!(out.schedule.procs_used(), 1, "{}", algo.name());
+
+        // Independent tasks on enough processors: perfectly parallel.
+        let ind = independent(6, 7);
+        let out = run(algo, &ind, 6);
+        assert_eq!(out.schedule.makespan(), 7, "{}", algo.name());
+        assert_eq!(out.schedule.procs_used(), 6, "{}", algo.name());
+
+        // Independent tasks on fewer processors: optimal balance is 2 rounds.
+        let out = run(algo, &ind, 3);
+        assert_eq!(out.schedule.makespan(), 14, "{}", algo.name());
+
+        // Single processor: any graph serializes to Σw.
+        let g = classic_nine();
+        let out = run(algo, &g, 1);
+        assert_eq!(out.schedule.makespan(), g.total_work(), "{}", algo.name());
+
+        // The classic nine on 4 procs: must beat the serial time (30) given
+        // 4 processors, and respect the computation-only CP lower bound (12).
+        let out = run(algo, &g, 4);
+        assert!(out.schedule.makespan() < 30, "{}", algo.name());
+        assert!(out.schedule.makespan() >= 12, "{}", algo.name());
+    }
+}

@@ -1,0 +1,140 @@
+//! Start-time estimation under the contention-free (BNP/UNC) model.
+
+use dagsched_graph::{TaskGraph, TaskId};
+use dagsched_platform::{ProcId, Schedule};
+
+/// Which idle time a task may use on a processor (§3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotPolicy {
+    /// Only after all work already on the processor.
+    Append,
+    /// Also inside idle holes between existing work (the ISH/MCP technique).
+    Insertion,
+}
+
+/// Data-ready time of `n` on processor `p`: the moment all messages from
+/// `n`'s (already scheduled) predecessors have arrived. A predecessor on the
+/// same processor contributes its finish time; a remote one adds the edge
+/// cost. Panics if a predecessor is unscheduled — list schedulers only call
+/// this for ready nodes.
+pub fn drt(g: &TaskGraph, s: &Schedule, n: TaskId, p: ProcId) -> u64 {
+    let mut t = 0u64;
+    for &(q, c) in g.preds(n) {
+        let pl = s.placement(q).expect("drt: predecessor must be scheduled");
+        let arrive = if pl.proc == p { pl.finish } else { pl.finish + c };
+        t = t.max(arrive);
+    }
+    t
+}
+
+/// Earliest start time of `n` on `p` under `policy`.
+pub fn est_on(
+    g: &TaskGraph,
+    s: &Schedule,
+    n: TaskId,
+    p: ProcId,
+    policy: SlotPolicy,
+) -> u64 {
+    let ready = drt(g, s, n, p);
+    match policy {
+        SlotPolicy::Append => s.timeline(p).earliest_append(ready),
+        SlotPolicy::Insertion => s.timeline(p).earliest_fit(ready, g.weight(n)),
+    }
+}
+
+/// The processor giving the minimum EST for `n` (ties: smallest processor
+/// id), together with that EST.
+pub fn best_proc(
+    g: &TaskGraph,
+    s: &Schedule,
+    n: TaskId,
+    policy: SlotPolicy,
+) -> (ProcId, u64) {
+    let mut best = (ProcId(0), u64::MAX);
+    for pi in 0..s.num_procs() as u32 {
+        let p = ProcId(pi);
+        let est = est_on(g, s, n, p, policy);
+        if est < best.1 {
+            best = (p, est);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_graph::GraphBuilder;
+
+    /// a(4) → c(2) with cost 6, b(3) → c with cost 1.
+    fn fixture() -> (TaskGraph, Schedule) {
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(4);
+        let b = gb.add_task(3);
+        let c = gb.add_task(2);
+        gb.add_edge(a, c, 6).unwrap();
+        gb.add_edge(b, c, 1).unwrap();
+        let g = gb.build().unwrap();
+        let mut s = Schedule::new(3, 2);
+        s.place(a, ProcId(0), 0, 4).unwrap();
+        s.place(b, ProcId(1), 0, 3).unwrap();
+        (g, s)
+    }
+
+    #[test]
+    fn drt_accounts_for_locality() {
+        let (g, s) = fixture();
+        let c = TaskId(2);
+        // On P0: a local (ready 4), b remote (3+1=4) → 4.
+        assert_eq!(drt(&g, &s, c, ProcId(0)), 4);
+        // On P1: a remote (4+6=10), b local (3) → 10.
+        assert_eq!(drt(&g, &s, c, ProcId(1)), 10);
+    }
+
+    #[test]
+    fn est_append_vs_insertion() {
+        let (g, mut s) = fixture();
+        let c = TaskId(2);
+        // Fill P0 far in the future to create a hole [4, 20).
+        s.place(c, ProcId(0), 20, 2).unwrap();
+        s.unplace(c); // we only wanted drt fixture; re-do with blocker
+        let blocker = TaskId(2); // reuse id space: place a fake long task
+        s.place(blocker, ProcId(0), 20, 2).unwrap();
+        s.unplace(blocker);
+        // (direct Track testing covers holes; here check both policies agree
+        // on an empty tail)
+        assert_eq!(est_on(&g, &s, c, ProcId(0), SlotPolicy::Append), 4);
+        assert_eq!(est_on(&g, &s, c, ProcId(0), SlotPolicy::Insertion), 4);
+    }
+
+    #[test]
+    fn insertion_uses_hole_before_blocker() {
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(4);
+        let x = gb.add_task(10);
+        let c = gb.add_task(2);
+        gb.add_edge(a, c, 0).unwrap();
+        let g = gb.build().unwrap();
+        let mut s = Schedule::new(3, 1);
+        s.place(a, ProcId(0), 0, 4).unwrap();
+        s.place(x, ProcId(0), 8, 10).unwrap(); // hole [4, 8)
+        assert_eq!(est_on(&g, &s, c, ProcId(0), SlotPolicy::Insertion), 4);
+        assert_eq!(est_on(&g, &s, c, ProcId(0), SlotPolicy::Append), 18);
+    }
+
+    #[test]
+    fn best_proc_breaks_ties_by_id() {
+        let (g, s) = fixture();
+        let c = TaskId(2);
+        // P0 gives 4, P1 gives 10.
+        assert_eq!(best_proc(&g, &s, c, SlotPolicy::Append), (ProcId(0), 4));
+    }
+
+    #[test]
+    fn entry_node_est_is_proc_ready() {
+        let (g, s) = fixture();
+        // A fresh entry-like query: drt of a node with no preds is 0.
+        let a = TaskId(0);
+        assert_eq!(drt(&g, &s, a, ProcId(1)), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Ready-set tracking for list schedulers.
+
+use dagsched_graph::{TaskGraph, TaskId};
+
+/// The set of *ready* tasks: unscheduled tasks all of whose predecessors
+/// have been scheduled. Maintained incrementally in O(e) total over a whole
+/// scheduling run.
+///
+/// Selection order is the algorithm's business: [`ReadySet::iter`] exposes
+/// the candidates and [`ReadySet::take`] removes the chosen one. Scanning is
+/// O(ready) per step, which is the right trade for the priority diversity of
+/// the fifteen algorithms (max-SL, min-EST pair, lexicographic ALAP lists…).
+#[derive(Debug, Clone)]
+pub struct ReadySet {
+    missing_preds: Vec<u32>,
+    ready: Vec<TaskId>,
+    remaining: usize,
+}
+
+impl ReadySet {
+    /// Initialize from a graph: all entry nodes start ready.
+    pub fn new(g: &TaskGraph) -> ReadySet {
+        let missing_preds: Vec<u32> = g.tasks().map(|n| g.in_degree(n) as u32).collect();
+        let ready = g.entries().collect();
+        ReadySet { missing_preds, ready, remaining: g.num_tasks() }
+    }
+
+    /// Candidates currently ready, in no particular order.
+    pub fn iter(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.ready.iter().copied()
+    }
+
+    /// Number of ready candidates.
+    pub fn len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Whether nothing is ready (true also when everything is scheduled).
+    pub fn is_empty(&self) -> bool {
+        self.ready.is_empty()
+    }
+
+    /// Number of tasks not yet taken.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Whether `n` is currently ready.
+    pub fn contains(&self, n: TaskId) -> bool {
+        self.ready.contains(&n)
+    }
+
+    /// Mark `n` scheduled: remove it from the ready set and release any of
+    /// its children whose last missing parent it was. Panics if `n` is not
+    /// ready (scheduling a non-ready node is a logic error in an algorithm).
+    pub fn take(&mut self, g: &TaskGraph, n: TaskId) {
+        let idx = self
+            .ready
+            .iter()
+            .position(|&r| r == n)
+            .expect("take: node must be ready");
+        self.ready.swap_remove(idx);
+        self.remaining -= 1;
+        for &(child, _) in g.succs(n) {
+            self.missing_preds[child.index()] -= 1;
+            if self.missing_preds[child.index()] == 0 {
+                self.ready.push(child);
+            }
+        }
+    }
+
+    /// The ready node maximizing `key` (ties: smallest task id). `None` when
+    /// empty.
+    pub fn argmax_by_key<K: Ord>(&self, mut key: impl FnMut(TaskId) -> K) -> Option<TaskId> {
+        self.ready
+            .iter()
+            .copied()
+            .max_by(|&a, &b| key(a).cmp(&key(b)).then(b.0.cmp(&a.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_graph::GraphBuilder;
+
+    fn diamond() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_task(1);
+        let n1 = b.add_task(1);
+        let n2 = b.add_task(1);
+        let n3 = b.add_task(1);
+        b.add_edge(n0, n1, 0).unwrap();
+        b.add_edge(n0, n2, 0).unwrap();
+        b.add_edge(n1, n3, 0).unwrap();
+        b.add_edge(n2, n3, 0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn entries_start_ready() {
+        let g = diamond();
+        let r = ReadySet::new(&g);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(TaskId(0)));
+        assert_eq!(r.remaining(), 4);
+    }
+
+    #[test]
+    fn take_releases_children() {
+        let g = diamond();
+        let mut r = ReadySet::new(&g);
+        r.take(&g, TaskId(0));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(TaskId(1)) && r.contains(TaskId(2)));
+        r.take(&g, TaskId(1));
+        assert!(!r.contains(TaskId(3)), "n3 still misses n2");
+        r.take(&g, TaskId(2));
+        assert!(r.contains(TaskId(3)));
+        r.take(&g, TaskId(3));
+        assert!(r.is_empty());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ready")]
+    fn take_non_ready_panics() {
+        let g = diamond();
+        let mut r = ReadySet::new(&g);
+        r.take(&g, TaskId(3));
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_small_id() {
+        let g = diamond();
+        let mut r = ReadySet::new(&g);
+        r.take(&g, TaskId(0));
+        // Both n1 and n2 ready; equal keys → n1.
+        assert_eq!(r.argmax_by_key(|_| 7u64), Some(TaskId(1)));
+        // Distinct keys → larger wins.
+        assert_eq!(r.argmax_by_key(|n| n.0), Some(TaskId(2)));
+    }
+}

@@ -1,0 +1,176 @@
+//! # dagsched-core — the fifteen DAG scheduling algorithms
+//!
+//! This crate implements the full algorithm roster of Kwok & Ahmad,
+//! *Benchmarking the Task Graph Scheduling Algorithms* (IPPS 1998), behind a
+//! single [`Scheduler`] trait, segregated into the paper's three classes:
+//!
+//! | Class | Machine model | Algorithms |
+//! |-------|---------------|------------|
+//! | [`AlgoClass::Bnp`] | bounded processor count, fully connected, contention-free | HLFET, ISH, MCP, ETF, DLS, LAST |
+//! | [`AlgoClass::Unc`] | unbounded processor (cluster) count, contention-free | EZ, LC, DSC, MD, DCP |
+//! | [`AlgoClass::Apn`] | arbitrary topology, contended links, routed messages | MH, DLS-APN, BU, BSA |
+//!
+//! Every implementation cites its original publication in its module docs
+//! and spells out the taxonomy attributes of §3 of the paper (priority
+//! attribute, static vs dynamic list, insertion vs non-insertion, greedy vs
+//! non-greedy, CP-based or not), plus any simplification relative to the
+//! original (also summarized in DESIGN.md §2).
+//!
+//! ## Using an algorithm
+//!
+//! ```
+//! use dagsched_core::{registry, Env, Scheduler};
+//! use dagsched_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! let a = b.add_task(4);
+//! let c = b.add_task(6);
+//! b.add_edge(a, c, 3).unwrap();
+//! let g = b.build().unwrap();
+//!
+//! let mcp = registry::by_name("MCP").unwrap();
+//! let env = Env::bnp(2); // two fully connected processors
+//! let out = mcp.schedule(&g, &env).unwrap();
+//! assert!(out.validate(&g).is_ok());
+//! assert_eq!(out.schedule.makespan(), 10); // chain stays on one processor
+//! ```
+
+pub mod apn;
+pub mod bnp;
+pub mod common;
+pub mod registry;
+pub mod unc;
+
+use dagsched_graph::TaskGraph;
+use dagsched_platform::{Network, Schedule, Topology, ValidationError};
+use std::fmt;
+
+/// The three algorithm classes of the paper's taxonomy (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgoClass {
+    /// Bounded Number of Processors, fully connected and contention-free.
+    Bnp,
+    /// Unbounded Number of Clusters (clustering algorithms).
+    Unc,
+    /// Arbitrary Processor Network with link contention.
+    Apn,
+}
+
+impl fmt::Display for AlgoClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgoClass::Bnp => write!(f, "BNP"),
+            AlgoClass::Unc => write!(f, "UNC"),
+            AlgoClass::Apn => write!(f, "APN"),
+        }
+    }
+}
+
+/// The machine a scheduler targets.
+///
+/// * BNP algorithms read only the processor count (links are ignored:
+///   the machine is contention-free by model).
+/// * UNC algorithms ignore the environment entirely: they may open as many
+///   clusters as there are tasks.
+/// * APN algorithms use the full topology and schedule messages on its
+///   links.
+#[derive(Debug, Clone)]
+pub struct Env {
+    pub topology: Topology,
+}
+
+impl Env {
+    /// A fully connected, contention-free machine with `p` processors —
+    /// the BNP environment.
+    pub fn bnp(p: usize) -> Env {
+        Env { topology: Topology::fully_connected(p).expect("p >= 1") }
+    }
+
+    /// An arbitrary-network environment.
+    pub fn apn(topology: Topology) -> Env {
+        Env { topology }
+    }
+
+    /// Processor count of the environment.
+    pub fn procs(&self) -> usize {
+        self.topology.num_procs()
+    }
+}
+
+/// Why a scheduler could not produce a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The environment has no processors.
+    NoProcessors,
+    /// The graph/environment combination is unsupported (explained inside).
+    Unsupported(String),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NoProcessors => write!(f, "environment has no processors"),
+            SchedError::Unsupported(why) => write!(f, "unsupported input: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// What a scheduler produces: a complete schedule, plus the committed
+/// message schedule for APN algorithms.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    pub schedule: Schedule,
+    /// `Some` iff the algorithm scheduled messages on links (APN class).
+    pub network: Option<Network>,
+}
+
+impl Outcome {
+    /// Validate under the model the outcome was produced for:
+    /// [`Schedule::validate_apn`] when a message schedule is present,
+    /// [`Schedule::validate`] otherwise.
+    pub fn validate(&self, g: &TaskGraph) -> Result<(), ValidationError> {
+        match &self.network {
+            Some(net) => self.schedule.validate_apn(g, net),
+            None => self.schedule.validate(g),
+        }
+    }
+}
+
+/// A static DAG scheduling algorithm.
+pub trait Scheduler: Sync {
+    /// The paper's acronym for the algorithm (e.g. `"MCP"`).
+    fn name(&self) -> &'static str;
+    /// Which class (and therefore machine model) the algorithm belongs to.
+    fn class(&self) -> AlgoClass;
+    /// Produce a complete schedule of `g` on `env`.
+    fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_constructors() {
+        let e = Env::bnp(4);
+        assert_eq!(e.procs(), 4);
+        let t = Topology::ring(5).unwrap();
+        let e = Env::apn(t);
+        assert_eq!(e.procs(), 5);
+    }
+
+    #[test]
+    fn class_display() {
+        assert_eq!(AlgoClass::Bnp.to_string(), "BNP");
+        assert_eq!(AlgoClass::Unc.to_string(), "UNC");
+        assert_eq!(AlgoClass::Apn.to_string(), "APN");
+    }
+
+    #[test]
+    fn sched_error_display() {
+        assert!(SchedError::NoProcessors.to_string().contains("no processors"));
+        assert!(SchedError::Unsupported("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,109 @@
+//! The algorithm registry: the paper's full roster, addressable by name and
+//! by class. The harness binaries iterate these lists to regenerate every
+//! table and figure.
+
+use crate::apn::{Bsa, Bu, DlsApn, Mh};
+use crate::bnp::{Dls, Etf, Hlfet, Ish, Last, Mcp};
+use crate::unc::{Dcp, Dsc, Ez, Lc, Md};
+use crate::{AlgoClass, Scheduler};
+
+/// The six BNP algorithms, in the paper's listing order (§4).
+pub fn bnp() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(Hlfet),
+        Box::new(Ish),
+        Box::new(Mcp::default()),
+        Box::new(Etf),
+        Box::new(Dls),
+        Box::new(Last),
+    ]
+}
+
+/// The five UNC algorithms, in the paper's listing order (§4).
+pub fn unc() -> Vec<Box<dyn Scheduler>> {
+    vec![Box::new(Ez), Box::new(Lc), Box::new(Dsc), Box::new(Md), Box::new(Dcp::default())]
+}
+
+/// The four APN algorithms, in the paper's listing order (§4).
+pub fn apn() -> Vec<Box<dyn Scheduler>> {
+    vec![Box::new(Mh), Box::new(DlsApn), Box::new(Bu), Box::new(Bsa)]
+}
+
+/// All fifteen algorithms: 6 BNP + 5 UNC + 4 APN (DLS appears once per
+/// class it is evaluated in, exactly as in the paper).
+pub fn all() -> Vec<Box<dyn Scheduler>> {
+    let mut v = bnp();
+    v.extend(unc());
+    v.extend(apn());
+    v
+}
+
+/// All algorithms of one class.
+pub fn by_class(class: AlgoClass) -> Vec<Box<dyn Scheduler>> {
+    match class {
+        AlgoClass::Bnp => bnp(),
+        AlgoClass::Unc => unc(),
+        AlgoClass::Apn => apn(),
+    }
+}
+
+/// Look an algorithm up by its paper acronym (case-insensitive).
+/// `"DLS"` names the BNP variant; the APN variant is `"DLS-APN"`.
+pub fn by_name(name: &str) -> Option<Box<dyn Scheduler>> {
+    let upper = name.to_ascii_uppercase();
+    all().into_iter().find(|a| a.name() == upper)
+}
+
+/// The acronyms of every algorithm, class by class.
+pub fn names() -> Vec<&'static str> {
+    all().iter().map(|a| a.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_algorithms_total() {
+        assert_eq!(all().len(), 15);
+        assert_eq!(bnp().len(), 6);
+        assert_eq!(unc().len(), 5);
+        assert_eq!(apn().len(), 4);
+    }
+
+    #[test]
+    fn classes_are_consistent() {
+        for a in bnp() {
+            assert_eq!(a.class(), AlgoClass::Bnp, "{}", a.name());
+        }
+        for a in unc() {
+            assert_eq!(a.class(), AlgoClass::Unc, "{}", a.name());
+        }
+        for a in apn() {
+            assert_eq!(a.class(), AlgoClass::Apn, "{}", a.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut n = names();
+        n.sort_unstable();
+        n.dedup();
+        assert_eq!(n.len(), 15);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("mcp").unwrap().name(), "MCP");
+        assert_eq!(by_name("DLS").unwrap().class(), AlgoClass::Bnp);
+        assert_eq!(by_name("dls-apn").unwrap().class(), AlgoClass::Apn);
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn by_class_matches_lists() {
+        assert_eq!(by_class(AlgoClass::Unc).len(), 5);
+        assert_eq!(by_class(AlgoClass::Apn).len(), 4);
+        assert_eq!(by_class(AlgoClass::Bnp).len(), 6);
+    }
+}

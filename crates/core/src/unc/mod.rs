@@ -1,0 +1,231 @@
+//! UNC — unbounded-number-of-clusters (clustering) scheduling algorithms.
+//!
+//! The five UNC algorithms of the paper — EZ, LC, DSC, MD, DCP — assume an
+//! unlimited supply of fully connected processors (§4): "at the beginning of
+//! the scheduling process, each node is considered a cluster; in subsequent
+//! steps, two clusters are merged if the merging reduces the completion
+//! time". A cluster is identified with a processor throughout.
+//!
+//! All five produce a [`dagsched_platform::Schedule`] over `v` processors
+//! (one per task in the worst case); callers that want dense processor ids
+//! can use `Schedule::compact_procs`. The paper's "number of processors
+//! used" measure is the count of non-empty clusters.
+
+pub mod dcp;
+pub mod dsc;
+pub mod ez;
+pub mod lc;
+pub mod mapping;
+pub mod md;
+
+pub use dcp::Dcp;
+pub use dsc::Dsc;
+pub use ez::Ez;
+pub use lc::Lc;
+pub use mapping::{map_clusters, ClusterMapping, UncCs};
+pub use md::Md;
+
+use dagsched_graph::{TaskGraph, TaskId};
+use dagsched_platform::{ProcId, Schedule};
+
+use crate::common::ReadySet;
+
+/// List-schedule a fixed clustering: cluster = processor, priority =
+/// b-level on the *zeroed view* (intra-cluster edge costs 0), append
+/// policy. This is Sarkar's parallel-time estimation procedure, shared by
+/// EZ (which calls it per tentative merge) and LC (once at the end).
+pub(crate) fn schedule_clustering(g: &TaskGraph, clusters: &[u32]) -> Schedule {
+    let bl = zeroed_b_levels(g, clusters);
+    let mut s = Schedule::new(g.num_tasks(), g.num_tasks());
+    let mut ready = ReadySet::new(g);
+    while !ready.is_empty() {
+        let n = ready.argmax_by_key(|n| bl[n.index()]).expect("non-empty");
+        let p = ProcId(clusters[n.index()]);
+        // Data-ready time under the zeroed view.
+        let mut drt = 0u64;
+        for &(q, c) in g.preds(n) {
+            let pl = s.placement(q).expect("ready ⇒ parents placed");
+            let cost = if clusters[q.index()] == clusters[n.index()] { 0 } else { c };
+            drt = drt.max(pl.finish + cost);
+        }
+        let est = s.timeline(p).earliest_append(drt);
+        s.place(n, p, est, g.weight(n)).expect("append cannot collide");
+        ready.take(g, n);
+    }
+    s
+}
+
+/// Parallel time of a clustering (the makespan of its list schedule).
+pub(crate) fn clustering_makespan(g: &TaskGraph, clusters: &[u32]) -> u64 {
+    schedule_clustering(g, clusters).makespan()
+}
+
+/// b-levels with intra-cluster edges zeroed.
+pub(crate) fn zeroed_b_levels(g: &TaskGraph, clusters: &[u32]) -> Vec<u64> {
+    let mut bl = vec![0u64; g.num_tasks()];
+    for &n in g.topo_order().iter().rev() {
+        let mut best = 0u64;
+        for &(sx, c) in g.succs(n) {
+            let cost = if clusters[sx.index()] == clusters[n.index()] { 0 } else { c };
+            best = best.max(cost + bl[sx.index()]);
+        }
+        bl[n.index()] = g.weight(n) + best;
+    }
+    bl
+}
+
+/// Candidate processor set used by DCP: processors that hold a parent or a
+/// child of `n`, plus the first completely idle processor (a "fresh
+/// cluster"), deduplicated ascending. When nothing is placed yet this is
+/// just the first processor.
+pub(crate) fn neighbourhood_procs(
+    g: &TaskGraph,
+    s: &Schedule,
+    n: TaskId,
+) -> Vec<ProcId> {
+    let mut out: Vec<ProcId> = Vec::new();
+    for &(q, _) in g.preds(n).iter().chain(g.succs(n).iter()) {
+        if let Some(p) = s.proc_of(q) {
+            out.push(p);
+        }
+    }
+    // First idle processor = a fresh cluster.
+    for pi in 0..s.num_procs() as u32 {
+        if s.timeline(ProcId(pi)).is_empty() {
+            out.push(ProcId(pi));
+            break;
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared fixtures for UNC algorithm tests.
+
+    use crate::{AlgoClass, Env, Outcome, Scheduler};
+    use dagsched_graph::{levels, TaskGraph};
+
+    pub use crate::bnp::testutil::{chain4, classic_nine, independent};
+
+    /// Run a UNC algorithm (env is ignored by the class, but passed for the
+    /// trait) and validate.
+    pub fn run(algo: &dyn Scheduler, g: &TaskGraph) -> Outcome {
+        assert_eq!(algo.class(), AlgoClass::Unc);
+        let out = algo.schedule(g, &Env::bnp(1)).expect("UNC scheduling must succeed");
+        out.validate(g).unwrap_or_else(|e| panic!("{} invalid: {e}", algo.name()));
+        out
+    }
+
+    /// Contract every clustering algorithm must meet.
+    pub fn standard_contract(algo: &dyn Scheduler) {
+        // Heavy-comm chain: one cluster, length Σw.
+        let chain = chain4();
+        let out = run(algo, &chain);
+        assert_eq!(out.schedule.makespan(), 20, "{}: chain must be one cluster", algo.name());
+        assert_eq!(out.schedule.procs_used(), 1, "{}", algo.name());
+
+        // Independent tasks: unlimited clusters ⇒ full parallelism.
+        let ind = independent(6, 7);
+        let out = run(algo, &ind);
+        assert_eq!(out.schedule.makespan(), 7, "{}", algo.name());
+        assert_eq!(out.schedule.procs_used(), 6, "{}", algo.name());
+
+        // Classic nine: never worse than fully serial, never better than
+        // the computation critical path; UNC must beat the zero-merging
+        // upper bound too (CP with all comm = 28 here… the unmerged
+        // clustering's makespan).
+        let g = classic_nine();
+        let out = run(algo, &g);
+        let m = out.schedule.makespan();
+        assert!(m >= 12, "{}: below CP computation bound: {m}", algo.name());
+        assert!(m <= g.total_work(), "{}: worse than serial: {m}", algo.name());
+
+        // Determinism.
+        let again = run(algo, &g);
+        for n in g.tasks() {
+            assert_eq!(
+                out.schedule.placement(n),
+                again.schedule.placement(n),
+                "{} nondeterministic",
+                algo.name()
+            );
+        }
+
+        // Single node.
+        let mut b = dagsched_graph::GraphBuilder::new();
+        b.add_task(5);
+        let single = b.build().unwrap();
+        let out = run(algo, &single);
+        assert_eq!(out.schedule.makespan(), 5, "{}", algo.name());
+        let _ = levels::cp_length(&single);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_graph::GraphBuilder;
+
+    fn fork() -> TaskGraph {
+        // a → {b, c} with costs 10 each; w = 2 everywhere.
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(2);
+        let b = gb.add_task(2);
+        let c = gb.add_task(2);
+        gb.add_edge(a, b, 10).unwrap();
+        gb.add_edge(a, c, 10).unwrap();
+        gb.build().unwrap()
+    }
+
+    #[test]
+    fn identity_clustering_pays_all_comm() {
+        let g = fork();
+        let clusters: Vec<u32> = (0..3).collect();
+        // a at 0..2; b, c both start at 12.
+        assert_eq!(clustering_makespan(&g, &clusters), 14);
+    }
+
+    #[test]
+    fn merging_zeroes_comm() {
+        let g = fork();
+        // {a, b} together, c alone: b starts at 2 locally; c at 12.
+        let clusters = vec![0, 0, 2];
+        assert_eq!(clustering_makespan(&g, &clusters), 14);
+        // All together: serial 6 < 14.
+        let clusters = vec![0, 0, 0];
+        assert_eq!(clustering_makespan(&g, &clusters), 6);
+    }
+
+    #[test]
+    fn zeroed_b_levels_reflect_clustering() {
+        let g = fork();
+        let identity: Vec<u32> = (0..3).collect();
+        let merged = vec![0u32, 0, 0];
+        assert_eq!(zeroed_b_levels(&g, &identity)[0], 2 + 10 + 2);
+        assert_eq!(zeroed_b_levels(&g, &merged)[0], 2 + 2);
+    }
+
+    #[test]
+    fn schedule_clustering_respects_cluster_assignment() {
+        let g = fork();
+        let clusters = vec![0u32, 0, 2];
+        let s = schedule_clustering(&g, &clusters);
+        assert_eq!(s.proc_of(TaskId(0)), Some(ProcId(0)));
+        assert_eq!(s.proc_of(TaskId(1)), Some(ProcId(0)));
+        assert_eq!(s.proc_of(TaskId(2)), Some(ProcId(2)));
+        assert!(s.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn neighbourhood_includes_parents_and_fresh() {
+        let g = fork();
+        let mut s = Schedule::new(3, 3);
+        s.place(TaskId(0), ProcId(1), 0, 2).unwrap();
+        let cands = neighbourhood_procs(&g, &s, TaskId(1));
+        // parent on P1 + first idle P0.
+        assert_eq!(cands, vec![ProcId(0), ProcId(1)]);
+    }
+}

@@ -1,0 +1,110 @@
+//! The crown-jewel property: **every algorithm yields a valid schedule on
+//! arbitrary DAGs**, across machine shapes — plus cross-algorithm sanity
+//! relations (bounds, monotonicity in processors for greedy BNP).
+
+use dagsched_core::{registry, Env};
+use dagsched_graph::{GraphBuilder, TaskGraph, TaskId};
+use dagsched_platform::Topology;
+use proptest::prelude::*;
+
+/// Arbitrary DAG: forward-only random edges over 1..18 nodes.
+fn arb_dag() -> impl Strategy<Value = TaskGraph> {
+    (1usize..18).prop_flat_map(|n| {
+        let weights = proptest::collection::vec(1u64..50, n);
+        let edges = proptest::collection::vec(
+            (0usize..n.max(1), 0usize..n.max(1), 0u64..120),
+            0..40,
+        );
+        (weights, edges).prop_map(|(weights, edges)| {
+            let mut b = GraphBuilder::new();
+            let ids: Vec<TaskId> = weights.iter().map(|&w| b.add_task(w)).collect();
+            let mut seen = std::collections::HashSet::new();
+            for (x, y, c) in edges {
+                let (lo, hi) = (x.min(y), x.max(y));
+                if lo != hi && seen.insert((lo, hi)) {
+                    b.add_edge(ids[lo], ids[hi], c).unwrap();
+                }
+            }
+            b.build().expect("forward edges are acyclic")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bnp_and_unc_always_valid(g in arb_dag(), procs in 1usize..5) {
+        let env = Env::bnp(procs);
+        for algo in registry::bnp() {
+            let out = algo.schedule(&g, &env).unwrap();
+            prop_assert!(out.validate(&g).is_ok(), "{} invalid", algo.name());
+            // Universal bounds.
+            let m = out.schedule.makespan();
+            let max_w = g.weights().iter().copied().max().unwrap();
+            prop_assert!(m >= max_w);
+            prop_assert!(out.schedule.procs_used() <= procs);
+        }
+        for algo in registry::unc() {
+            let out = algo.schedule(&g, &env).unwrap();
+            prop_assert!(out.validate(&g).is_ok(), "{} invalid", algo.name());
+        }
+    }
+
+    #[test]
+    fn apn_always_valid(g in arb_dag(), which in 0usize..4) {
+        let topologies = [
+            Topology::chain(3).unwrap(),
+            Topology::ring(4).unwrap(),
+            Topology::star(4).unwrap(),
+            Topology::hypercube(2).unwrap(),
+        ];
+        let env = Env::apn(topologies[which].clone());
+        for algo in registry::apn() {
+            let out = algo.schedule(&g, &env).unwrap();
+            prop_assert!(out.validate(&g).is_ok(), "{} invalid", algo.name());
+            prop_assert!(out.network.is_some());
+        }
+    }
+
+    #[test]
+    fn single_proc_is_serialization_for_every_bnp(g in arb_dag()) {
+        let env = Env::bnp(1);
+        for algo in registry::bnp() {
+            let out = algo.schedule(&g, &env).unwrap();
+            prop_assert_eq!(out.schedule.makespan(), g.total_work(), "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn unc_cluster_mapping_stays_valid(g in arb_dag(), procs in 1usize..4) {
+        use dagsched_core::unc::{map_clusters, ClusterMapping, Dsc};
+        use dagsched_core::Scheduler as _;
+        let unc = Dsc.schedule(&g, &Env::bnp(1)).unwrap();
+        for m in [ClusterMapping::Sarkar, ClusterMapping::Rcp] {
+            let s = map_clusters(&g, &unc.schedule, procs, m);
+            prop_assert!(s.validate(&g).is_ok());
+            prop_assert!(s.procs_used() <= procs);
+        }
+    }
+
+    #[test]
+    fn zero_comm_collapses_classes(g in arb_dag()) {
+        // With all edge costs zero, BNP-DLS and APN-DLS must coincide on a
+        // fully connected machine of the same size.
+        let mut b = GraphBuilder::new();
+        let ids: Vec<TaskId> = g.tasks().map(|n| b.add_task(g.weight(n))).collect();
+        for e in g.edges() {
+            b.add_edge(ids[e.src.index()], ids[e.dst.index()], 0).unwrap();
+        }
+        let zg = b.build().unwrap();
+        let p = 3usize;
+        let bnp = registry::by_name("DLS").unwrap()
+            .schedule(&zg, &Env::bnp(p)).unwrap().schedule.makespan();
+        let apn = registry::by_name("DLS-APN").unwrap()
+            .schedule(&zg, &Env::apn(Topology::fully_connected(p).unwrap()))
+            .unwrap().schedule.makespan();
+        prop_assert_eq!(bnp, apn);
+    }
+
+}

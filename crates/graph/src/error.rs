@@ -1,0 +1,76 @@
+//! Error types for graph construction and parsing.
+
+use std::fmt;
+
+/// Errors produced while building or parsing a [`crate::TaskGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A task was declared with computation cost zero. The model (§2 of the
+    /// paper) requires strictly positive computation costs; zero-cost tasks
+    /// would create zero-length execution intervals whose overlap semantics
+    /// are ambiguous.
+    ZeroWeightTask { task: u32 },
+    /// An edge references a task id that was never declared.
+    UnknownTask { task: u32 },
+    /// An edge connects a task to itself.
+    SelfLoop { task: u32 },
+    /// The same (src, dst) pair was declared twice.
+    DuplicateEdge { src: u32, dst: u32 },
+    /// The edge set contains a directed cycle; a task graph must be acyclic.
+    /// Contains one task id known to lie on a cycle.
+    Cycle { task: u32 },
+    /// The graph has no tasks at all.
+    Empty,
+    /// More than `u32::MAX` tasks were requested.
+    TooManyTasks,
+    /// A `.tgf` parse failure, with the 1-based line number and a reason.
+    Parse { line: usize, reason: String },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::ZeroWeightTask { task } => {
+                write!(f, "task {task} has zero computation cost (must be > 0)")
+            }
+            GraphError::UnknownTask { task } => write!(f, "edge references unknown task {task}"),
+            GraphError::SelfLoop { task } => write!(f, "self loop on task {task}"),
+            GraphError::DuplicateEdge { src, dst } => {
+                write!(f, "duplicate edge {src} -> {dst}")
+            }
+            GraphError::Cycle { task } => {
+                write!(f, "edge set is cyclic (task {task} lies on a cycle)")
+            }
+            GraphError::Empty => write!(f, "graph has no tasks"),
+            GraphError::TooManyTasks => write!(f, "too many tasks (max {})", u32::MAX),
+            GraphError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (GraphError::ZeroWeightTask { task: 3 }, "task 3"),
+            (GraphError::UnknownTask { task: 9 }, "unknown task 9"),
+            (GraphError::SelfLoop { task: 1 }, "self loop"),
+            (GraphError::DuplicateEdge { src: 1, dst: 2 }, "1 -> 2"),
+            (GraphError::Cycle { task: 5 }, "cyclic"),
+            (GraphError::Empty, "no tasks"),
+            (
+                GraphError::Parse { line: 7, reason: "bad token".into() },
+                "line 7",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+}

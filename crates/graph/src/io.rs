@@ -1,0 +1,250 @@
+//! Plain-text serialization of task graphs.
+//!
+//! Two formats:
+//!
+//! * **TGF** (task graph format) — a line-oriented format this crate both
+//!   reads and writes. Deliberately dependency-free (no serde): benchmark
+//!   graphs must be easy to diff, hand-edit and archive alongside
+//!   EXPERIMENTS.md.
+//! * **DOT** — write-only export for Graphviz visualization.
+//!
+//! ## TGF grammar
+//!
+//! ```text
+//! # comment (blank lines ignored)
+//! graph <name>            (optional, at most once)
+//! task <id> <weight> [label …]   (ids must be dense and ascending from 0)
+//! edge <src> <dst> <cost>
+//! ```
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use crate::graph::{TaskGraph, TaskId};
+use std::fmt::Write as _;
+
+/// Serialize `g` to TGF text.
+pub fn to_tgf(g: &TaskGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# taskbench TGF v1: {} tasks, {} edges", g.num_tasks(), g.num_edges());
+    if !g.name().is_empty() {
+        let _ = writeln!(out, "graph {}", g.name());
+    }
+    for n in g.tasks() {
+        let label = g.label(n);
+        if label.is_empty() {
+            let _ = writeln!(out, "task {} {}", n.0, g.weight(n));
+        } else {
+            let _ = writeln!(out, "task {} {} {}", n.0, g.weight(n), label);
+        }
+    }
+    for e in g.edges() {
+        let _ = writeln!(out, "edge {} {} {}", e.src.0, e.dst.0, e.cost);
+    }
+    out
+}
+
+/// Parse TGF text into a validated [`TaskGraph`].
+pub fn from_tgf(text: &str) -> Result<TaskGraph, GraphError> {
+    let mut b = GraphBuilder::new();
+    let mut name: Option<String> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let directive = parts.next().unwrap();
+        match directive {
+            "graph" => {
+                if name.is_some() {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        reason: "duplicate `graph` directive".into(),
+                    });
+                }
+                let rest = line["graph".len()..].trim();
+                if rest.is_empty() {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        reason: "`graph` needs a name".into(),
+                    });
+                }
+                name = Some(rest.to_string());
+            }
+            "task" => {
+                let id: u32 = parse_num(parts.next(), lineno, "task id")?;
+                let weight: u64 = parse_num(parts.next(), lineno, "task weight")?;
+                if id as usize != b.num_tasks() {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        reason: format!(
+                            "task ids must be dense and ascending: expected {}, got {}",
+                            b.num_tasks(),
+                            id
+                        ),
+                    });
+                }
+                let label: String = {
+                    let rest: Vec<&str> = parts.collect();
+                    rest.join(" ")
+                };
+                b.add_labeled_task(weight, label);
+            }
+            "edge" => {
+                let src: u32 = parse_num(parts.next(), lineno, "edge src")?;
+                let dst: u32 = parse_num(parts.next(), lineno, "edge dst")?;
+                let cost: u64 = parse_num(parts.next(), lineno, "edge cost")?;
+                if parts.next().is_some() {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        reason: "trailing tokens after edge cost".into(),
+                    });
+                }
+                b.add_edge(TaskId(src), TaskId(dst), cost).map_err(|e| GraphError::Parse {
+                    line: lineno,
+                    reason: e.to_string(),
+                })?;
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line: lineno,
+                    reason: format!("unknown directive `{other}`"),
+                });
+            }
+        }
+    }
+    let g = b.build()?;
+    Ok(match name {
+        Some(n) => g.with_name(n),
+        None => g,
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(
+    tok: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse { line, reason: format!("missing {what}") })?;
+    tok.parse().map_err(|_| GraphError::Parse {
+        line,
+        reason: format!("invalid {what}: `{tok}`"),
+    })
+}
+
+/// Export to Graphviz DOT. Node labels show `id / w`; edge labels show `c`.
+pub fn to_dot(g: &TaskGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(g.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    for n in g.tasks() {
+        let label = if g.label(n).is_empty() {
+            format!("n{}\\nw={}", n.0, g.weight(n))
+        } else {
+            format!("{}\\nw={}", sanitize(g.label(n)), g.weight(n))
+        };
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", n.0, label);
+    }
+    for e in g.edges() {
+        let _ = writeln!(out, "  n{} -> n{} [label=\"{}\"];", e.src.0, e.dst.0, e.cost);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace('"', "'")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> TaskGraph {
+        let mut b = GraphBuilder::named("sample graph");
+        let n0 = b.add_labeled_task(4, "source");
+        let n1 = b.add_task(3);
+        let n2 = b.add_task(5);
+        b.add_edge(n0, n1, 2).unwrap();
+        b.add_edge(n0, n2, 0).unwrap();
+        b.add_edge(n1, n2, 9).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tgf_round_trip_preserves_everything() {
+        let g = sample();
+        let text = to_tgf(&g);
+        let h = from_tgf(&text).unwrap();
+        assert_eq!(h.name(), g.name());
+        assert_eq!(h.num_tasks(), g.num_tasks());
+        assert_eq!(h.num_edges(), g.num_edges());
+        for n in g.tasks() {
+            assert_eq!(h.weight(n), g.weight(n));
+            assert_eq!(h.label(n), g.label(n));
+        }
+        for e in g.edges() {
+            assert_eq!(h.edge_cost(e.src, e.dst), Some(e.cost));
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let text = "# hello\n\n  \ntask 0 5\ntask 1 6\nedge 0 1 3\n# bye\n";
+        let g = from_tgf(text).unwrap();
+        assert_eq!(g.num_tasks(), 2);
+        assert_eq!(g.edge_cost(TaskId(0), TaskId(1)), Some(3));
+    }
+
+    #[test]
+    fn rejects_sparse_ids() {
+        let err = from_tgf("task 1 5\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        let err = from_tgf("node 0 5\n").unwrap_err();
+        assert!(err.to_string().contains("unknown directive"));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let err = from_tgf("task 0 banana\n").unwrap_err();
+        assert!(err.to_string().contains("invalid task weight"));
+        let err = from_tgf("task 0 5\ntask 1 5\nedge 0 1\n").unwrap_err();
+        assert!(err.to_string().contains("missing edge cost"));
+    }
+
+    #[test]
+    fn rejects_trailing_edge_tokens() {
+        let err = from_tgf("task 0 5\ntask 1 5\nedge 0 1 2 3\n").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_cyclic_file() {
+        let text = "task 0 1\ntask 1 1\nedge 0 1 0\nedge 1 0 0\n";
+        assert!(matches!(from_tgf(text).unwrap_err(), GraphError::Cycle { .. }));
+    }
+
+    #[test]
+    fn labels_with_spaces_survive() {
+        let text = "task 0 5 big bang task\n";
+        let g = from_tgf(text).unwrap();
+        assert_eq!(g.label(TaskId(0)), "big bang task");
+    }
+
+    #[test]
+    fn dot_export_mentions_all_parts() {
+        let g = sample();
+        let dot = to_dot(&g);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("label=\"9\""));
+        assert!(dot.contains("source"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Topological ordering utilities (Kahn's algorithm).
+
+use crate::graph::{TaskGraph, TaskId};
+
+/// Deterministic topological order of `g`: Kahn's algorithm with a FIFO
+/// frontier seeded with entry nodes in ascending id order. Returns `None`
+/// when the edge set is cyclic.
+///
+/// Determinism matters: the benchmark suites and the schedulers must produce
+/// byte-identical results across runs for EXPERIMENTS.md to be reproducible.
+pub fn topological_order(g: &TaskGraph) -> Option<Vec<TaskId>> {
+    let v = g.num_tasks();
+    let mut indeg: Vec<u32> = (0..v).map(|i| g.preds[i].len() as u32).collect();
+    let mut queue: std::collections::VecDeque<TaskId> =
+        (0..v as u32).map(TaskId).filter(|n| indeg[n.index()] == 0).collect();
+    let mut order = Vec::with_capacity(v);
+    while let Some(n) = queue.pop_front() {
+        order.push(n);
+        for &(s, _) in g.succs(n) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    (order.len() == v).then_some(order)
+}
+
+/// After a failed Kahn drain, any node with remaining in-degree lies on (or
+/// downstream of) a cycle; walking predecessors from it must eventually
+/// revisit a node, which is on a cycle. Returns `None` for acyclic graphs.
+pub fn one_node_on_cycle(g: &TaskGraph) -> Option<TaskId> {
+    let v = g.num_tasks();
+    let mut indeg: Vec<u32> = (0..v).map(|i| g.preds[i].len() as u32).collect();
+    let mut queue: std::collections::VecDeque<TaskId> =
+        (0..v as u32).map(TaskId).filter(|n| indeg[n.index()] == 0).collect();
+    let mut drained = 0usize;
+    while let Some(n) = queue.pop_front() {
+        drained += 1;
+        for &(s, _) in g.succs(n) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    if drained == v {
+        return None;
+    }
+    // Start from any undrained node and walk undrained predecessors until a
+    // repeat: the repeated node lies on a directed cycle.
+    let start = (0..v as u32).map(TaskId).find(|n| indeg[n.index()] > 0)?;
+    let mut seen = vec![false; v];
+    let mut cur = start;
+    loop {
+        if seen[cur.index()] {
+            return Some(cur);
+        }
+        seen[cur.index()] = true;
+        cur = g
+            .preds(cur)
+            .iter()
+            .map(|&(p, _)| p)
+            .find(|p| indeg[p.index()] > 0)
+            .expect("undrained node must have an undrained predecessor");
+    }
+}
+
+/// Whether `order` is a valid topological order of `g`: a permutation of all
+/// tasks in which every edge points forward.
+pub fn is_topological(g: &TaskGraph, order: &[TaskId]) -> bool {
+    if order.len() != g.num_tasks() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; g.num_tasks()];
+    for (i, &n) in order.iter().enumerate() {
+        if n.index() >= g.num_tasks() || pos[n.index()] != usize::MAX {
+            return false; // out of range or repeated
+        }
+        pos[n.index()] = i;
+    }
+    g.edges().all(|e| pos[e.src.index()] < pos[e.dst.index()])
+}
+
+/// Reverse topological order (children before parents), derived from the
+/// cached order. Used by bottom-up passes (b-levels, the BU algorithm).
+pub fn reverse_topo(g: &TaskGraph) -> Vec<TaskId> {
+    let mut o = g.topo_order().to_vec();
+    o.reverse();
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn chain(n: usize) -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..n).map(|_| b.add_task(1)).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_order_is_the_chain() {
+        let g = chain(6);
+        let order: Vec<u32> = g.topo_order().iter().map(|t| t.0).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn cached_order_is_topological() {
+        let g = chain(10);
+        assert!(is_topological(&g, g.topo_order()));
+    }
+
+    #[test]
+    fn is_topological_rejects_backward_edge() {
+        let g = chain(3);
+        let bad = vec![TaskId(2), TaskId(1), TaskId(0)];
+        assert!(!is_topological(&g, &bad));
+    }
+
+    #[test]
+    fn is_topological_rejects_non_permutation() {
+        let g = chain(3);
+        assert!(!is_topological(&g, &[TaskId(0), TaskId(0), TaskId(1)]));
+        assert!(!is_topological(&g, &[TaskId(0), TaskId(1)]));
+    }
+
+    #[test]
+    fn reverse_topo_puts_children_first() {
+        let g = chain(4);
+        let rev: Vec<u32> = reverse_topo(&g).iter().map(|t| t.0).collect();
+        assert_eq!(rev, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn diamond_parents_precede_children() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_task(1);
+        let n1 = b.add_task(1);
+        let n2 = b.add_task(1);
+        let n3 = b.add_task(1);
+        b.add_edge(n0, n1, 0).unwrap();
+        b.add_edge(n0, n2, 0).unwrap();
+        b.add_edge(n1, n3, 0).unwrap();
+        b.add_edge(n2, n3, 0).unwrap();
+        let g = b.build().unwrap();
+        let pos: std::collections::HashMap<u32, usize> =
+            g.topo_order().iter().enumerate().map(|(i, t)| (t.0, i)).collect();
+        assert!(pos[&0] < pos[&1] && pos[&0] < pos[&2]);
+        assert!(pos[&1] < pos[&3] && pos[&2] < pos[&3]);
+    }
+}

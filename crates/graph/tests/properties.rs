@@ -1,0 +1,149 @@
+//! Property-based tests for the graph substrate: every invariant the rest of
+//! the workspace relies on, checked over arbitrary random DAGs.
+
+use dagsched_graph::{io, levels, stats, topo, GraphBuilder, TaskGraph, TaskId};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary DAG described as (weights, upper-triangular edges).
+/// Edges always point from lower to higher id, which guarantees acyclicity;
+/// the builder's cycle detection is tested separately with reversed edges.
+fn arb_dag() -> impl Strategy<Value = (Vec<u64>, Vec<(usize, usize, u64)>)> {
+    (1usize..24).prop_flat_map(|n| {
+        let weights = proptest::collection::vec(1u64..100, n);
+        let max_pairs = n * (n.saturating_sub(1)) / 2;
+        let edges = proptest::collection::vec(
+            (0usize..n.max(1), 0usize..n.max(1), 0u64..200),
+            0..=max_pairs.min(60),
+        );
+        (weights, edges)
+    })
+}
+
+fn build(weights: &[u64], raw_edges: &[(usize, usize, u64)]) -> TaskGraph {
+    let mut b = GraphBuilder::new();
+    let ids: Vec<TaskId> = weights.iter().map(|&w| b.add_task(w)).collect();
+    let mut seen = std::collections::HashSet::new();
+    for &(a, bb, c) in raw_edges {
+        let (lo, hi) = (a.min(bb), a.max(bb));
+        if lo != hi && seen.insert((lo, hi)) {
+            b.add_edge(ids[lo], ids[hi], c).unwrap();
+        }
+    }
+    b.build().expect("forward-only edges are acyclic")
+}
+
+proptest! {
+    #[test]
+    fn built_graphs_validate((weights, edges) in arb_dag()) {
+        let g = build(&weights, &edges);
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn topo_order_is_valid((weights, edges) in arb_dag()) {
+        let g = build(&weights, &edges);
+        prop_assert!(topo::is_topological(&g, g.topo_order()));
+    }
+
+    #[test]
+    fn cp_is_max_tl_plus_bl((weights, edges) in arb_dag()) {
+        let g = build(&weights, &edges);
+        let tl = levels::t_levels(&g);
+        let bl = levels::b_levels(&g);
+        let cp = levels::cp_length(&g);
+        let mut attained = false;
+        for n in g.tasks() {
+            prop_assert!(tl[n.index()] + bl[n.index()] <= cp);
+            attained |= tl[n.index()] + bl[n.index()] == cp;
+        }
+        prop_assert!(attained, "some node must lie on the critical path");
+    }
+
+    #[test]
+    fn edge_level_recurrences_hold((weights, edges) in arb_dag()) {
+        let g = build(&weights, &edges);
+        let tl = levels::t_levels(&g);
+        let bl = levels::b_levels(&g);
+        for e in g.edges() {
+            // t-level grows along edges by at least w(src)+c.
+            prop_assert!(tl[e.dst.index()] >= tl[e.src.index()] + g.weight(e.src) + e.cost);
+            // b-level of the source covers the edge and the child's b-level.
+            prop_assert!(bl[e.src.index()] >= g.weight(e.src) + e.cost + bl[e.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn static_level_bounded_by_blevel((weights, edges) in arb_dag()) {
+        let g = build(&weights, &edges);
+        let sl = levels::static_levels(&g);
+        let bl = levels::b_levels(&g);
+        for n in g.tasks() {
+            prop_assert!(sl[n.index()] <= bl[n.index()]);
+            prop_assert!(sl[n.index()] >= g.weight(n));
+        }
+    }
+
+    #[test]
+    fn alap_identity((weights, edges) in arb_dag()) {
+        let g = build(&weights, &edges);
+        let bl = levels::b_levels(&g);
+        let alap = levels::alap_times(&g);
+        let cp = levels::cp_length(&g);
+        for n in g.tasks() {
+            prop_assert_eq!(alap[n.index()] + bl[n.index()], cp);
+        }
+    }
+
+    #[test]
+    fn critical_path_length_checks_out((weights, edges) in arb_dag()) {
+        let g = build(&weights, &edges);
+        let path = levels::critical_path(&g);
+        prop_assert!(!path.is_empty());
+        prop_assert_eq!(g.in_degree(path[0]), 0);
+        prop_assert_eq!(g.out_degree(*path.last().unwrap()), 0);
+        let mut len = 0u64;
+        for w in path.windows(2) {
+            prop_assert!(g.has_edge(w[0], w[1]));
+            len += g.weight(w[0]) + g.edge_cost(w[0], w[1]).unwrap();
+        }
+        len += g.weight(*path.last().unwrap());
+        prop_assert_eq!(len, levels::cp_length(&g));
+    }
+
+    #[test]
+    fn tgf_round_trip((weights, edges) in arb_dag()) {
+        let g = build(&weights, &edges);
+        let h = io::from_tgf(&io::to_tgf(&g)).unwrap();
+        prop_assert_eq!(h.num_tasks(), g.num_tasks());
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        for n in g.tasks() {
+            prop_assert_eq!(h.weight(n), g.weight(n));
+        }
+        for e in g.edges() {
+            prop_assert_eq!(h.edge_cost(e.src, e.dst), Some(e.cost));
+        }
+    }
+
+    #[test]
+    fn depth_times_width_covers_graph((weights, edges) in arb_dag()) {
+        let g = build(&weights, &edges);
+        let s = stats::GraphStats::of(&g);
+        prop_assert!(s.depth * s.level_width >= s.tasks);
+        prop_assert!(s.depth <= s.tasks);
+        prop_assert!(s.level_width <= s.tasks);
+    }
+
+    #[test]
+    fn reversing_an_edge_of_a_chain_is_cyclic(n in 2usize..10) {
+        // chain 0→1→…→n-1 plus the back edge n-1→0 must be rejected.
+        let mut b = GraphBuilder::new();
+        let ids: Vec<TaskId> = (0..n).map(|_| b.add_task(1)).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], 1).unwrap();
+        }
+        b.add_edge(ids[n - 1], ids[0], 1).unwrap();
+        let is_cycle =
+            matches!(b.build().unwrap_err(), dagsched_graph::GraphError::Cycle { .. });
+        prop_assert!(is_cycle);
+    }
+}

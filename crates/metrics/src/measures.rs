@@ -1,0 +1,106 @@
+//! The quantitative performance measures of §6.
+
+use dagsched_graph::{levels, TaskGraph};
+use dagsched_platform::Schedule;
+
+/// Normalized Schedule Length: `L / Σ_{n∈CP} w(n)`.
+///
+/// The denominator is the *computation* cost along the (deterministic)
+/// critical path — a lower bound on any schedule length, so `NSL ≥ 1`.
+pub fn nsl(g: &TaskGraph, s: &Schedule) -> f64 {
+    let denom = levels::cp_computation(g);
+    debug_assert!(denom > 0);
+    s.makespan() as f64 / denom as f64
+}
+
+/// NSL from a raw length (for optimal lengths without a schedule object).
+pub fn nsl_of_length(g: &TaskGraph, length: u64) -> f64 {
+    length as f64 / levels::cp_computation(g) as f64
+}
+
+/// Percentage degradation from an optimal length:
+/// `100 · (L − L_opt) / L_opt` (0 when the heuristic is optimal).
+pub fn degradation_pct(length: u64, optimal: u64) -> f64 {
+    debug_assert!(optimal > 0);
+    100.0 * (length as f64 - optimal as f64) / optimal as f64
+}
+
+/// Speedup: serial time (Σ computation costs) over the makespan.
+pub fn speedup(g: &TaskGraph, s: &Schedule) -> f64 {
+    g.total_work() as f64 / s.makespan() as f64
+}
+
+/// Efficiency: speedup divided by the number of processors actually used.
+pub fn efficiency(g: &TaskGraph, s: &Schedule) -> f64 {
+    let used = s.procs_used().max(1);
+    speedup(g, s) / used as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_graph::{GraphBuilder, TaskId};
+    use dagsched_platform::ProcId;
+
+    fn chain2() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(4);
+        let c = b.add_task(6);
+        b.add_edge(a, c, 5).unwrap();
+        b.build().unwrap()
+    }
+
+    fn serial_schedule(g: &TaskGraph) -> Schedule {
+        let mut s = Schedule::new(g.num_tasks(), 2);
+        let mut t = 0;
+        for n in g.topo_order().to_vec() {
+            s.place(n, ProcId(0), t, g.weight(n)).unwrap();
+            t += g.weight(n);
+        }
+        s
+    }
+
+    #[test]
+    fn nsl_of_tight_schedule_is_one() {
+        let g = chain2();
+        let s = serial_schedule(&g);
+        // CP computation = 10 = makespan.
+        assert!((nsl(&g, &s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nsl_grows_with_slack() {
+        let g = chain2();
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0, 4).unwrap();
+        s.place(TaskId(1), ProcId(1), 9, 6).unwrap(); // waits for comm
+        assert!((nsl(&g, &s) - 1.5).abs() < 1e-12);
+        assert!((nsl_of_length(&g, 15) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradation_examples() {
+        assert_eq!(degradation_pct(100, 100), 0.0);
+        assert_eq!(degradation_pct(150, 100), 50.0);
+        assert!((degradation_pct(103, 100) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_efficiency() {
+        let g = chain2();
+        let s = serial_schedule(&g);
+        assert!((speedup(&g, &s) - 1.0).abs() < 1e-12);
+        assert!((efficiency(&g, &s) - 1.0).abs() < 1e-12);
+
+        // Two independent tasks in parallel: speedup 2, efficiency 1.
+        let mut b = GraphBuilder::new();
+        b.add_task(5);
+        b.add_task(5);
+        let g = b.build().unwrap();
+        let mut s = Schedule::new(2, 2);
+        s.place(TaskId(0), ProcId(0), 0, 5).unwrap();
+        s.place(TaskId(1), ProcId(1), 0, 5).unwrap();
+        assert!((speedup(&g, &s) - 2.0).abs() < 1e-12);
+        assert!((efficiency(&g, &s) - 1.0).abs() < 1e-12);
+    }
+}

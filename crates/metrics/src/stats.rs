@@ -1,0 +1,175 @@
+//! Streaming statistics (Welford) and wall-clock measurement.
+
+use std::time::{Duration, Instant};
+
+/// Streaming mean / variance / min / max accumulator (Welford's method —
+/// numerically stable for long experiment sweeps).
+#[derive(Debug, Clone, Default)]
+pub struct Running {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    pub fn new() -> Running {
+        Running { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator (Chan's parallel combination).
+    pub fn merge(&mut self, other: &Running) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n as f64;
+        let m2 =
+            self.m2 + other.m2 + d * d * self.n as f64 * other.n as f64 / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Wall-clock stopwatch for the paper's "algorithm running time" measure
+/// (Table 6). Returns the mean over `reps` runs of `f`.
+#[derive(Debug)]
+pub struct Stopwatch;
+
+impl Stopwatch {
+    /// Time one closure invocation.
+    pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+        let t0 = Instant::now();
+        let out = f();
+        (out, t0.elapsed())
+    }
+
+    /// Mean duration of `reps` invocations (the last result is returned).
+    pub fn time_mean<T>(reps: u32, mut f: impl FnMut() -> T) -> (T, Duration) {
+        assert!(reps >= 1);
+        let t0 = Instant::now();
+        let mut out = None;
+        for _ in 0..reps {
+            out = Some(f());
+        }
+        (out.expect("reps >= 1"), t0.elapsed() / reps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_moments_match_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut r = Running::new();
+        for &x in &xs {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 8);
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+        assert!((r.std() - 2.0).abs() < 1e-12); // classic example set
+        assert_eq!(r.min(), 2.0);
+        assert_eq!(r.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_running_is_zeroed() {
+        let r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.std(), 0.0);
+        assert_eq!(r.min(), 0.0);
+        assert_eq!(r.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let xs: Vec<f64> = (0..100).map(|i| (i * i % 37) as f64).collect();
+        let mut whole = Running::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = Running::new();
+        let mut b = Running::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 3 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.std() - whole.std()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn stopwatch_returns_value_and_positive_time() {
+        let (x, d) = Stopwatch::time(|| (0..1000).sum::<u64>());
+        assert_eq!(x, 499500);
+        assert!(d.as_nanos() > 0);
+        let (x, _) = Stopwatch::time_mean(3, || 42);
+        assert_eq!(x, 42);
+    }
+}

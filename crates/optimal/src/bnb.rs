@@ -1,0 +1,429 @@
+//! Depth-first branch-and-bound over earliest-start list schedules.
+
+use dagsched_core::{registry, Env};
+use dagsched_graph::{levels, TaskGraph, TaskId};
+use dagsched_platform::{ProcId, Schedule};
+use std::collections::HashSet;
+
+/// Search configuration.
+#[derive(Debug, Clone)]
+pub struct OptimalParams {
+    /// Number of identical processors. `None` = unbounded (one per task),
+    /// matching the reference point the paper uses for both UNC and BNP
+    /// degradation tables.
+    pub procs: Option<usize>,
+    /// Abort after expanding this many search nodes (`proven = false`).
+    pub node_limit: u64,
+    /// Seed the incumbent with the best heuristic schedule first.
+    pub heuristic_incumbent: bool,
+}
+
+impl Default for OptimalParams {
+    fn default() -> Self {
+        OptimalParams { procs: None, node_limit: 4_000_000, heuristic_incumbent: true }
+    }
+}
+
+/// Outcome of a branch-and-bound run.
+#[derive(Debug, Clone)]
+pub struct OptimalResult {
+    /// Best schedule length found.
+    pub length: u64,
+    /// The schedule achieving it.
+    pub schedule: Schedule,
+    /// Whether the search space was exhausted (the length is optimal).
+    pub proven: bool,
+    /// Search nodes expanded.
+    pub nodes: u64,
+}
+
+struct Search<'g> {
+    g: &'g TaskGraph,
+    procs: usize,
+    weights: Vec<u64>,
+    /// Computation-only b-levels (admissible tail bound).
+    slc: Vec<u64>,
+    node_limit: u64,
+    nodes: u64,
+    capped: bool,
+    best_len: u64,
+    best: Vec<(ProcId, u64)>, // (proc, start) per task of the incumbent
+    // Mutable state (undo-based DFS).
+    proc_ready: Vec<u64>,
+    finish: Vec<u64>,
+    proc_of: Vec<u8>,
+    scheduled: Vec<bool>,
+    missing: Vec<u32>,
+    ready: Vec<TaskId>,
+    n_scheduled: usize,
+    makespan: u64,
+    total_remaining: u64,
+    seen: HashSet<u128>,
+    current: Vec<(ProcId, u64)>,
+}
+
+/// Find an optimal (or best-within-limits) schedule of `g`.
+///
+/// Panics if the graph has more than 64 tasks — the RGBOS family tops out
+/// at 32 and the state signature uses a 64-bit task mask.
+pub fn solve(g: &TaskGraph, params: &OptimalParams) -> OptimalResult {
+    let v = g.num_tasks();
+    assert!(v <= 64, "branch-and-bound supports at most 64 tasks (got {v})");
+    let procs = params.procs.unwrap_or(v).min(v).max(1);
+
+    // Incumbent from the heuristic roster.
+    let mut best_len = u64::MAX;
+    let mut best: Vec<(ProcId, u64)> = vec![(ProcId(0), 0); v];
+    if params.heuristic_incumbent {
+        let env = Env::bnp(procs);
+        for algo in registry::bnp().into_iter().chain(registry::unc()) {
+            if let Ok(out) = algo.schedule(g, &env) {
+                debug_assert!(out.validate(g).is_ok());
+                // UNC algorithms may use more than `procs` processors; only
+                // accept schedules that fit the machine.
+                if out.schedule.procs_used() <= procs {
+                    let m = out.schedule.makespan();
+                    if m < best_len {
+                        best_len = m;
+                        let compact = out.schedule.compact_procs();
+                        for n in g.tasks() {
+                            let pl = compact.placement(n).expect("complete");
+                            best[n.index()] = (pl.proc, pl.start);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut search = Search {
+        g,
+        procs,
+        weights: g.weights().to_vec(),
+        slc: levels::static_levels(g),
+        node_limit: params.node_limit,
+        nodes: 0,
+        capped: false,
+        best_len,
+        best,
+        proc_ready: vec![0; procs],
+        finish: vec![0; v],
+        proc_of: vec![u8::MAX; v],
+        scheduled: vec![false; v],
+        missing: g.tasks().map(|n| g.in_degree(n) as u32).collect(),
+        ready: g.entries().collect(),
+        n_scheduled: 0,
+        makespan: 0,
+        total_remaining: g.total_work(),
+        seen: HashSet::new(),
+        current: vec![(ProcId(0), 0); v],
+    };
+    search.dfs();
+
+    let mut schedule = Schedule::new(v, procs);
+    for n in g.tasks() {
+        let (p, st) = search.best[n.index()];
+        schedule.place(n, p, st, g.weight(n)).expect("incumbent is feasible");
+    }
+    debug_assert!(schedule.validate(g).is_ok());
+    OptimalResult {
+        length: search.best_len,
+        schedule,
+        proven: !search.capped,
+        nodes: search.nodes,
+    }
+}
+
+impl Search<'_> {
+    fn dfs(&mut self) {
+        if self.nodes >= self.node_limit {
+            self.capped = true;
+            return;
+        }
+        self.nodes += 1;
+
+        if self.n_scheduled == self.g.num_tasks() {
+            if self.makespan < self.best_len {
+                self.best_len = self.makespan;
+                self.best.copy_from_slice(&self.current);
+            }
+            return;
+        }
+        if self.lower_bound() >= self.best_len {
+            return;
+        }
+        if !self.seen.insert(self.signature()) {
+            return;
+        }
+
+        // Branch order: tasks by descending computation b-level (critical
+        // work first), processors by ascending start time — good moves
+        // first tightens the incumbent early.
+        let mut tasks: Vec<TaskId> = self.ready.clone();
+        tasks.sort_unstable_by_key(|&n| (std::cmp::Reverse(self.slc[n.index()]), n.0));
+        for n in tasks {
+            let mut opened_empty = false;
+            let mut moves: Vec<(u64, u32)> = Vec::with_capacity(self.procs);
+            for pi in 0..self.procs as u32 {
+                let empty = self.proc_ready[pi as usize] == 0
+                    && !self.proc_of.contains(&(pi as u8));
+                if empty {
+                    if opened_empty {
+                        continue; // processor symmetry: one empty proc only
+                    }
+                    opened_empty = true;
+                }
+                let start = self.est(n, ProcId(pi));
+                moves.push((start, pi));
+            }
+            moves.sort_unstable();
+            for (start, pi) in moves {
+                self.apply(n, ProcId(pi), start);
+                self.dfs();
+                self.undo(n, ProcId(pi), start);
+                if self.capped {
+                    return;
+                }
+            }
+        }
+    }
+
+    fn est(&self, n: TaskId, p: ProcId) -> u64 {
+        let mut drt = 0u64;
+        for &(q, c) in self.g.preds(n) {
+            let arrive = if self.proc_of[q.index()] as u32 == p.0 {
+                self.finish[q.index()]
+            } else {
+                self.finish[q.index()] + c
+            };
+            drt = drt.max(arrive);
+        }
+        drt.max(self.proc_ready[p.index()])
+    }
+
+    fn apply(&mut self, n: TaskId, p: ProcId, start: u64) {
+        let fin = start + self.weights[n.index()];
+        self.current[n.index()] = (p, start);
+        self.proc_of[n.index()] = p.0 as u8;
+        self.finish[n.index()] = fin;
+        self.scheduled[n.index()] = true;
+        self.proc_ready[p.index()] = fin;
+        self.makespan = self.makespan.max(fin);
+        self.total_remaining -= self.weights[n.index()];
+        self.n_scheduled += 1;
+        let pos = self.ready.iter().position(|&r| r == n).expect("n was ready");
+        self.ready.swap_remove(pos);
+        for &(c, _) in self.g.succs(n) {
+            self.missing[c.index()] -= 1;
+            if self.missing[c.index()] == 0 {
+                self.ready.push(c);
+            }
+        }
+    }
+
+    fn undo(&mut self, n: TaskId, p: ProcId, start: u64) {
+        for &(c, _) in self.g.succs(n) {
+            if self.missing[c.index()] == 0 {
+                let pos = self.ready.iter().position(|&r| r == c).expect("child was ready");
+                self.ready.swap_remove(pos);
+            }
+            self.missing[c.index()] += 1;
+        }
+        self.ready.push(n);
+        self.n_scheduled -= 1;
+        self.total_remaining += self.weights[n.index()];
+        self.scheduled[n.index()] = false;
+        self.proc_of[n.index()] = u8::MAX;
+        // proc_ready and makespan are recomputed cheaply from scratch for
+        // the processor (append-only: previous ready time is the max finish
+        // of remaining tasks on p).
+        let _ = start;
+        let mut pr = 0u64;
+        for t in self.g.tasks() {
+            if self.scheduled[t.index()] && self.proc_of[t.index()] as u32 == p.0 {
+                pr = pr.max(self.finish[t.index()]);
+            }
+        }
+        self.proc_ready[p.index()] = pr;
+        let mut m = 0u64;
+        for t in self.g.tasks() {
+            if self.scheduled[t.index()] {
+                m = m.max(self.finish[t.index()]);
+            }
+        }
+        self.makespan = m;
+    }
+
+    /// Admissible lower bound on any completion of the current state.
+    fn lower_bound(&self) -> u64 {
+        let mut lb = self.makespan;
+        // Workload bound.
+        let busy: u64 = self.proc_ready.iter().sum();
+        lb = lb.max((busy + self.total_remaining).div_ceil(self.procs as u64));
+        // Critical-path bound: computation-only earliest starts.
+        let mut ees = vec![0u64; self.g.num_tasks()];
+        let mut cp_bound = 0u64;
+        for &n in self.g.topo_order() {
+            if self.scheduled[n.index()] {
+                continue;
+            }
+            let mut start = 0u64;
+            for &(q, _) in self.g.preds(n) {
+                let t = if self.scheduled[q.index()] {
+                    self.finish[q.index()]
+                } else {
+                    ees[q.index()] + self.weights[q.index()]
+                };
+                start = start.max(t);
+            }
+            ees[n.index()] = start;
+            cp_bound = cp_bound.max(start + self.slc[n.index()]);
+        }
+        lb.max(cp_bound)
+    }
+
+    /// 128-bit canonical signature: processors relabelled by their first
+    /// (lowest-id) task, so permuted identical configurations collide.
+    fn signature(&self) -> u128 {
+        // Canonical processor order: sort processors by the smallest task
+        // id they host (empty procs last).
+        let mut first_task = vec![u32::MAX; self.procs];
+        for t in self.g.tasks() {
+            let p = self.proc_of[t.index()];
+            if p != u8::MAX {
+                let slot = &mut first_task[p as usize];
+                *slot = (*slot).min(t.0);
+            }
+        }
+        let mut order: Vec<usize> = (0..self.procs).collect();
+        order.sort_unstable_by_key(|&p| first_task[p]);
+        let mut canon = vec![u8::MAX; self.procs];
+        for (rank, &p) in order.iter().enumerate() {
+            canon[p] = rank as u8;
+        }
+        // FNV-1a over (task, canon proc, start) triples + the mask.
+        let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h2: u64 = 0x9e37_79b9_7f4a_7c15;
+        let fold = |h: &mut u64, x: u64, prime: u64| {
+            *h ^= x;
+            *h = h.wrapping_mul(prime);
+        };
+        for t in self.g.tasks() {
+            if self.scheduled[t.index()] {
+                let p = canon[self.proc_of[t.index()] as usize] as u64;
+                let key = (t.0 as u64) << 40 | p << 32 | self.current[t.index()].1;
+                fold(&mut h1, key, 0x0000_0100_0000_01B3);
+                fold(&mut h2, key, 0xff51_afd7_ed55_8ccd);
+            }
+        }
+        (h1 as u128) << 64 | h2 as u128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_graph::GraphBuilder;
+
+    fn params(procs: usize) -> OptimalParams {
+        OptimalParams { procs: Some(procs), ..OptimalParams::default() }
+    }
+
+    #[test]
+    fn chain_optimum_is_serial() {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..5).map(|_| b.add_task(4)).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], 9).unwrap();
+        }
+        let g = b.build().unwrap();
+        let r = solve(&g, &params(3));
+        assert!(r.proven);
+        assert_eq!(r.length, 20);
+        assert!(r.schedule.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn independent_tasks_pack_perfectly() {
+        let mut b = GraphBuilder::new();
+        for _ in 0..6 {
+            b.add_task(5);
+        }
+        let g = b.build().unwrap();
+        let r = solve(&g, &params(3));
+        assert!(r.proven);
+        assert_eq!(r.length, 10);
+    }
+
+    #[test]
+    fn fork_join_tradeoff_solved_exactly() {
+        // src(2) → {m1(6), m2(6)} → sink(2), comm 3 everywhere.
+        // Parallel: src 0-2, m1 local 2-8, m2 remote 5-11, sink on m2's
+        // proc? arrivals: m1 8+3=11, m2 11 → sink 11-13 = 13.
+        // Serial: 2+6+6+2 = 16. Optimal = 13.
+        let mut b = GraphBuilder::new();
+        let src = b.add_task(2);
+        let m1 = b.add_task(6);
+        let m2 = b.add_task(6);
+        let sink = b.add_task(2);
+        b.add_edge(src, m1, 3).unwrap();
+        b.add_edge(src, m2, 3).unwrap();
+        b.add_edge(m1, sink, 3).unwrap();
+        b.add_edge(m2, sink, 3).unwrap();
+        let g = b.build().unwrap();
+        let r = solve(&g, &params(2));
+        assert!(r.proven);
+        assert_eq!(r.length, 13);
+    }
+
+    #[test]
+    fn heavy_comm_fork_join_stays_serial() {
+        let mut b = GraphBuilder::new();
+        let src = b.add_task(2);
+        let m1 = b.add_task(3);
+        let m2 = b.add_task(3);
+        let sink = b.add_task(2);
+        for &(s, d) in &[(src, m1), (src, m2), (m1, sink), (m2, sink)] {
+            b.add_edge(s, d, 50).unwrap();
+        }
+        let g = b.build().unwrap();
+        let r = solve(&g, &params(4));
+        assert!(r.proven);
+        assert_eq!(r.length, 10);
+    }
+
+    #[test]
+    fn optimum_never_exceeds_any_heuristic() {
+        use dagsched_core::{registry, Env};
+        let g = crate::exhaustive::tests::random_small(11, 42);
+        let r = solve(&g, &params(3));
+        assert!(r.proven);
+        let env = Env::bnp(3);
+        for algo in registry::bnp() {
+            let m = algo.schedule(&g, &env).unwrap().schedule.makespan();
+            assert!(r.length <= m, "{} beat the optimum?!", algo.name());
+        }
+    }
+
+    #[test]
+    fn node_cap_reports_unproven() {
+        let g = crate::exhaustive::tests::random_small(14, 7);
+        let p = OptimalParams { procs: Some(4), node_limit: 10, heuristic_incumbent: true };
+        let r = solve(&g, &p);
+        assert!(!r.proven);
+        // Still returns the heuristic incumbent, which is feasible.
+        assert!(r.schedule.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn unbounded_procs_defaults_to_v() {
+        let mut b = GraphBuilder::new();
+        for _ in 0..5 {
+            b.add_task(3);
+        }
+        let g = b.build().unwrap();
+        let r = solve(&g, &OptimalParams::default());
+        assert!(r.proven);
+        assert_eq!(r.length, 3);
+    }
+}

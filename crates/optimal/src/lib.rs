@@ -1,0 +1,42 @@
+//! # dagsched-optimal — branch-and-bound optimal schedules
+//!
+//! The RGBOS benchmark family (§5.2 of the paper) measures each heuristic's
+//! *percentage degradation from the optimal solution*; the authors obtained
+//! the optima with a (parallel) A* search \[23\]. This crate provides the
+//! sequential equivalent: a depth-first branch-and-bound over the space of
+//! list schedules.
+//!
+//! ## Search space and completeness
+//!
+//! States append one *ready* task at a time to some processor at its
+//! earliest feasible start (`max(data-ready time, processor ready time)`).
+//! Any feasible schedule can be replayed in global start-time order with
+//! earliest-start timing without growing any start time, so this space
+//! contains an optimal schedule — the search is exact.
+//!
+//! ## Pruning
+//!
+//! * **Incumbent** — seeded with the best of the fifteen heuristics, so
+//!   even an immediately-capped search reports a meaningful bound.
+//! * **Lower bounds** — pruned when
+//!   `max(makespan-so-far, critical-path bound, workload bound) ≥
+//!   incumbent`. The critical-path bound propagates computation-only
+//!   earliest start times (communication may always be zeroed by
+//!   colocation, so it is admissible); the workload bound is
+//!   `(Σ processor-ready + remaining work) / p`.
+//! * **Processor symmetry** — identical processors: only the
+//!   lowest-indexed empty processor may be opened.
+//! * **Duplicate detection** — states reached by permuted decision orders
+//!   collapse via a 128-bit signature over the canonical (processor-
+//!   relabelled) partial schedule. Hash collisions (< 2⁻¹⁰⁰ for any
+//!   realistic search) are the only source of unsoundness and are treated
+//!   as impossible.
+//!
+//! Searches are capped by node count; [`OptimalResult::proven`] reports
+//! whether the space was exhausted. EXPERIMENTS.md records the proven flag
+//! for every RGBOS instance.
+
+pub mod bnb;
+pub mod exhaustive;
+
+pub use bnb::{solve, OptimalParams, OptimalResult};

@@ -1,0 +1,149 @@
+//! Post-hoc schedule analysis: utilization, idle time, communication
+//! volume. Not part of the paper's six measures, but what anyone inspecting
+//! a schedule asks next — used by the CLI's `run` report and the examples.
+
+use dagsched_graph::TaskGraph;
+
+use crate::schedule::Schedule;
+use crate::topology::ProcId;
+
+/// Summary numbers of a complete schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleReport {
+    /// Latest finish time.
+    pub makespan: u64,
+    /// Processors executing at least one task.
+    pub procs_used: usize,
+    /// Σ busy time across processors.
+    pub total_busy: u64,
+    /// Σ idle time on *used* processors within `[0, makespan)`.
+    pub total_idle: u64,
+    /// `total_busy / (procs_used · makespan)` ∈ (0, 1].
+    pub utilization: f64,
+    /// Number of graph edges whose endpoints sit on different processors.
+    pub cross_edges: usize,
+    /// Σ communication cost actually paid (cross-processor edges only).
+    pub comm_paid: u64,
+    /// Σ communication cost avoided by colocation (same-processor edges).
+    pub comm_zeroed: u64,
+}
+
+/// Analyze a complete schedule of `g`.
+///
+/// Panics if the schedule is incomplete — run
+/// [`Schedule::validate`] / [`Schedule::validate_apn`] first.
+pub fn report(g: &TaskGraph, s: &Schedule) -> ScheduleReport {
+    let makespan = s.makespan();
+    let used = s.used_procs();
+    let total_busy: u64 =
+        used.iter().map(|&p| s.timeline(p).busy_time()).sum();
+    let total_idle = used.len() as u64 * makespan - total_busy;
+    let (mut cross_edges, mut comm_paid, mut comm_zeroed) = (0usize, 0u64, 0u64);
+    for e in g.edges() {
+        let pu = s.proc_of(e.src).expect("complete schedule");
+        let pv = s.proc_of(e.dst).expect("complete schedule");
+        if pu == pv {
+            comm_zeroed += e.cost;
+        } else {
+            cross_edges += 1;
+            comm_paid += e.cost;
+        }
+    }
+    let utilization = if makespan == 0 || used.is_empty() {
+        1.0
+    } else {
+        total_busy as f64 / (used.len() as u64 * makespan) as f64
+    };
+    ScheduleReport {
+        makespan,
+        procs_used: used.len(),
+        total_busy,
+        total_idle,
+        utilization,
+        cross_edges,
+        comm_paid,
+        comm_zeroed,
+    }
+}
+
+/// Idle windows of one processor within `[0, makespan)`.
+pub fn idle_windows(s: &Schedule, p: ProcId) -> Vec<(u64, u64)> {
+    s.timeline(p).holes(s.makespan())
+}
+
+impl std::fmt::Display for ScheduleReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "makespan     {}", self.makespan)?;
+        writeln!(f, "procs used   {}", self.procs_used)?;
+        writeln!(f, "utilization  {:.1}%", self.utilization * 100.0)?;
+        writeln!(f, "busy / idle  {} / {}", self.total_busy, self.total_idle)?;
+        writeln!(
+            f,
+            "comm         {} paid over {} cross edges, {} zeroed by colocation",
+            self.comm_paid, self.cross_edges, self.comm_zeroed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_graph::{GraphBuilder, TaskId};
+
+    fn fixture() -> (TaskGraph, Schedule) {
+        // a(4) →(6) b(2); c(3) independent.
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(4);
+        let b = gb.add_task(2);
+        let c = gb.add_task(3);
+        gb.add_edge(a, b, 6).unwrap();
+        let g = gb.build().unwrap();
+        let mut s = Schedule::new(3, 2);
+        s.place(a, ProcId(0), 0, 4).unwrap();
+        s.place(b, ProcId(1), 10, 2).unwrap();
+        s.place(c, ProcId(0), 4, 3).unwrap();
+        (g, s)
+    }
+
+    #[test]
+    fn report_hand_checked() {
+        let (g, s) = fixture();
+        let r = report(&g, &s);
+        assert_eq!(r.makespan, 12);
+        assert_eq!(r.procs_used, 2);
+        assert_eq!(r.total_busy, 9);
+        assert_eq!(r.total_idle, 2 * 12 - 9);
+        assert_eq!(r.cross_edges, 1);
+        assert_eq!(r.comm_paid, 6);
+        assert_eq!(r.comm_zeroed, 0);
+        assert!((r.utilization - 9.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colocated_schedule_zeroes_comm() {
+        let (g, _) = fixture();
+        let mut s = Schedule::new(3, 2);
+        s.place(TaskId(0), ProcId(0), 0, 4).unwrap();
+        s.place(TaskId(1), ProcId(0), 4, 2).unwrap();
+        s.place(TaskId(2), ProcId(1), 0, 3).unwrap();
+        let r = report(&g, &s);
+        assert_eq!(r.comm_paid, 0);
+        assert_eq!(r.comm_zeroed, 6);
+        assert_eq!(r.cross_edges, 0);
+    }
+
+    #[test]
+    fn idle_windows_of_the_waiting_proc() {
+        let (_, s) = fixture();
+        assert_eq!(idle_windows(&s, ProcId(1)), vec![(0, 10)]);
+        assert_eq!(idle_windows(&s, ProcId(0)), vec![(7, 12)]);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let (g, s) = fixture();
+        let text = report(&g, &s).to_string();
+        assert!(text.contains("makespan     12"));
+        assert!(text.contains("utilization"));
+    }
+}

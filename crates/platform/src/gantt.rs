@@ -1,0 +1,134 @@
+//! Text rendering of schedules: per-processor listings and scaled bar charts.
+//!
+//! Used by the examples and the `taskbench gantt` CLI subcommand to let a
+//! human trace what an algorithm did — the stated purpose of the paper's
+//! Peer Set Graphs ("they can be used to trace the operation of an algorithm
+//! by examining the schedule produced", §5.1).
+
+use dagsched_graph::{TaskGraph, TaskId};
+
+use crate::schedule::Schedule;
+use crate::topology::ProcId;
+
+/// Compact per-processor listing:
+///
+/// ```text
+/// P0 | [0,4) n0 | [4,9) n2 | [12,14) n4
+/// P1 | [6,9) n1
+/// makespan = 14
+/// ```
+pub fn listing(s: &Schedule, g: &TaskGraph) -> String {
+    let mut out = String::new();
+    for p in 0..s.num_procs() as u32 {
+        let p = ProcId(p);
+        let tl = s.timeline(p);
+        if tl.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("{p}"));
+        for slot in tl.slots() {
+            let label = display_label(g, slot.tag);
+            out.push_str(&format!(" | [{},{}) {}", slot.start, slot.finish, label));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("makespan = {}\n", s.makespan()));
+    out
+}
+
+/// Scaled ASCII bar chart, `width` characters across the makespan:
+///
+/// ```text
+/// P0 |000022222...44|
+/// P1 |......111.....|
+/// ```
+///
+/// Each task paints its id's last digit; idle time paints `.`. Degenerate
+/// for very large graphs — intended for peer-set-sized examples.
+pub fn bars(s: &Schedule, width: usize) -> String {
+    let span = s.makespan().max(1);
+    let width = width.max(10);
+    let mut out = String::new();
+    for p in 0..s.num_procs() as u32 {
+        let p = ProcId(p);
+        let tl = s.timeline(p);
+        if tl.is_empty() {
+            continue;
+        }
+        let mut row = vec!['.'; width];
+        for slot in tl.slots() {
+            let a = (slot.start as u128 * width as u128 / span as u128) as usize;
+            let b = ((slot.finish as u128 * width as u128).div_ceil(span as u128) as usize)
+                .min(width);
+            let ch = char::from_digit(slot.tag.0 % 10, 10).unwrap();
+            for cell in &mut row[a..b.max(a + 1).min(width)] {
+                *cell = ch;
+            }
+        }
+        out.push_str(&format!("{p:>4} |{}|\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!("time 0..{span}, one column ≈ {:.1}\n", span as f64 / width as f64));
+    out
+}
+
+fn display_label(g: &TaskGraph, n: TaskId) -> String {
+    if g.label(n).is_empty() {
+        n.to_string()
+    } else {
+        format!("{}:{}", n, g.label(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_graph::GraphBuilder;
+
+    fn demo() -> (TaskGraph, Schedule) {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_task(4);
+        let n1 = b.add_labeled_task(3, "mid");
+        let n2 = b.add_task(2);
+        b.add_edge(n0, n1, 2).unwrap();
+        b.add_edge(n1, n2, 2).unwrap();
+        let g = b.build().unwrap();
+        let mut s = Schedule::new(3, 2);
+        s.place(TaskId(0), ProcId(0), 0, 4).unwrap();
+        s.place(TaskId(1), ProcId(1), 6, 3).unwrap();
+        s.place(TaskId(2), ProcId(0), 11, 2).unwrap();
+        (g, s)
+    }
+
+    #[test]
+    fn listing_shows_all_tasks_and_makespan() {
+        let (g, s) = demo();
+        let text = listing(&s, &g);
+        assert!(text.contains("P0 | [0,4) n0 | [11,13) n2"));
+        assert!(text.contains("P1 | [6,9) n1:mid"));
+        assert!(text.contains("makespan = 13"));
+    }
+
+    #[test]
+    fn bars_have_one_row_per_used_proc() {
+        let (_, s) = demo();
+        let text = bars(&s, 26);
+        let rows: Vec<&str> = text.lines().collect();
+        assert_eq!(rows.len(), 3); // P0, P1, legend
+        assert!(rows[0].contains('0'));
+        assert!(rows[1].contains('1'));
+    }
+
+    #[test]
+    fn bars_handles_empty_schedule() {
+        let s = Schedule::new(1, 1);
+        let text = bars(&s, 20);
+        assert!(text.contains("time 0..1"));
+    }
+
+    #[test]
+    fn listing_skips_idle_procs() {
+        let (g, s) = demo();
+        let text = listing(&s, &g);
+        assert!(!text.contains("P2"), "no third processor was used");
+    }
+}

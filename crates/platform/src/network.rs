@@ -1,0 +1,346 @@
+//! [`Network`]: mutable link-schedule state for APN message scheduling.
+//!
+//! APN algorithms must decide *when each message crosses each link*. The
+//! model (shared by the MH and BSA publications) is store-and-forward with
+//! constant message size:
+//!
+//! * a message for edge `u → v` with cost `c` becomes available when `u`
+//!   finishes;
+//! * it traverses the links of a route one at a time, occupying each link
+//!   for exactly `c` time units;
+//! * a link carries at most one message at a time (undirected contention);
+//! * hop `k+1` cannot start before hop `k` finished, but may wait in a
+//!   buffer indefinitely (no buffer limits);
+//! * messages may be inserted into idle windows between already-scheduled
+//!   transmissions (insertion policy, matching the task-side `Track`).
+//!
+//! `Network` supports the *probe/commit* pattern every APN heuristic needs:
+//! [`Network::probe_arrival`] answers "when would the data get there?"
+//! without mutating anything, and [`Network::commit`] performs the identical
+//! computation while reserving link time. BSA additionally removes and
+//! re-commits messages when it migrates tasks.
+
+use dagsched_graph::TaskId;
+use std::collections::HashMap;
+
+use crate::timeline::Track;
+use crate::topology::{LinkId, ProcId, Topology};
+
+/// Identifier of a committed message within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId(pub u32);
+
+/// One link traversal of a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageHop {
+    pub link: LinkId,
+    pub start: u64,
+    pub finish: u64,
+}
+
+/// A committed message: the data of edge `src_task → dst_task` travelling
+/// from processor `from` to processor `to`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    pub src_task: TaskId,
+    pub dst_task: TaskId,
+    pub from: ProcId,
+    pub to: ProcId,
+    /// Link traversals in order; empty iff `from == to` or the edge cost is 0.
+    pub hops: Vec<MessageHop>,
+    /// When the message became available at `from` (producer finish time).
+    pub ready: u64,
+    /// When the message is fully received at `to`.
+    pub arrival: u64,
+}
+
+/// Link-occupancy state of one machine during APN scheduling.
+#[derive(Debug, Clone)]
+pub struct Network {
+    topo: Topology,
+    tracks: Vec<Track<MsgId>>,
+    messages: Vec<Option<Message>>,
+    by_edge: HashMap<(TaskId, TaskId), MsgId>,
+}
+
+impl Network {
+    /// Fresh, idle network over `topo`.
+    pub fn new(topo: Topology) -> Network {
+        let links = topo.num_links();
+        Network {
+            topo,
+            tracks: vec![Track::new(); links],
+            messages: Vec::new(),
+            by_edge: HashMap::new(),
+        }
+    }
+
+    /// The underlying interconnect.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The occupancy track of one link.
+    pub fn link_track(&self, l: LinkId) -> &Track<MsgId> {
+        &self.tracks[l.index()]
+    }
+
+    /// All committed (live) messages.
+    pub fn messages(&self) -> impl Iterator<Item = &Message> {
+        self.messages.iter().flatten()
+    }
+
+    /// The live message carrying edge `src → dst`, if committed.
+    pub fn message_for(&self, src: TaskId, dst: TaskId) -> Option<&Message> {
+        let id = self.by_edge.get(&(src, dst))?;
+        self.messages[id.0 as usize].as_ref()
+    }
+
+    /// Earliest arrival at `to` of a message of size `size` that becomes
+    /// available on `from` at `ready`, along the deterministic shortest
+    /// route, **without** reserving anything.
+    ///
+    /// `from == to` or `size == 0` ⇒ arrival = `ready` (local data).
+    pub fn probe_arrival(&self, from: ProcId, to: ProcId, ready: u64, size: u64) -> u64 {
+        self.walk_route(from, to, ready, size, |_, _, _| {}).1
+    }
+
+    /// Reserve the route and record the message. Returns the id and arrival.
+    ///
+    /// Any previously committed message for the same `(src_task, dst_task)`
+    /// edge is removed first (re-commit semantics for migration algorithms).
+    pub fn commit(
+        &mut self,
+        src_task: TaskId,
+        dst_task: TaskId,
+        from: ProcId,
+        to: ProcId,
+        ready: u64,
+        size: u64,
+    ) -> (MsgId, u64) {
+        self.remove_edge(src_task, dst_task);
+        let id = MsgId(self.messages.len() as u32);
+        let mut hops = Vec::new();
+        let (_, arrival) = self.walk_route_mut(from, to, ready, size, |link, s, f| {
+            hops.push(MessageHop { link, start: s, finish: f });
+        });
+        for hop in &hops {
+            self.tracks[hop.link.index()]
+                .insert(hop.start, hop.finish, id)
+                .expect("probe found a free slot; commit must succeed");
+        }
+        self.messages.push(Some(Message {
+            src_task,
+            dst_task,
+            from,
+            to,
+            hops,
+            ready,
+            arrival,
+        }));
+        self.by_edge.insert((src_task, dst_task), id);
+        (id, arrival)
+    }
+
+    /// Remove a committed message, freeing its link time.
+    pub fn remove(&mut self, id: MsgId) -> Option<Message> {
+        let msg = self.messages[id.0 as usize].take()?;
+        for hop in &msg.hops {
+            self.tracks[hop.link.index()].remove(id);
+        }
+        if self.by_edge.get(&(msg.src_task, msg.dst_task)) == Some(&id) {
+            self.by_edge.remove(&(msg.src_task, msg.dst_task));
+        }
+        Some(msg)
+    }
+
+    /// Remove the message (if any) carrying edge `src → dst`.
+    pub fn remove_edge(&mut self, src: TaskId, dst: TaskId) -> Option<Message> {
+        let id = *self.by_edge.get(&(src, dst))?;
+        self.remove(id)
+    }
+
+    /// Remove every message entering or leaving `task` (BSA migration).
+    pub fn remove_task_messages(&mut self, task: TaskId) {
+        let ids: Vec<MsgId> = self
+            .messages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| {
+                m.as_ref()
+                    .filter(|m| m.src_task == task || m.dst_task == task)
+                    .map(|_| MsgId(i as u32))
+            })
+            .collect();
+        for id in ids {
+            self.remove(id);
+        }
+    }
+
+    /// Drop all messages and link reservations.
+    pub fn clear(&mut self) {
+        for t in &mut self.tracks {
+            t.clear();
+        }
+        self.messages.clear();
+        self.by_edge.clear();
+    }
+
+    /// Total time-units of link occupation (diagnostic).
+    pub fn total_link_busy(&self) -> u64 {
+        self.tracks.iter().map(|t| t.busy_time()).sum()
+    }
+
+    /// Shared probe/commit walk. Calls `visit(link, start, finish)` per hop
+    /// and returns `(hop_count, arrival)`.
+    fn walk_route(
+        &self,
+        from: ProcId,
+        to: ProcId,
+        ready: u64,
+        size: u64,
+        mut visit: impl FnMut(LinkId, u64, u64),
+    ) -> (usize, u64) {
+        if from == to || size == 0 {
+            return (0, ready);
+        }
+        let route = self.topo.route(from, to);
+        let mut t = ready;
+        for &link in &route {
+            let s = self.tracks[link.index()].earliest_fit(t, size);
+            let f = s + size;
+            visit(link, s, f);
+            t = f;
+        }
+        (route.len(), t)
+    }
+
+    /// `walk_route` needs only `&self`; this wrapper exists so `commit` can
+    /// borrow immutably for the walk before mutating the tracks.
+    fn walk_route_mut(
+        &mut self,
+        from: ProcId,
+        to: ProcId,
+        ready: u64,
+        size: u64,
+        visit: impl FnMut(LinkId, u64, u64),
+    ) -> (usize, u64) {
+        self.walk_route(from, to, ready, size, visit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain3() -> Network {
+        Network::new(Topology::chain(3).unwrap())
+    }
+
+    #[test]
+    fn local_data_arrives_immediately() {
+        let net = chain3();
+        assert_eq!(net.probe_arrival(ProcId(1), ProcId(1), 42, 10), 42);
+        assert_eq!(net.probe_arrival(ProcId(0), ProcId(2), 42, 0), 42);
+    }
+
+    #[test]
+    fn empty_network_arrival_is_hops_times_size() {
+        let net = chain3();
+        // P0 → P2 crosses two links, 10 units each.
+        assert_eq!(net.probe_arrival(ProcId(0), ProcId(2), 5, 10), 25);
+    }
+
+    #[test]
+    fn probe_equals_commit() {
+        let mut net = chain3();
+        let probed = net.probe_arrival(ProcId(0), ProcId(2), 0, 7);
+        let (_, arrival) = net.commit(TaskId(0), TaskId(1), ProcId(0), ProcId(2), 0, 7);
+        assert_eq!(probed, arrival);
+        assert_eq!(arrival, 14);
+        let msg = net.message_for(TaskId(0), TaskId(1)).unwrap();
+        assert_eq!(msg.hops.len(), 2);
+        assert_eq!(msg.hops[0].start, 0);
+        assert_eq!(msg.hops[1].start, 7);
+    }
+
+    #[test]
+    fn contention_delays_second_message() {
+        let mut net = chain3();
+        net.commit(TaskId(0), TaskId(1), ProcId(0), ProcId(1), 0, 10);
+        // Second message wants the same P0–P1 link at t=0 → waits until 10.
+        let arrival = net.probe_arrival(ProcId(0), ProcId(1), 0, 10);
+        assert_eq!(arrival, 20);
+    }
+
+    #[test]
+    fn insertion_uses_link_holes() {
+        let mut net = chain3();
+        // Occupy the P0–P1 link at [20, 30) only.
+        net.commit(TaskId(0), TaskId(1), ProcId(0), ProcId(1), 20, 10);
+        // A 5-unit message ready at 0 fits in the hole before it.
+        assert_eq!(net.probe_arrival(ProcId(0), ProcId(1), 0, 5), 5);
+        // A 25-unit message does not; it goes after.
+        assert_eq!(net.probe_arrival(ProcId(0), ProcId(1), 0, 25), 55);
+    }
+
+    #[test]
+    fn remove_frees_link_time() {
+        let mut net = chain3();
+        let (id, _) = net.commit(TaskId(0), TaskId(1), ProcId(0), ProcId(1), 0, 10);
+        assert_eq!(net.probe_arrival(ProcId(0), ProcId(1), 0, 10), 20);
+        let msg = net.remove(id).unwrap();
+        assert_eq!(msg.src_task, TaskId(0));
+        assert_eq!(net.probe_arrival(ProcId(0), ProcId(1), 0, 10), 10);
+        assert!(net.message_for(TaskId(0), TaskId(1)).is_none());
+    }
+
+    #[test]
+    fn recommit_replaces_previous_message() {
+        let mut net = chain3();
+        net.commit(TaskId(0), TaskId(1), ProcId(0), ProcId(1), 0, 10);
+        net.commit(TaskId(0), TaskId(1), ProcId(0), ProcId(2), 0, 10);
+        let msg = net.message_for(TaskId(0), TaskId(1)).unwrap();
+        assert_eq!(msg.to, ProcId(2));
+        // Old reservation must be gone: the P0–P1 link is free at [0,10)
+        // only for the new message itself, which occupies [0,10) there.
+        assert_eq!(net.messages().count(), 1);
+    }
+
+    #[test]
+    fn remove_task_messages_clears_all_incident() {
+        let mut net = chain3();
+        net.commit(TaskId(0), TaskId(5), ProcId(0), ProcId(1), 0, 5);
+        net.commit(TaskId(5), TaskId(2), ProcId(1), ProcId(2), 5, 5);
+        net.commit(TaskId(3), TaskId(4), ProcId(0), ProcId(1), 10, 5);
+        net.remove_task_messages(TaskId(5));
+        assert_eq!(net.messages().count(), 1);
+        assert!(net.message_for(TaskId(3), TaskId(4)).is_some());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut net = chain3();
+        net.commit(TaskId(0), TaskId(1), ProcId(0), ProcId(2), 0, 5);
+        net.clear();
+        assert_eq!(net.messages().count(), 0);
+        assert_eq!(net.total_link_busy(), 0);
+        assert_eq!(net.probe_arrival(ProcId(0), ProcId(2), 0, 5), 10);
+    }
+
+    #[test]
+    fn hops_are_sequential_store_and_forward() {
+        let mut net = Network::new(Topology::chain(5).unwrap());
+        let (_, arrival) = net.commit(TaskId(0), TaskId(1), ProcId(0), ProcId(4), 3, 6);
+        let msg = net.message_for(TaskId(0), TaskId(1)).unwrap();
+        assert_eq!(msg.hops.len(), 4);
+        let mut prev = 3;
+        for hop in &msg.hops {
+            assert!(hop.start >= prev);
+            assert_eq!(hop.finish, hop.start + 6);
+            prev = hop.finish;
+        }
+        assert_eq!(arrival, prev);
+        assert_eq!(arrival, 3 + 4 * 6);
+    }
+}

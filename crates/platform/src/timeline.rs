@@ -1,0 +1,234 @@
+//! [`Track`]: non-overlapping occupancy intervals with earliest-slot queries.
+//!
+//! A `Track<T>` models one serially-reusable resource — a processor executing
+//! tasks, or a communication link carrying messages. Intervals are half-open
+//! `[start, finish)`; two intervals may touch but never overlap.
+//!
+//! The two slot-search policies of §3 of the paper are both provided:
+//!
+//! * **non-insertion** ([`Track::earliest_append`]) — a new occupation may
+//!   only go after everything already on the track;
+//! * **insertion** ([`Track::earliest_fit`]) — a new occupation may also fill
+//!   an idle *hole* between existing occupations, the technique that ISH and
+//!   MCP exploit ("insertion is better than non-insertion", §7).
+
+/// One occupancy interval on a track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot<T> {
+    pub start: u64,
+    pub finish: u64,
+    pub tag: T,
+}
+
+/// A sorted, non-overlapping set of `[start, finish)` occupancy intervals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Track<T> {
+    slots: Vec<Slot<T>>, // sorted by start
+}
+
+impl<T: Copy + PartialEq> Track<T> {
+    /// An empty track.
+    pub fn new() -> Self {
+        Track { slots: Vec::new() }
+    }
+
+    /// Number of occupations.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether nothing is scheduled on this track.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// All occupations, sorted by start time.
+    pub fn slots(&self) -> &[Slot<T>] {
+        &self.slots
+    }
+
+    /// Finish time of the last occupation (0 when empty).
+    pub fn ready_time(&self) -> u64 {
+        self.slots.last().map(|s| s.finish).unwrap_or(0)
+    }
+
+    /// Total busy time.
+    pub fn busy_time(&self) -> u64 {
+        self.slots.iter().map(|s| s.finish - s.start).sum()
+    }
+
+    /// Earliest start `≥ earliest` under the **non-insertion** policy:
+    /// `max(earliest, ready_time)`.
+    pub fn earliest_append(&self, earliest: u64) -> u64 {
+        earliest.max(self.ready_time())
+    }
+
+    /// Earliest start `≥ earliest` of a `duration`-long interval under the
+    /// **insertion** policy: the first idle hole (or the tail) that fits.
+    ///
+    /// `duration == 0` is permitted and returns the earliest idle instant.
+    pub fn earliest_fit(&self, earliest: u64, duration: u64) -> u64 {
+        let mut candidate = earliest;
+        for s in &self.slots {
+            if s.start >= candidate && s.start - candidate >= duration {
+                return candidate; // fits in the hole before `s`
+            }
+            if s.finish > candidate {
+                candidate = s.finish;
+            }
+        }
+        candidate
+    }
+
+    /// Insert an occupation; fails when it would overlap an existing one.
+    ///
+    /// The error carries no payload on purpose: the only failure mode is
+    /// "overlap", and every caller either bubbles it into its own error
+    /// type ([`crate::PlaceError::Overlap`]) or treats it as a logic bug.
+    #[allow(clippy::result_unit_err)]
+    pub fn insert(&mut self, start: u64, finish: u64, tag: T) -> Result<(), ()> {
+        debug_assert!(start <= finish, "interval must be well-formed");
+        let idx = self.slots.partition_point(|s| s.start < start);
+        // Must not overlap predecessor (finish > start) or successor.
+        if idx > 0 && self.slots[idx - 1].finish > start {
+            return Err(());
+        }
+        if idx < self.slots.len() && self.slots[idx].start < finish {
+            return Err(());
+        }
+        self.slots.insert(idx, Slot { start, finish, tag });
+        Ok(())
+    }
+
+    /// Remove the occupation tagged `tag`; returns its interval if present.
+    pub fn remove(&mut self, tag: T) -> Option<(u64, u64)> {
+        let idx = self.slots.iter().position(|s| s.tag == tag)?;
+        let s = self.slots.remove(idx);
+        Some((s.start, s.finish))
+    }
+
+    /// The occupation covering time `t`, if any.
+    pub fn at(&self, t: u64) -> Option<&Slot<T>> {
+        let idx = self.slots.partition_point(|s| s.start <= t);
+        idx.checked_sub(1).map(|i| &self.slots[i]).filter(|s| s.finish > t)
+    }
+
+    /// Idle holes between occupations within `[0, horizon)`.
+    pub fn holes(&self, horizon: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cur = 0u64;
+        for s in &self.slots {
+            if s.start > cur {
+                out.push((cur, s.start));
+            }
+            cur = cur.max(s.finish);
+        }
+        if horizon > cur {
+            out.push((cur, horizon));
+        }
+        out
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn track_with(slots: &[(u64, u64)]) -> Track<u32> {
+        let mut t = Track::new();
+        for (i, &(s, f)) in slots.iter().enumerate() {
+            t.insert(s, f, i as u32).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn append_policy_ignores_holes() {
+        let t = track_with(&[(0, 5), (10, 15)]);
+        assert_eq!(t.earliest_append(0), 15);
+        assert_eq!(t.earliest_append(20), 20);
+    }
+
+    #[test]
+    fn insertion_policy_finds_first_hole() {
+        let t = track_with(&[(0, 5), (10, 15)]);
+        assert_eq!(t.earliest_fit(0, 5), 5); // hole [5,10) fits exactly
+        assert_eq!(t.earliest_fit(0, 6), 15); // too big → tail
+        assert_eq!(t.earliest_fit(6, 4), 6); // partial hole from 6
+        assert_eq!(t.earliest_fit(6, 5), 15);
+    }
+
+    #[test]
+    fn insertion_respects_earliest_bound() {
+        let t = track_with(&[(10, 20)]);
+        assert_eq!(t.earliest_fit(0, 10), 0);
+        assert_eq!(t.earliest_fit(5, 10), 20); // [5,15) collides
+        assert_eq!(t.earliest_fit(25, 1), 25);
+    }
+
+    #[test]
+    fn zero_duration_fits_at_boundaries() {
+        let t = track_with(&[(0, 5)]);
+        // A zero-length interval overlaps nothing: it fits at the very start
+        // boundary, and otherwise at the first instant not inside a slot.
+        assert_eq!(t.earliest_fit(0, 0), 0);
+        assert_eq!(t.earliest_fit(3, 0), 5);
+        assert_eq!(t.earliest_fit(7, 0), 7);
+    }
+
+    #[test]
+    fn insert_rejects_overlap() {
+        let mut t = track_with(&[(5, 10)]);
+        assert!(t.insert(9, 12, 99).is_err());
+        assert!(t.insert(0, 6, 99).is_err());
+        assert!(t.insert(6, 9, 99).is_err()); // nested
+        assert!(t.insert(0, 5, 99).is_ok()); // touching is fine
+        assert!(t.insert(10, 12, 98).is_ok());
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let mut t = Track::new();
+        t.insert(20, 25, 1u32).unwrap();
+        t.insert(0, 5, 2).unwrap();
+        t.insert(10, 15, 3).unwrap();
+        let starts: Vec<u64> = t.slots().iter().map(|s| s.start).collect();
+        assert_eq!(starts, vec![0, 10, 20]);
+        assert_eq!(t.ready_time(), 25);
+    }
+
+    #[test]
+    fn remove_frees_the_slot() {
+        let mut t = track_with(&[(0, 5), (5, 10)]);
+        assert_eq!(t.remove(0), Some((0, 5)));
+        assert_eq!(t.remove(0), None);
+        assert!(t.insert(0, 5, 7).is_ok());
+    }
+
+    #[test]
+    fn at_finds_covering_slot() {
+        let t = track_with(&[(0, 5), (10, 15)]);
+        assert_eq!(t.at(3).map(|s| s.tag), Some(0));
+        assert_eq!(t.at(5), None);
+        assert_eq!(t.at(10).map(|s| s.tag), Some(1));
+        assert_eq!(t.at(99), None);
+    }
+
+    #[test]
+    fn holes_enumeration() {
+        let t = track_with(&[(2, 5), (8, 10)]);
+        assert_eq!(t.holes(12), vec![(0, 2), (5, 8), (10, 12)]);
+        assert_eq!(t.holes(10), vec![(0, 2), (5, 8)]);
+    }
+
+    #[test]
+    fn busy_time_sums_intervals() {
+        let t = track_with(&[(2, 5), (8, 10)]);
+        assert_eq!(t.busy_time(), 5);
+    }
+}

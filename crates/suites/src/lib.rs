@@ -1,0 +1,37 @@
+//! # dagsched-suites — the five benchmark task-graph families
+//!
+//! §5 of Kwok & Ahmad (IPPS 1998) proposes a benchmark suite of five graph
+//! families, "diverse without being biased towards a particular scheduling
+//! technique", each implemented here as a deterministic, seeded generator:
+//!
+//! * [`psg`] — **Peer Set Graphs**: small example graphs in the style of the
+//!   classic scheduling literature, used to trace algorithm behaviour.
+//! * [`rgbos`] — **Random Graphs with Branch-and-bound Optimal Solutions**:
+//!   10–32-node random graphs small enough for the `dagsched-optimal`
+//!   solver, at CCR ∈ {0.1, 1.0, 10.0}.
+//! * [`rgpos`] — **Random Graphs with Pre-determined Optimal Schedules**:
+//!   graphs *derived from* a randomly packed zero-idle schedule, so the
+//!   optimal length on `p` processors is known by construction; 50–500
+//!   nodes.
+//! * [`rgnos`] — **Random Graphs with No known Optimal Solutions**: the
+//!   250-graph sweep over size × CCR × parallelism (graph width) used for
+//!   the NSL and processor-count figures.
+//! * [`traced`] — **Traced Graphs**: task graphs of real numerical programs;
+//!   the paper uses Cholesky factorization. Extra families (Gaussian
+//!   elimination, FFT butterflies, Laplace stencils, trees, fork-joins)
+//!   are included for tests and ablations.
+//!
+//! Every generator is a pure function of its parameter struct (including the
+//! seed), so EXPERIMENTS.md is exactly reproducible.
+
+pub mod psg;
+pub mod rgbos;
+pub mod rgnos;
+pub mod rgpos;
+pub mod rng;
+pub mod shapes;
+pub mod traced;
+
+pub use rgbos::RgbosParams;
+pub use rgnos::RgnosParams;
+pub use rgpos::{RgposInstance, RgposParams};

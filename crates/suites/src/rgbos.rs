@@ -1,0 +1,175 @@
+//! RGBOS — random graphs small enough for provably optimal solutions (§5.2).
+//!
+//! The paper's recipe:
+//!
+//! * node costs uniform `[2, 78]` (mean 40);
+//! * "beginning with the first node, a random number indicating the number
+//!   of children was chosen from a uniform distribution with the mean equal
+//!   to v/10" — children always point to higher-indexed nodes, which makes
+//!   the graph acyclic by construction;
+//! * edge costs uniform with mean `40 · CCR`;
+//! * three CCR sub-suites (0.1, 1.0, 10.0), sizes 10, 12, …, 32.
+//!
+//! Optimal reference lengths come from `dagsched-optimal`, mirroring the
+//! paper's branch-and-bound step.
+
+use dagsched_graph::{GraphBuilder, TaskGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rng::{child_count, choose_distinct, node_cost, uniform_mean};
+
+/// Parameters of one RGBOS instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RgbosParams {
+    /// Number of tasks `v` (paper: 10–32).
+    pub nodes: usize,
+    /// Target communication-to-computation ratio.
+    pub ccr: f64,
+    /// RNG seed; same parameters + same seed ⇒ identical graph.
+    pub seed: u64,
+}
+
+/// The CCR values of the published suite.
+pub const CCRS: [f64; 3] = [0.1, 1.0, 10.0];
+
+/// The graph sizes of the published suite: 10, 12, …, 32.
+pub fn sizes() -> Vec<usize> {
+    (10..=32).step_by(2).collect()
+}
+
+/// Generate one RGBOS graph.
+pub fn generate(p: RgbosParams) -> TaskGraph {
+    assert!(p.nodes >= 2, "RGBOS graphs need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut b = GraphBuilder::named(format!(
+        "rgbos-v{}-ccr{}-s{}",
+        p.nodes, p.ccr, p.seed
+    ));
+    let ids: Vec<_> = (0..p.nodes).map(|_| b.add_task(node_cost(&mut rng))).collect();
+    let child_mean = p.nodes as f64 / 10.0;
+    let edge_mean = 40.0 * p.ccr;
+    for i in 0..p.nodes.saturating_sub(1) {
+        let want = child_count(&mut rng, child_mean).max(usize::from(i == 0));
+        let mut pool: Vec<usize> = (i + 1..p.nodes).collect();
+        let k = choose_distinct(&mut rng, &mut pool, want);
+        let mut chosen: Vec<usize> = pool[..k].to_vec();
+        chosen.sort_unstable(); // deterministic edge insertion order
+        for j in chosen {
+            b.add_edge(ids[i], ids[j], uniform_mean(&mut rng, edge_mean)).unwrap();
+        }
+    }
+    // Guarantee no task is fully isolated (every non-first node unreachable
+    // from anywhere gets a parent), keeping the instance a meaningful
+    // scheduling problem rather than independent tasks.
+    let have_parent: Vec<bool> = {
+        let mut v = vec![false; p.nodes];
+        for i in 0..p.nodes {
+            // builder doesn't expose adjacency; track via has_edge scan
+            for j in 0..i {
+                if b.has_edge(ids[j], ids[i]) {
+                    v[i] = true;
+                    break;
+                }
+            }
+        }
+        v
+    };
+    for i in 1..p.nodes {
+        if !have_parent[i] {
+            let parent = rng.random_range(0..i);
+            if !b.has_edge(ids[parent], ids[i]) {
+                b.add_edge(ids[parent], ids[i], uniform_mean(&mut rng, edge_mean)).unwrap();
+            }
+        }
+    }
+    b.build().expect("forward edges cannot form a cycle")
+}
+
+/// The full published suite: `sizes() × CCRS`, one graph per combination,
+/// seeds derived from `base_seed` deterministically.
+pub fn suite(base_seed: u64) -> Vec<TaskGraph> {
+    let mut out = Vec::new();
+    for (ci, &ccr) in CCRS.iter().enumerate() {
+        for (si, nodes) in sizes().into_iter().enumerate() {
+            let seed = base_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((ci * 100 + si) as u64);
+            out.push(generate(RgbosParams { nodes, ccr, seed }));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_graph::GraphStats;
+
+    #[test]
+    fn generates_requested_size() {
+        let g = generate(RgbosParams { nodes: 20, ccr: 1.0, seed: 1 });
+        assert_eq!(g.num_tasks(), 20);
+        assert!(g.num_edges() > 0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(RgbosParams { nodes: 24, ccr: 10.0, seed: 5 });
+        let b = generate(RgbosParams { nodes: 24, ccr: 10.0, seed: 5 });
+        assert_eq!(dagsched_graph::io::to_tgf(&a), dagsched_graph::io::to_tgf(&b));
+        let c = generate(RgbosParams { nodes: 24, ccr: 10.0, seed: 6 });
+        assert_ne!(dagsched_graph::io::to_tgf(&a), dagsched_graph::io::to_tgf(&c));
+    }
+
+    #[test]
+    fn ccr_tracks_target_order_of_magnitude() {
+        for &ccr in &CCRS {
+            // Average over several seeds: single instances are noisy.
+            let mut acc = 0.0;
+            let runs = 10;
+            for seed in 0..runs {
+                acc += generate(RgbosParams { nodes: 32, ccr, seed }).ccr();
+            }
+            let emp = acc / runs as f64;
+            assert!(
+                emp > ccr * 0.5 && emp < ccr * 2.0,
+                "target {ccr}, got {emp}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_non_first_node_has_a_parent() {
+        for seed in 0..5 {
+            let g = generate(RgbosParams { nodes: 16, ccr: 1.0, seed });
+            let orphans = g
+                .tasks()
+                .skip(1)
+                .filter(|&n| g.in_degree(n) == 0)
+                .count();
+            // node 0 is always an entry; all others got a parent injected
+            // unless they naturally had one.
+            assert_eq!(orphans, 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn suite_has_36_graphs_of_increasing_sizes() {
+        let s = suite(0xBEEF);
+        assert_eq!(s.len(), 36);
+        for g in &s {
+            let st = GraphStats::of(g);
+            assert!((10..=32).contains(&st.tasks));
+        }
+    }
+
+    #[test]
+    fn weights_in_paper_bounds() {
+        let g = generate(RgbosParams { nodes: 32, ccr: 1.0, seed: 9 });
+        for n in g.tasks() {
+            assert!((2..=78).contains(&g.weight(n)));
+        }
+    }
+}

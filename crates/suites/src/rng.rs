@@ -1,0 +1,131 @@
+//! Sampling helpers shared by the random-graph generators.
+//!
+//! The paper draws every quantity "from a uniform distribution with the mean
+//! equal to *m*" (§5.2). We realize that as the integer-uniform range
+//! `[1, 2m − 1]` (mean exactly `m`), except where the paper pins explicit
+//! bounds (node costs: `[2, 78]`, mean 40).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Uniform integer with the given mean: `U[1, 2·mean − 1]`, degenerate to 1
+/// when `mean ≤ 1`.
+pub fn uniform_mean(rng: &mut StdRng, mean: f64) -> u64 {
+    let hi = (2.0 * mean).round() as i64 - 1;
+    if hi <= 1 {
+        return 1;
+    }
+    rng.random_range(1..=hi as u64)
+}
+
+/// Uniform integer with the given mean, additionally clamped to `≤ cap`.
+/// Used by RGPOS cross-processor edge weights, which must fit in the slack
+/// `ST(dst) − FT(src)`.
+pub fn uniform_mean_capped(rng: &mut StdRng, mean: f64, cap: u64) -> u64 {
+    debug_assert!(cap >= 1);
+    let hi = ((2.0 * mean).round() as i64 - 1).max(1) as u64;
+    rng.random_range(1..=hi.min(cap))
+}
+
+/// The paper's node computation cost: uniform `[2, 78]`, mean 40.
+pub fn node_cost(rng: &mut StdRng) -> u64 {
+    rng.random_range(2..=78)
+}
+
+/// Non-negative child count with the given mean: `U[0, 2·mean]` rounded.
+pub fn child_count(rng: &mut StdRng, mean: f64) -> usize {
+    let hi = (2.0 * mean).round() as i64;
+    if hi <= 0 {
+        return 0;
+    }
+    rng.random_range(0..=hi as u64) as usize
+}
+
+/// Sample `k` distinct values from `pool` (Fisher–Yates prefix), in place.
+/// Returns the chosen prefix length (`min(k, pool.len())`).
+pub fn choose_distinct<T>(rng: &mut StdRng, pool: &mut [T], k: usize) -> usize {
+    let k = k.min(pool.len());
+    for i in 0..k {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_mean_stays_in_range_and_hits_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mean = 40.0;
+        let n = 20_000;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let x = uniform_mean(&mut rng, mean);
+            assert!((1..=79).contains(&x));
+            sum += x;
+        }
+        let emp = sum as f64 / n as f64;
+        assert!((emp - mean).abs() < 1.0, "empirical mean {emp}");
+    }
+
+    #[test]
+    fn uniform_mean_degenerates_to_one() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(uniform_mean(&mut rng, 0.3), 1);
+        assert_eq!(uniform_mean(&mut rng, 1.0), 1);
+    }
+
+    #[test]
+    fn capped_never_exceeds_cap() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(uniform_mean_capped(&mut rng, 400.0, 13) <= 13);
+        }
+    }
+
+    #[test]
+    fn node_cost_matches_paper_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut lo = u64::MAX;
+        let mut hi = 0;
+        for _ in 0..10_000 {
+            let x = node_cost(&mut rng);
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert_eq!(lo, 2);
+        assert_eq!(hi, 78);
+    }
+
+    #[test]
+    fn choose_distinct_prefix_is_distinct() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut pool: Vec<u32> = (0..50).collect();
+        let k = choose_distinct(&mut rng, &mut pool, 20);
+        assert_eq!(k, 20);
+        let mut prefix: Vec<u32> = pool[..k].to_vec();
+        prefix.sort_unstable();
+        prefix.dedup();
+        assert_eq!(prefix.len(), 20);
+    }
+
+    #[test]
+    fn choose_distinct_clamps_to_pool() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut pool: Vec<u32> = (0..3).collect();
+        assert_eq!(choose_distinct(&mut rng, &mut pool, 10), 3);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(uniform_mean(&mut a, 40.0), uniform_mean(&mut b, 40.0));
+        }
+    }
+}

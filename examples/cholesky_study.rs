@@ -1,0 +1,53 @@
+//! The paper's traced-graph workload: schedule Cholesky-factorization task
+//! graphs (§5.5 / Fig. 4) with all fifteen algorithms and compare classes.
+//!
+//! ```text
+//! cargo run --release --example cholesky_study [N]
+//! ```
+
+use taskbench::prelude::*;
+use taskbench::suites::traced;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let g = traced::cholesky(n, 1.0);
+    println!(
+        "Cholesky N={n}: {} tasks ({} cdiv + {} cmod), {} edges, CCR {:.2}\n",
+        g.num_tasks(),
+        n,
+        g.num_tasks() - n,
+        g.num_edges(),
+        g.ccr()
+    );
+
+    let mut table = Table::new(
+        format!("Cholesky N={n}: all fifteen algorithms"),
+        &["algorithm", "class", "makespan", "NSL", "procs", "speedup"],
+    );
+    let mut best: Option<(String, Schedule)> = None;
+    for algo in registry::all() {
+        let env = match algo.class() {
+            AlgoClass::Apn => Env::apn(Topology::hypercube(3).unwrap()),
+            _ => Env::bnp(g.num_tasks().min(32)),
+        };
+        let out = algo.schedule(&g, &env).unwrap();
+        out.validate(&g).unwrap();
+        let s = &out.schedule;
+        table.row(vec![
+            algo.name().to_string(),
+            algo.class().to_string(),
+            s.makespan().to_string(),
+            format!("{:.2}", nsl(&g, s)),
+            s.procs_used().to_string(),
+            format!("{:.2}", speedup(&g, s)),
+        ]);
+        if best.as_ref().is_none_or(|(_, bs)| s.makespan() < bs.makespan()) {
+            best = Some((algo.name().to_string(), s.clone()));
+        }
+    }
+    println!("{}", table.ascii());
+
+    let (name, schedule) = best.expect("ran at least one algorithm");
+    println!("best schedule ({name}):");
+    print!("{}", gantt::bars(&schedule.compact_procs(), 72));
+}

@@ -1,0 +1,228 @@
+//! `taskbench` — command-line front end.
+//!
+//! ```text
+//! taskbench gen  <family> [args…]        generate a graph, print TGF
+//! taskbench run  <ALGO> <file.tgf> [-p N] [--topology T] [--gantt]
+//! taskbench info <file.tgf>              structural statistics
+//! taskbench dot  <file.tgf>              Graphviz export
+//! taskbench list                         the fifteen algorithms
+//! ```
+//!
+//! Families for `gen`: `rgbos v ccr seed`, `rgnos v ccr par seed`,
+//! `rgpos v ccr seed`, `cholesky n ccr`, `gauss n ccr`, `fft m ccr`,
+//! `psg idx`. Topologies: `full:N`, `ring:N`, `chain:N`, `star:N`,
+//! `mesh:RxC`, `torus:RxC`, `hypercube:D`.
+
+use std::process::ExitCode;
+
+use taskbench::prelude::*;
+use taskbench::suites::{psg, rgbos, rgnos, rgpos, traced};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("taskbench: {msg}");
+            eprintln!("run `taskbench help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("list") => {
+            let mut text = String::new();
+            for algo in registry::all() {
+                text.push_str(&format!("{:8} {}\n", algo.name(), algo.class()));
+            }
+            emit(&text);
+            Ok(())
+        }
+        Some("help") | None => {
+            emit(HELP);
+            emit("\n");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Print to stdout, exiting quietly when the reader went away (e.g.
+/// `taskbench list | head -3`) instead of panicking on a broken pipe.
+fn emit(text: &str) {
+    use std::io::Write;
+    if std::io::stdout().lock().write_all(text.as_bytes()).is_err() {
+        std::process::exit(0);
+    }
+}
+
+const HELP: &str = "\
+taskbench — benchmarking task graph scheduling algorithms (Kwok & Ahmad, IPPS'98)
+
+  taskbench gen rgbos <v> <ccr> <seed>        random graph (optimal-solvable sizes)
+  taskbench gen rgnos <v> <ccr> <par> <seed>  random graph (size/CCR/width sweep)
+  taskbench gen rgpos <v> <ccr> <seed>        graph with known optimal schedule
+  taskbench gen cholesky <n> <ccr>            Cholesky factorization trace
+  taskbench gen gauss <n> <ccr>               Gaussian elimination trace
+  taskbench gen fft <m> <ccr>                 2^m-point FFT butterfly
+  taskbench gen psg <0..8>                    one of the nine peer set graphs
+  taskbench run <ALGO> <file.tgf> [-p N] [--topology T] [--gantt]
+  taskbench info <file.tgf>
+  taskbench dot <file.tgf>
+  taskbench list";
+
+fn parse<T: std::str::FromStr>(v: Option<&String>, what: &str) -> Result<T, String> {
+    v.ok_or_else(|| format!("missing {what}"))?
+        .parse()
+        .map_err(|_| format!("invalid {what}: `{}`", v.unwrap()))
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let family = args.first().map(String::as_str).ok_or("missing family")?;
+    let g = match family {
+        "rgbos" => rgbos::generate(rgbos::RgbosParams {
+            nodes: parse(args.get(1), "v")?,
+            ccr: parse(args.get(2), "ccr")?,
+            seed: parse(args.get(3), "seed")?,
+        }),
+        "rgnos" => rgnos::generate(rgnos::RgnosParams::new(
+            parse(args.get(1), "v")?,
+            parse(args.get(2), "ccr")?,
+            parse(args.get(3), "parallelism")?,
+            parse(args.get(4), "seed")?,
+        )),
+        "rgpos" => {
+            let inst = rgpos::generate(rgpos::RgposParams::new(
+                parse(args.get(1), "v")?,
+                parse(args.get(2), "ccr")?,
+                parse(args.get(3), "seed")?,
+            ));
+            eprintln!("# optimal length on {} procs: {}", inst.procs, inst.optimal);
+            inst.graph
+        }
+        "cholesky" => traced::cholesky(parse(args.get(1), "n")?, parse(args.get(2), "ccr")?),
+        "gauss" => {
+            traced::gaussian_elimination(parse(args.get(1), "n")?, parse(args.get(2), "ccr")?)
+        }
+        "fft" => traced::fft(parse(args.get(1), "m")?, parse(args.get(2), "ccr")?),
+        "psg" => {
+            let idx: usize = parse(args.get(1), "index")?;
+            psg::peer_set().into_iter().nth(idx).ok_or("psg index out of range (0..8)")?
+        }
+        other => return Err(format!("unknown family `{other}`")),
+    };
+    emit(&taskbench::graph::io::to_tgf(&g));
+    Ok(())
+}
+
+fn load(path: &str) -> Result<TaskGraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    taskbench::graph::io::from_tgf(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_topology(spec: &str) -> Result<Topology, String> {
+    let (kind, rest) = spec.split_once(':').ok_or("topology must look like kind:N")?;
+    let t = match kind {
+        "full" => Topology::fully_connected(rest.parse().map_err(|_| "bad N")?),
+        "ring" => Topology::ring(rest.parse().map_err(|_| "bad N")?),
+        "chain" => Topology::chain(rest.parse().map_err(|_| "bad N")?),
+        "star" => Topology::star(rest.parse().map_err(|_| "bad N")?),
+        "hypercube" => Topology::hypercube(rest.parse().map_err(|_| "bad D")?),
+        "mesh" => {
+            let (r, c) = rest.split_once('x').ok_or("mesh needs RxC")?;
+            Topology::mesh(
+                r.parse().map_err(|_| "bad rows")?,
+                c.parse().map_err(|_| "bad cols")?,
+            )
+        }
+        "torus" => {
+            let (r, c) = rest.split_once('x').ok_or("torus needs RxC")?;
+            Topology::torus(
+                r.parse().map_err(|_| "bad rows")?,
+                c.parse().map_err(|_| "bad cols")?,
+            )
+        }
+        other => return Err(format!("unknown topology `{other}`")),
+    };
+    t.map_err(|e| e.to_string())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let algo_name = args.first().ok_or("missing algorithm name")?;
+    let path = args.get(1).ok_or("missing graph file")?;
+    let algo = registry::by_name(algo_name)
+        .ok_or_else(|| format!("unknown algorithm `{algo_name}` (see `taskbench list`)"))?;
+    let g = load(path)?;
+
+    let mut procs: Option<usize> = None;
+    let mut topo: Option<Topology> = None;
+    let mut want_gantt = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-p" => {
+                procs = Some(parse(args.get(i + 1), "processor count")?);
+                i += 2;
+            }
+            "--topology" => {
+                topo = Some(parse_topology(args.get(i + 1).ok_or("missing topology")?)?);
+                i += 2;
+            }
+            "--gantt" => {
+                want_gantt = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let env = match (algo.class(), topo) {
+        (AlgoClass::Apn, Some(t)) => Env::apn(t),
+        (AlgoClass::Apn, None) => Env::apn(Topology::hypercube(3).expect("valid")),
+        (_, _) => Env::bnp(procs.unwrap_or_else(|| g.num_tasks().min(32))),
+    };
+    let out = algo.schedule(&g, &env).map_err(|e| e.to_string())?;
+    out.validate(&g).map_err(|e| format!("internal: invalid schedule: {e}"))?;
+    println!(
+        "{}  on {}: makespan {}  NSL {:.3}  procs used {}",
+        algo.name(),
+        g.name(),
+        out.schedule.makespan(),
+        nsl(&g, &out.schedule),
+        out.schedule.procs_used()
+    );
+    print!("{}", taskbench::platform::report(&g, &out.schedule.compact_procs()));
+    if want_gantt {
+        print!("{}", gantt::listing(&out.schedule, &g));
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let g = load(args.first().ok_or("missing graph file")?)?;
+    let s = taskbench::graph::GraphStats::of(&g);
+    println!("graph        {}", g.name());
+    println!("tasks        {}", s.tasks);
+    println!("edges        {}", s.edges);
+    println!("total work   {}", s.total_work);
+    println!("total comm   {}", s.total_comm);
+    println!("CCR          {:.3}", s.ccr);
+    println!("depth        {}", s.depth);
+    println!("level width  {}", s.level_width);
+    println!("CP length    {}", s.cp_length);
+    println!("CP work      {}", s.cp_computation);
+    println!("entries      {}", s.entries);
+    println!("exits        {}", s.exits);
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let g = load(args.first().ok_or("missing graph file")?)?;
+    emit(&taskbench::graph::io::to_dot(&g));
+    Ok(())
+}

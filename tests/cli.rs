@@ -1,0 +1,100 @@
+//! End-to-end tests of the `taskbench` command-line interface, driving the
+//! real binary through generate → inspect → schedule round trips.
+
+use std::process::Command;
+
+fn taskbench(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_taskbench"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_and_list() {
+    let (ok, stdout, _) = taskbench(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("taskbench gen rgbos"));
+
+    let (ok, stdout, _) = taskbench(&["list"]);
+    assert!(ok);
+    for name in ["HLFET", "MCP", "DCP", "BSA", "DLS-APN"] {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+    assert_eq!(stdout.lines().count(), 15);
+}
+
+#[test]
+fn gen_run_round_trip() {
+    let dir = std::env::temp_dir().join(format!("taskbench-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.tgf");
+
+    let (ok, tgf, _) = taskbench(&["gen", "rgnos", "40", "1.0", "2", "7"]);
+    assert!(ok);
+    assert!(tgf.contains("task 0"));
+    std::fs::write(&path, &tgf).unwrap();
+    let p = path.to_str().unwrap();
+
+    let (ok, stdout, _) = taskbench(&["info", p]);
+    assert!(ok);
+    assert!(stdout.contains("tasks        40"));
+
+    let (ok, stdout, _) = taskbench(&["run", "MCP", p, "-p", "4", "--gantt"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("makespan"));
+    assert!(stdout.contains("utilization"));
+    assert!(stdout.contains("P0 |"));
+
+    let (ok, stdout, _) = taskbench(&["run", "BSA", p, "--topology", "torus:3x3"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("BSA"));
+
+    let (ok, dot, _) = taskbench(&["dot", p]);
+    assert!(ok);
+    assert!(dot.starts_with("digraph"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gen_rgpos_reports_optimum_on_stderr() {
+    let (ok, tgf, stderr) = taskbench(&["gen", "rgpos", "24", "1.0", "3"]);
+    assert!(ok);
+    assert!(tgf.contains("edge"));
+    assert!(stderr.contains("optimal length on 8 procs"));
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let (ok, _, stderr) = taskbench(&["run", "NOPE", "/nonexistent.tgf"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown algorithm"));
+
+    let (ok, _, stderr) = taskbench(&["gen", "martian", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown family"));
+
+    let (ok, _, stderr) = taskbench(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown subcommand"));
+
+    let (ok, _, stderr) = taskbench(&["run", "BSA", "/nonexistent.tgf"]);
+    assert!(!ok);
+    assert!(stderr.contains("nonexistent"));
+}
+
+#[test]
+fn psg_indices_cover_the_set() {
+    let (ok, tgf, _) = taskbench(&["gen", "psg", "0"]);
+    assert!(ok);
+    assert!(tgf.contains("psg-classic-nine"));
+    let (ok, _, stderr) = taskbench(&["gen", "psg", "99"]);
+    assert!(!ok);
+    assert!(stderr.contains("out of range"));
+}

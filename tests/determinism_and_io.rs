@@ -1,0 +1,82 @@
+//! Reproducibility end to end: identical seeds must give byte-identical
+//! graphs and placement-identical schedules, and every suite graph must
+//! survive a TGF round trip.
+
+use taskbench::graph::io;
+use taskbench::prelude::*;
+use taskbench::suites::{psg, rgbos, rgnos, rgpos, traced};
+
+#[test]
+fn suites_are_deterministic_across_calls() {
+    let a = rgbos::suite(7);
+    let b = rgbos::suite(7);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(io::to_tgf(x), io::to_tgf(y));
+    }
+    let a = rgpos::generate(rgpos::RgposParams::new(60, 1.0, 9));
+    let b = rgpos::generate(rgpos::RgposParams::new(60, 1.0, 9));
+    assert_eq!(io::to_tgf(&a.graph), io::to_tgf(&b.graph));
+    assert_eq!(a.optimal, b.optimal);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = rgnos::generate(rgnos::RgnosParams::new(60, 1.0, 3, 1));
+    let b = rgnos::generate(rgnos::RgnosParams::new(60, 1.0, 3, 2));
+    assert_ne!(io::to_tgf(&a), io::to_tgf(&b));
+}
+
+#[test]
+fn schedules_are_deterministic_for_all_fifteen() {
+    let g = rgnos::generate(rgnos::RgnosParams::new(70, 1.0, 3, 5));
+    for algo in registry::all() {
+        let env = match algo.class() {
+            AlgoClass::Apn => Env::apn(Topology::hypercube(3).unwrap()),
+            _ => Env::bnp(8),
+        };
+        let a = algo.schedule(&g, &env).unwrap();
+        let b = algo.schedule(&g, &env).unwrap();
+        for n in g.tasks() {
+            assert_eq!(
+                a.schedule.placement(n),
+                b.schedule.placement(n),
+                "{} differs on {n}",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_suite_graph_round_trips_through_tgf() {
+    let mut graphs = psg::peer_set();
+    graphs.push(rgbos::generate(rgbos::RgbosParams { nodes: 20, ccr: 10.0, seed: 3 }));
+    graphs.push(rgnos::generate(rgnos::RgnosParams::new(90, 0.5, 4, 8)));
+    graphs.push(traced::cholesky(8, 1.0));
+    graphs.push(traced::fft(3, 0.1));
+    for g in graphs {
+        let text = io::to_tgf(&g);
+        let h = io::from_tgf(&text).unwrap_or_else(|e| panic!("{}: {e}", g.name()));
+        assert_eq!(io::to_tgf(&h), text, "{} not canonical", g.name());
+        // Schedules on the round-tripped graph are identical.
+        let mcp = registry::by_name("MCP").unwrap();
+        let a = mcp.schedule(&g, &Env::bnp(4)).unwrap();
+        let b = mcp.schedule(&h, &Env::bnp(4)).unwrap();
+        assert_eq!(a.schedule.makespan(), b.schedule.makespan());
+    }
+}
+
+#[test]
+fn rgnos_suite_covers_the_paper_parameter_grid() {
+    let suite = rgnos::suite(1);
+    assert_eq!(suite.len(), 250, "10 sizes × 5 CCRs × 5 parallelism values");
+    // All ten sizes appear 25 times each.
+    let mut counts = std::collections::HashMap::new();
+    for g in &suite {
+        *counts.entry(g.num_tasks()).or_insert(0u32) += 1;
+    }
+    for v in rgnos::sizes() {
+        assert_eq!(counts.get(&v), Some(&25), "size {v}");
+    }
+}

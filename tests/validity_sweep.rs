@@ -1,0 +1,117 @@
+//! The master invariant of the whole system: **every algorithm produces a
+//! valid schedule on every benchmark family**, under its own class's
+//! communication model, on a spread of machine shapes.
+
+use taskbench::prelude::*;
+use taskbench::suites::{psg, rgbos, rgnos, rgpos, shapes, traced};
+
+fn all_fixture_graphs() -> Vec<TaskGraph> {
+    let mut graphs = psg::peer_set();
+    graphs.push(rgbos::generate(rgbos::RgbosParams { nodes: 24, ccr: 1.0, seed: 1 }));
+    graphs.push(rgbos::generate(rgbos::RgbosParams { nodes: 32, ccr: 10.0, seed: 2 }));
+    graphs.push(rgnos::generate(rgnos::RgnosParams::new(80, 0.5, 2, 3)));
+    graphs.push(rgnos::generate(rgnos::RgnosParams::new(120, 10.0, 5, 4)));
+    graphs.push(rgpos::generate(rgpos::RgposParams::new(64, 1.0, 5)).graph);
+    graphs.push(traced::cholesky(10, 1.0));
+    graphs.push(traced::gaussian_elimination(8, 0.5));
+    graphs.push(traced::fft(4, 2.0));
+    graphs.push(traced::laplace(4, 3, 1.0));
+    graphs.push(shapes::diamond(7, 5, 9));
+    graphs.push(shapes::pipeline(5, 4, 3, 2));
+    graphs
+}
+
+#[test]
+fn bnp_and_unc_algorithms_valid_on_every_family() {
+    for g in all_fixture_graphs() {
+        for procs in [1usize, 2, 8] {
+            let env = Env::bnp(procs);
+            for algo in registry::bnp() {
+                let out = algo.schedule(&g, &env).unwrap();
+                out.validate(&g)
+                    .unwrap_or_else(|e| panic!("{} on {} (p={procs}): {e}", algo.name(), g.name()));
+            }
+        }
+        for algo in registry::unc() {
+            let out = algo.schedule(&g, &Env::bnp(1)).unwrap();
+            out.validate(&g)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", algo.name(), g.name()));
+        }
+    }
+}
+
+#[test]
+fn apn_algorithms_valid_on_every_family_and_topology() {
+    let topologies = [
+        Topology::chain(4).unwrap(),
+        Topology::ring(8).unwrap(),
+        Topology::mesh(2, 4).unwrap(),
+        Topology::hypercube(3).unwrap(),
+        Topology::star(5).unwrap(),
+        Topology::fully_connected(8).unwrap(),
+    ];
+    for g in all_fixture_graphs() {
+        if g.num_tasks() > 100 {
+            continue; // keep the APN sweep fast; big sizes covered elsewhere
+        }
+        for topo in &topologies {
+            for algo in registry::apn() {
+                let out = algo.schedule(&g, &Env::apn(topo.clone())).unwrap();
+                out.validate(&g).unwrap_or_else(|e| {
+                    panic!("{} on {} / {:?}: {e}", algo.name(), g.name(), topo.kind())
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn nsl_at_least_one_everywhere() {
+    for g in all_fixture_graphs() {
+        let env = Env::bnp(8);
+        for algo in registry::bnp().into_iter().chain(registry::unc()) {
+            let out = algo.schedule(&g, &env).unwrap();
+            let v = nsl(&g, &out.schedule);
+            assert!(v >= 1.0 - 1e-12, "{} on {}: NSL {v}", algo.name(), g.name());
+        }
+    }
+}
+
+#[test]
+fn single_processor_serializes_everything() {
+    for g in all_fixture_graphs().into_iter().take(6) {
+        for algo in registry::bnp() {
+            let out = algo.schedule(&g, &Env::bnp(1)).unwrap();
+            assert_eq!(
+                out.schedule.makespan(),
+                g.total_work(),
+                "{} on {}",
+                algo.name(),
+                g.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn bsa_never_exceeds_serial_time() {
+    // BSA starts from serial injection on the pivot and only accepts
+    // migrations that do not increase the makespan, so Σw is a hard upper
+    // bound for it on every topology. (Constructive algorithms like DCP or
+    // EZ carry no such guarantee: with CCR = 10 a forced cross-cluster
+    // message can exceed the serial time.)
+    let bsa = registry::by_name("BSA").unwrap();
+    for g in all_fixture_graphs() {
+        if g.num_tasks() > 100 {
+            continue;
+        }
+        for topo in [Topology::chain(4).unwrap(), Topology::hypercube(3).unwrap()] {
+            let out = bsa.schedule(&g, &Env::apn(topo)).unwrap();
+            assert!(
+                out.schedule.makespan() <= g.total_work(),
+                "BSA exceeded serial time on {}",
+                g.name()
+            );
+        }
+    }
+}
