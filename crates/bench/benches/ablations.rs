@@ -19,7 +19,14 @@ fn ablation_timing(c: &mut Criterion) {
     for (label, insertion) in [("insertion", true), ("append", false)] {
         let algo = Mcp { insertion };
         group.bench_with_input(BenchmarkId::from_parameter(label), &g, |b, g| {
-            b.iter(|| black_box(algo.schedule(black_box(g), &env).unwrap().schedule.makespan()))
+            b.iter(|| {
+                black_box(
+                    algo.schedule(black_box(g), &env)
+                        .unwrap()
+                        .schedule
+                        .makespan(),
+                )
+            })
         });
     }
     group.finish();
@@ -32,7 +39,14 @@ fn ablation_timing(c: &mut Criterion) {
     for (label, lookahead) in [("lookahead", true), ("greedy", false)] {
         let algo = Dcp { lookahead };
         group.bench_with_input(BenchmarkId::from_parameter(label), &g, |b, g| {
-            b.iter(|| black_box(algo.schedule(black_box(g), &env).unwrap().schedule.makespan()))
+            b.iter(|| {
+                black_box(
+                    algo.schedule(black_box(g), &env)
+                        .unwrap()
+                        .schedule
+                        .makespan(),
+                )
+            })
         });
     }
     group.finish();

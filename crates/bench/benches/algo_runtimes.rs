@@ -4,8 +4,9 @@
 //! BU fastest / DLS-APN slowest in APN.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dagsched_bench::baseline::DscBaseline;
 use dagsched_bench::Config;
-use dagsched_core::{registry, AlgoClass, Env};
+use dagsched_core::{registry, AlgoClass, Env, Scheduler};
 use dagsched_suites::rgnos::{self, RgnosParams};
 use std::hint::black_box;
 
@@ -17,8 +18,11 @@ fn algo_runtimes(c: &mut Criterion) {
         // APN algorithms are one to two orders of magnitude slower per run
         // (message scheduling); cap their instance sizes so `cargo bench`
         // completes in minutes, exactly like Table 6 does with samples.
-        let sizes: &[usize] =
-            if class == AlgoClass::Apn { &[50, 100] } else { &[50, 100, 200] };
+        let sizes: &[usize] = if class == AlgoClass::Apn {
+            &[50, 100]
+        } else {
+            &[50, 100, 200]
+        };
         let mut group = c.benchmark_group(format!("{class}"));
         group
             .sample_size(10)
@@ -31,21 +35,62 @@ fn algo_runtimes(c: &mut Criterion) {
                 _ => Env::bnp(cfg.bnp_unlimited_procs(v)),
             };
             for algo in registry::by_class(class) {
-                group.bench_with_input(
-                    BenchmarkId::new(algo.name(), v),
-                    &g,
-                    |b, g| {
-                        b.iter(|| {
-                            let out = algo.schedule(black_box(g), &env).expect("schedules");
-                            black_box(out.schedule.makespan())
-                        })
-                    },
-                );
+                group.bench_with_input(BenchmarkId::new(algo.name(), v), &g, |b, g| {
+                    b.iter(|| {
+                        let out = algo.schedule(black_box(g), &env).expect("schedules");
+                        black_box(out.schedule.makespan())
+                    })
+                });
             }
         }
         group.finish();
     }
 }
 
-criterion_group!(benches, algo_runtimes);
+/// The PR's acceptance measurement: refactored DSC vs the retained
+/// pre-refactor implementation on a 1000-node CCR=1.0 RGNOS graph. The
+/// schedules are asserted identical before timing; `perf_baseline` records
+/// the same comparison into `BENCH_RESULTS.json`.
+fn dsc_speedup(c: &mut Criterion) {
+    let g = rgnos::generate(RgnosParams::new(1000, 1.0, 3, 42));
+    let env = Env::bnp(1); // UNC algorithms ignore the environment
+    let dsc = registry::by_name("DSC").unwrap();
+    let base = DscBaseline.schedule(&g, &env).unwrap();
+    let new = dsc.schedule(&g, &env).unwrap();
+    assert_eq!(
+        base.schedule.makespan(),
+        new.schedule.makespan(),
+        "behavior changed"
+    );
+
+    let mut group = c.benchmark_group("dsc_speedup");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(3));
+    group.bench_with_input(BenchmarkId::new("baseline", 1000), &g, |b, g| {
+        b.iter(|| {
+            black_box(
+                DscBaseline
+                    .schedule(black_box(g), &env)
+                    .unwrap()
+                    .schedule
+                    .makespan(),
+            )
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("refactored", 1000), &g, |b, g| {
+        b.iter(|| {
+            black_box(
+                dsc.schedule(black_box(g), &env)
+                    .unwrap()
+                    .schedule
+                    .makespan(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, algo_runtimes, dsc_speedup);
 criterion_main!(benches);

@@ -44,7 +44,14 @@ fn network_ops(c: &mut Criterion) {
     });
     let mut net = Network::new(topo);
     for i in 0..64u32 {
-        net.commit(TaskId(i), TaskId(i + 1000), ProcId(0), ProcId(7), (i as u64) * 3, 5);
+        net.commit(
+            TaskId(i),
+            TaskId(i + 1000),
+            ProcId(0),
+            ProcId(7),
+            (i as u64) * 3,
+            5,
+        );
     }
     c.bench_function("network/probe_loaded", |b| {
         b.iter(|| black_box(net.probe_arrival(ProcId(0), ProcId(7), 10, 5)))
@@ -53,7 +60,11 @@ fn network_ops(c: &mut Criterion) {
 
 fn generators(c: &mut Criterion) {
     c.bench_function("gen/rgnos_500", |b| {
-        b.iter(|| black_box(dagsched_suites::rgnos::generate(RgnosParams::new(500, 1.0, 3, 1))))
+        b.iter(|| {
+            black_box(dagsched_suites::rgnos::generate(RgnosParams::new(
+                500, 1.0, 3, 1,
+            )))
+        })
     });
     c.bench_function("gen/cholesky_24", |b| {
         b.iter(|| black_box(traced::cholesky(24, 1.0)))
@@ -61,7 +72,11 @@ fn generators(c: &mut Criterion) {
 }
 
 fn bnb(c: &mut Criterion) {
-    let g = rgbos::generate(rgbos::RgbosParams { nodes: 14, ccr: 1.0, seed: 5 });
+    let g = rgbos::generate(rgbos::RgbosParams {
+        nodes: 14,
+        ccr: 1.0,
+        seed: 5,
+    });
     c.bench_function("optimal/bnb_14_nodes", |b| {
         b.iter(|| {
             black_box(solve(
@@ -76,5 +91,12 @@ fn bnb(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, graph_levels, timeline_ops, network_ops, generators, bnb);
+criterion_group!(
+    benches,
+    graph_levels,
+    timeline_ops,
+    network_ops,
+    generators,
+    bnb
+);
 criterion_main!(benches);

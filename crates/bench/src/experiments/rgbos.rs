@@ -13,10 +13,15 @@ use dagsched_metrics::{measures, table::f1, Running, Table};
 use dagsched_optimal::{solve, OptimalParams};
 use dagsched_suites::rgbos::{self, RgbosParams};
 
+use crate::par::parallel_map;
 use crate::runner::run_timed;
 use crate::Config;
 
 /// Build Table 2 (`class = Unc`) or Table 3 (`class = Bnp`).
+///
+/// Every (CCR, size) cell — one branch-and-bound solve plus one run per
+/// algorithm — is independent, so the full grid executes through
+/// [`parallel_map`]; the rows fold back in deterministic input order.
 pub fn run(cfg: &Config, class: AlgoClass) -> Vec<Table> {
     let which = match class {
         AlgoClass::Unc => "Table 2: % degradation from optimal, RGBOS, UNC algorithms",
@@ -25,6 +30,42 @@ pub fn run(cfg: &Config, class: AlgoClass) -> Vec<Table> {
     };
     let algos = registry::by_class(class);
     let names: Vec<&'static str> = algos.iter().map(|a| a.name()).collect();
+
+    let sizes = rgbos::sizes();
+    let cells: Vec<(usize, usize, usize)> = rgbos::CCRS
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, _)| sizes.iter().enumerate().map(move |(si, &v)| (ci, si, v)))
+        .collect();
+    let cell_results = parallel_map(cells, |(ci, si, v)| {
+        let ccr = rgbos::CCRS[ci];
+        let seed = cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((ci * 100 + si) as u64);
+        let g = rgbos::generate(RgbosParams {
+            nodes: v,
+            ccr,
+            seed,
+        });
+        let opt = solve(
+            &g,
+            &OptimalParams {
+                procs: None,
+                node_limit: cfg.bnb_node_limit(),
+                heuristic_incumbent: true,
+            },
+        );
+        let env = Env::bnp(cfg.bnp_unlimited_procs(v));
+        let cell_degs: Vec<f64> = algos
+            .iter()
+            .map(|algo| {
+                let rec = run_timed(algo.as_ref(), &g, &env);
+                measures::degradation_pct(rec.makespan, opt.length)
+            })
+            .collect();
+        (opt.proven, cell_degs)
+    });
 
     let mut tables = Vec::new();
     for (ci, &ccr) in rgbos::CCRS.iter().enumerate() {
@@ -36,29 +77,14 @@ pub fn run(cfg: &Config, class: AlgoClass) -> Vec<Table> {
         let mut degs: Vec<Running> = vec![Running::new(); algos.len()];
         let mut proven = 0u32;
         let mut total = 0u32;
-        for (si, v) in rgbos::sizes().into_iter().enumerate() {
-            let seed = cfg
-                .seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add((ci * 100 + si) as u64);
-            let g = rgbos::generate(RgbosParams { nodes: v, ccr, seed });
-            let opt = solve(
-                &g,
-                &OptimalParams {
-                    procs: None,
-                    node_limit: cfg.bnb_node_limit(),
-                    heuristic_incumbent: true,
-                },
-            );
+        for (si, v) in sizes.iter().copied().enumerate() {
+            let (cell_proven, cell_degs) = &cell_results[ci * sizes.len() + si];
             total += 1;
-            if opt.proven {
+            if *cell_proven {
                 proven += 1;
             }
-            let env = Env::bnp(cfg.bnp_unlimited_procs(v));
             let mut row = vec![v.to_string()];
-            for (ai, algo) in algos.iter().enumerate() {
-                let rec = run_timed(algo.as_ref(), &g, &env);
-                let d = measures::degradation_pct(rec.makespan, opt.length);
+            for (ai, &d) in cell_degs.iter().enumerate() {
                 if d <= 1e-9 {
                     opt_counts[ai] += 1;
                 }
@@ -89,10 +115,18 @@ mod tests {
     /// Tiny-but-real slice of Table 2/3 used in tests: one CCR, small sizes.
     fn tiny_check(class: AlgoClass) {
         let cfg = Config::quick(7);
-        let g = rgbos::generate(RgbosParams { nodes: 12, ccr: 1.0, seed: 3 });
+        let g = rgbos::generate(RgbosParams {
+            nodes: 12,
+            ccr: 1.0,
+            seed: 3,
+        });
         let opt = solve(
             &g,
-            &OptimalParams { procs: None, node_limit: 2_000_000, heuristic_incumbent: true },
+            &OptimalParams {
+                procs: None,
+                node_limit: 2_000_000,
+                heuristic_incumbent: true,
+            },
         );
         let env = Env::bnp(cfg.bnp_unlimited_procs(12));
         for algo in registry::by_class(class) {

@@ -18,10 +18,14 @@ use dagsched_core::{registry, AlgoClass, Env};
 use dagsched_metrics::{measures, table::f1, Running, Table};
 use dagsched_suites::rgpos::{self, RgposParams};
 
+use crate::par::parallel_map;
 use crate::runner::run_timed;
 use crate::Config;
 
 /// Build Table 4 (`class = Unc`) or Table 5 (`class = Bnp`).
+///
+/// Like the RGBOS tables, the (CCR, size) grid runs through
+/// [`parallel_map`] and folds back in input order.
 pub fn run(cfg: &Config, class: AlgoClass) -> Vec<Table> {
     let which = match class {
         AlgoClass::Unc => "Table 4: % degradation from optimal, RGPOS, UNC algorithms",
@@ -30,8 +34,37 @@ pub fn run(cfg: &Config, class: AlgoClass) -> Vec<Table> {
     };
     let algos = registry::by_class(class);
     let names: Vec<&'static str> = algos.iter().map(|a| a.name()).collect();
-    let sizes: Vec<usize> =
-        if cfg.full { rgpos::sizes() } else { vec![50, 100, 200, 300, 500] };
+    let sizes: Vec<usize> = if cfg.full {
+        rgpos::sizes()
+    } else {
+        vec![50, 100, 200, 300, 500]
+    };
+
+    let cells: Vec<(usize, usize, usize)> = rgpos::CCRS
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, _)| sizes.iter().enumerate().map(move |(si, &v)| (ci, si, v)))
+        .collect();
+    let cell_results = parallel_map(cells, |(ci, si, v)| {
+        let ccr = rgpos::CCRS[ci];
+        let seed = cfg
+            .seed
+            .wrapping_mul(0xD134_2543_DE82_EF95)
+            .wrapping_add((ci * 100 + si) as u64);
+        let params = match class {
+            AlgoClass::Unc => RgposParams::new(v, ccr, seed),
+            _ => RgposParams::unchained(v, ccr, seed),
+        };
+        let inst = rgpos::generate(params);
+        let env = Env::bnp(inst.procs);
+        algos
+            .iter()
+            .map(|algo| {
+                let rec = run_timed(algo.as_ref(), &inst.graph, &env);
+                measures::degradation_pct(rec.makespan, inst.optimal)
+            })
+            .collect::<Vec<f64>>()
+    });
 
     let mut tables = Vec::new();
     for (ci, &ccr) in rgpos::CCRS.iter().enumerate() {
@@ -42,20 +75,9 @@ pub fn run(cfg: &Config, class: AlgoClass) -> Vec<Table> {
         let mut opt_counts = vec![0u32; algos.len()];
         let mut degs: Vec<Running> = vec![Running::new(); algos.len()];
         for (si, v) in sizes.iter().copied().enumerate() {
-            let seed = cfg
-                .seed
-                .wrapping_mul(0xD134_2543_DE82_EF95)
-                .wrapping_add((ci * 100 + si) as u64);
-            let params = match class {
-                AlgoClass::Unc => RgposParams::new(v, ccr, seed),
-                _ => RgposParams::unchained(v, ccr, seed),
-            };
-            let inst = rgpos::generate(params);
-            let env = Env::bnp(inst.procs);
+            let cell_degs = &cell_results[ci * sizes.len() + si];
             let mut row = vec![v.to_string()];
-            for (ai, algo) in algos.iter().enumerate() {
-                let rec = run_timed(algo.as_ref(), &inst.graph, &env);
-                let d = measures::degradation_pct(rec.makespan, inst.optimal);
+            for (ai, &d) in cell_degs.iter().enumerate() {
                 if d.abs() <= 1e-9 {
                     opt_counts[ai] += 1;
                 }

@@ -6,6 +6,11 @@
 //! reproduction target (MCP fastest / ETF & DLS slowest within BNP; LC
 //! fastest / MD slowest within UNC; BU fastest / DLS slowest within APN).
 //! Cells are milliseconds.
+//!
+//! Unlike the quality sweeps, this experiment deliberately stays
+//! **serial**: its whole point is wall-clock running time per algorithm,
+//! and running cells concurrently would let scheduler contention and cache
+//! pressure pollute the numbers.
 
 use dagsched_core::{registry, Env};
 use dagsched_metrics::{Running, Table};

@@ -35,7 +35,11 @@ pub fn run(cfg: &Config) -> Vec<Table> {
         "Topology sensitivity: average NSL of APN algorithms on 8-processor networks (RGNOS)",
         &header,
     );
-    let sizes: &[usize] = if cfg.full { &[100, 200, 300] } else { &[80, 150] };
+    let sizes: &[usize] = if cfg.full {
+        &[100, 200, 300]
+    } else {
+        &[80, 150]
+    };
     for (name, topo) in topologies() {
         let env = Env::apn(topo.clone());
         let mut acc = vec![Running::new(); algos.len()];
@@ -77,8 +81,11 @@ mod tests {
         let g = dagsched_suites::rgnos::generate(RgnosParams::new(60, 10.0, 3, 5));
         let mh = registry::by_name("MH").unwrap();
         let chain = run_timed(mh.as_ref(), &g, &Env::apn(Topology::chain(8).unwrap()));
-        let full =
-            run_timed(mh.as_ref(), &g, &Env::apn(Topology::fully_connected(8).unwrap()));
+        let full = run_timed(
+            mh.as_ref(),
+            &g,
+            &Env::apn(Topology::fully_connected(8).unwrap()),
+        );
         assert!(
             full.makespan <= chain.makespan,
             "full {} vs chain {}",

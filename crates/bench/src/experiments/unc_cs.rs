@@ -14,7 +14,11 @@ use crate::Config;
 const PROCS: usize = 8;
 
 fn sample(cfg: &Config) -> Vec<dagsched_graph::TaskGraph> {
-    let sizes: &[usize] = if cfg.full { &[50, 100, 200, 300] } else { &[50, 100] };
+    let sizes: &[usize] = if cfg.full {
+        &[50, 100, 200, 300]
+    } else {
+        &[50, 100]
+    };
     let mut out = Vec::new();
     for (si, &v) in sizes.iter().enumerate() {
         for (pi, (ccr, par)) in cfg.rgnos_points().into_iter().enumerate() {
@@ -22,7 +26,9 @@ fn sample(cfg: &Config) -> Vec<dagsched_graph::TaskGraph> {
                 .seed
                 .wrapping_mul(0xBF58_476D_1CE4_E5B9)
                 .wrapping_add((si * 1000 + pi) as u64);
-            out.push(dagsched_suites::rgnos::generate(RgnosParams::new(v, ccr, par, seed)));
+            out.push(dagsched_suites::rgnos::generate(RgnosParams::new(
+                v, ccr, par, seed,
+            )));
         }
     }
     out
@@ -54,10 +60,14 @@ pub fn run(cfg: &Config) -> Vec<Table> {
     }
     macro_rules! cs {
         ($inner:expr, $name:literal) => {
-            for (mlabel, mapping) in
-                [("Sarkar", ClusterMapping::Sarkar), ("RCP", ClusterMapping::Rcp)]
-            {
-                let adapter = UncCs { inner: $inner, mapping };
+            for (mlabel, mapping) in [
+                ("Sarkar", ClusterMapping::Sarkar),
+                ("RCP", ClusterMapping::Rcp),
+            ] {
+                let adapter = UncCs {
+                    inner: $inner,
+                    mapping,
+                };
                 rows.push(eval(format!("{}+CS/{} ", $name, mlabel), &adapter));
             }
         };
@@ -85,7 +95,10 @@ mod tests {
         // Shrink the sample by hand for test speed: one graph.
         let g = dagsched_suites::rgnos::generate(RgnosParams::new(40, 1.0, 2, 1));
         let env = Env::bnp(4);
-        let adapter = UncCs { inner: Dcp::default(), mapping: ClusterMapping::Sarkar };
+        let adapter = UncCs {
+            inner: Dcp::default(),
+            mapping: ClusterMapping::Sarkar,
+        };
         let rec = run_timed(&adapter, &g, &env);
         assert!(rec.procs_used <= 4);
         assert!(rec.nsl >= 1.0);

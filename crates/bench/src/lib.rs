@@ -24,8 +24,11 @@
 //! * `TASKBENCH_SEED=<u64>` — alternative master seed (default
 //!   `0x1998`, the publication year).
 
+pub mod baseline;
 pub mod config;
 pub mod experiments;
+pub mod par;
+pub mod report;
 pub mod runner;
 
 pub use config::Config;

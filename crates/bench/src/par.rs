@@ -1,0 +1,130 @@
+//! Parallel execution of independent experiment cells.
+//!
+//! The experiment sweeps are embarrassingly parallel across (algorithm ×
+//! graph) cells: every cell derives its graph from its own seed and shares
+//! nothing but immutable algorithm objects ([`dagsched_core::Scheduler`] is
+//! `Sync` by trait bound). `rayon` would be the natural executor, but the
+//! build environment has no registry access, so this module provides the
+//! one primitive the harness needs — an order-preserving [`parallel_map`] —
+//! on `std::thread::scope` with an atomic work index. Swap the body for
+//! `rayon::par_iter` when building online; the call sites won't change.
+//!
+//! **Timing honesty:** per-run wall-clock measurements (Table 6, the
+//! criterion benches, `perf_baseline`) stay on a single thread — only
+//! quality metrics (makespan, NSL, processors used) are collected from
+//! parallel sweeps, so the paper's runtime tables are never polluted by
+//! scheduler contention.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count: `TASKBENCH_THREADS` when set to a positive number,
+/// otherwise all available cores. `TASKBENCH_THREADS=1` forces the serial
+/// path (useful for debugging and for timing comparisons).
+pub fn worker_count() -> usize {
+    match std::env::var("TASKBENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Apply `f` to every item on `workers` scoped threads, returning results
+/// in input order. A panic in any worker propagates after the scope joins.
+pub fn parallel_map_with<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("each index taken once");
+                let r = f(item);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+        .collect()
+}
+
+/// [`parallel_map_with`] using [`worker_count`] workers.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_with(worker_count(), items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let out = parallel_map_with(4, (0..100u64).collect(), |x| x * 2);
+        assert_eq!(out, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_path_matches() {
+        let items: Vec<u64> = (0..17).collect();
+        assert_eq!(
+            parallel_map_with(1, items.clone(), |x| x + 1),
+            parallel_map_with(8, items, |x| x + 1)
+        );
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(
+            parallel_map_with(4, Vec::<u32>::new(), |x| x),
+            Vec::<u32>::new()
+        );
+        assert_eq!(parallel_map_with(4, vec![9u32], |x| x), vec![9]);
+    }
+
+    #[test]
+    fn scheduling_cells_in_parallel_matches_serial_results() {
+        use dagsched_core::{registry, Env};
+        use dagsched_suites::rgnos::{self, RgnosParams};
+        let algos = registry::bnp();
+        let cells: Vec<(usize, u64)> = (0..algos.len())
+            .flat_map(|ai| (0..3u64).map(move |seed| (ai, seed)))
+            .collect();
+        let run = |(ai, seed): (usize, u64)| {
+            let g = rgnos::generate(RgnosParams::new(40, 1.0, 2, seed));
+            let env = Env::bnp(8);
+            algos[ai].schedule(&g, &env).unwrap().schedule.makespan()
+        };
+        let serial = parallel_map_with(1, cells.clone(), run);
+        let parallel = parallel_map_with(4, cells, run);
+        assert_eq!(serial, parallel);
+    }
+}

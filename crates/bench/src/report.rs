@@ -1,0 +1,139 @@
+//! Machine-readable benchmark reports (`BENCH_RESULTS.json`).
+//!
+//! Serde is unavailable offline, so this is a tiny hand-rolled JSON value
+//! tree with a serializer — enough for flat metric records. The
+//! `perf_baseline` binary writes the workspace's `BENCH_RESULTS.json` with
+//! it so the perf trajectory is tracked from the first baseline onward.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Bool(bool),
+    /// Finite floats only; NaN/inf would produce invalid JSON and panic.
+    Num(f64),
+    Int(i64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered (deterministic output).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Serialize with 2-space indentation (diff-friendly when committed).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => {
+                assert!(x.is_finite(), "non-finite number in JSON report");
+                let _ = write!(out, "{x}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\n{}", "  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                let _ = write!(out, "\n{}]", "  ".repeat(indent));
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\n{}", "  ".repeat(indent + 1));
+                    Json::Str(k.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                let _ = write!(out, "\n{}}}", "  ".repeat(indent));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_nested_structures() {
+        let j = Json::obj([
+            ("name", Json::str("dsc")),
+            ("speedup", Json::Num(6.5)),
+            ("sizes", Json::Arr(vec![Json::Int(200), Json::Int(1000)])),
+            ("ok", Json::Bool(true)),
+        ]);
+        let s = j.pretty();
+        assert!(s.contains("\"name\": \"dsc\""));
+        assert!(s.contains("\"speedup\": 6.5"));
+        assert!(s.contains("200"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::str("a\"b\\c\n").pretty(), "\"a\\\"b\\\\c\\n\"\n");
+    }
+
+    #[test]
+    fn empty_collections() {
+        assert_eq!(Json::Arr(vec![]).pretty(), "[]\n");
+        assert_eq!(Json::Obj(vec![]).pretty(), "{}\n");
+    }
+}

@@ -19,10 +19,16 @@ pub struct RunRecord {
 /// schedules would be meaningless), and collect the paper's measures.
 pub fn run_timed(algo: &dyn Scheduler, g: &TaskGraph, env: &Env) -> RunRecord {
     let t0 = std::time::Instant::now();
-    let out = algo.schedule(g, env).unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
+    let out = algo
+        .schedule(g, env)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
     let elapsed = t0.elapsed();
     out.validate(g).unwrap_or_else(|e| {
-        panic!("{} produced an invalid schedule on {}: {e}", algo.name(), g.name())
+        panic!(
+            "{} produced an invalid schedule on {}: {e}",
+            algo.name(),
+            g.name()
+        )
     });
     RunRecord {
         algo: algo.name(),

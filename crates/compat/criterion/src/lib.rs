@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Provides the API surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `sample_size` / `warm_up_time` /
+//! `measurement_time`, [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — measuring wall-clock time per iteration and
+//! printing a `min / median / max` line per benchmark. No shrinking, plots
+//! or outlier analysis; timing itself is per-iteration and single-threaded,
+//! so the reported numbers are honest if less smoothed than criterion's.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Sampling parameters for one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct SamplingConfig {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> SamplingConfig {
+        SamplingConfig {
+            sample_size: 20,
+            warm_up: Duration::from_millis(150),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs one closure under timing.
+pub struct Bencher {
+    config: SamplingConfig,
+    /// Mean ns/iter of every collected sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, storing per-iteration samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, and a rough per-call estimate to size the batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_call = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let sample_budget =
+            self.config.measurement.as_nanos() as f64 / self.config.sample_size as f64;
+        let iters_per_sample = ((sample_budget / per_call.max(1.0)) as u64).clamp(1, 1 << 20);
+
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples.push(ns);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(full_id: &str, config: SamplingConfig, f: &mut dyn FnMut(&mut Bencher)) -> BenchStats {
+    let mut b = Bencher {
+        config,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    assert!(
+        !b.samples.is_empty(),
+        "benchmark {full_id} collected no samples"
+    );
+    let mut sorted = b.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let stats = BenchStats {
+        id: full_id.to_string(),
+        min_ns: sorted[0],
+        median_ns: sorted[sorted.len() / 2],
+        max_ns: sorted[sorted.len() - 1],
+    };
+    println!(
+        "{:<44} time: [{} {} {}]",
+        stats.id,
+        format_ns(stats.min_ns),
+        format_ns(stats.median_ns),
+        format_ns(stats.max_ns)
+    );
+    stats
+}
+
+/// Summary of one benchmark's samples.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    pub id: String,
+    pub min_ns: f64,
+    pub median_ns: f64,
+    pub max_ns: f64,
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// Every benchmark measured so far, in execution order.
+    pub collected: Vec<BenchStats>,
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let stats = run_one(id, SamplingConfig::default(), &mut f);
+        self.collected.push(stats);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            config: SamplingConfig::default(),
+        }
+    }
+}
+
+/// A named group sharing sampling parameters.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    config: SamplingConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.config.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement = d;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        let stats = run_one(&full, self.config, &mut |b| f(b, input));
+        self.parent.collected.push(stats);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let stats = run_one(&full, self.config, &mut f);
+        self.parent.collected.push(stats);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_stats() {
+        let mut c = Criterion::default();
+        // Keep the test fast: tiny warm-up and measurement windows.
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        g.bench_with_input(BenchmarkId::new("add", 4), &4u64, |b, &x| {
+            b.iter(|| std::hint::black_box(x + 1))
+        });
+        g.finish();
+        assert_eq!(c.collected.len(), 1);
+        assert_eq!(c.collected[0].id, "g/add/4");
+        assert!(c.collected[0].min_ns <= c.collected[0].max_ns);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds in an environment without crates.io access, so this
+//! crate provides the exact API surface the generators and tests use —
+//! [`rngs::StdRng`], [`Rng::random_range`], [`Rng::random_bool`] and
+//! [`SeedableRng::seed_from_u64`] — over a xoshiro256++ core seeded via
+//! SplitMix64. The streams are *not* bit-compatible with upstream rand's
+//! `StdRng`; every golden value in this repository is locked against this
+//! implementation, which is deterministic across platforms and releases.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Raw 64-bit generation; everything else derives from it.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Unbiased sampling from `[0, span)` via Lemire's widening-multiply
+/// rejection method.
+fn uniform_below(rng: &mut impl RngCore, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        let lo = m as u64;
+        if lo < span {
+            let threshold = span.wrapping_neg() % span;
+            if lo < threshold {
+                continue;
+            }
+        }
+        return (m >> 64) as u64;
+    }
+}
+
+/// A half-open or inclusive range a value can be drawn from uniformly.
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut impl RngCore) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut impl RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut impl RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// The user-facing sampling methods, mirroring rand 0.9 naming.
+pub trait Rng: RngCore {
+    /// A uniform draw from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 random bits → uniform f64 in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seeding, mirroring rand's trait of the same name.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256++ (Blackman & Vigna), state
+    /// expanded from the seed with SplitMix64 as its authors recommend.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut state);
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        for _ in 0..64 {
+            assert_eq!(a.random_range(0u64..1000), b.random_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let x = rng.random_range(3u64..=9);
+            assert!((3..=9).contains(&x));
+            seen_lo |= x == 3;
+            seen_hi |= x == 9;
+        }
+        assert!(
+            seen_lo && seen_hi,
+            "inclusive bounds must both be attainable"
+        );
+    }
+
+    #[test]
+    fn usize_ranges_work() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(2usize..5);
+            assert!((2..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_holds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.3)).count();
+        let p = hits as f64 / 20_000.0;
+        assert!((p - 0.3).abs() < 0.02, "empirical {p}");
+    }
+}

@@ -90,7 +90,9 @@ impl Scheduler for Bsa {
                         .position(|&t| seq_pos[t.index()] > seq_pos[n.index()])
                         .unwrap_or(row.len());
                     row.insert(at, n);
-                    let Some(cand) = replay(g, topo, &trial) else { continue };
+                    let Some(cand) = replay(g, topo, &trial) else {
+                        continue;
+                    };
                     let ns = cand.s.start_of(n).expect("placed in replay");
                     let nm = cand.s.makespan();
                     if ns <= cur_start && nm <= cur_makespan {
@@ -120,7 +122,7 @@ impl Scheduler for Bsa {
 /// consistent, since b-levels strictly decrease along edges).
 fn cpn_dominant_sequence(g: &TaskGraph) -> Vec<TaskId> {
     let cp = levels::critical_path(g);
-    let bl = levels::b_levels(g);
+    let bl = g.levels().b_levels();
     let topo_pos: Vec<usize> = {
         let mut v = vec![0usize; g.num_tasks()];
         for (i, &n) in g.topo_order().iter().enumerate() {

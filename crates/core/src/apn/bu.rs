@@ -18,7 +18,7 @@
 //! BSA on schedule quality for large graphs (Fig. 2(c)). Recorded in
 //! DESIGN.md §2.
 
-use dagsched_graph::{levels, TaskGraph};
+use dagsched_graph::TaskGraph;
 use dagsched_platform::ProcId;
 
 use crate::common::ReadySet;
@@ -70,7 +70,7 @@ impl Scheduler for Bu {
         }
 
         // Phase 2: top-down list scheduling on the fixed assignment.
-        let bl = levels::b_levels(g);
+        let bl = g.levels().b_levels();
         let mut ready = ReadySet::new(g);
         while !ready.is_empty() {
             let n = ready.argmax_by_key(|n| bl[n.index()]).expect("non-empty");

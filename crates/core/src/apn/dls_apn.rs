@@ -11,7 +11,7 @@
 //! slowest APN algorithm in the paper's Table 6 — reproduced in our
 //! Criterion benches.
 
-use dagsched_graph::{levels, TaskGraph, TaskId};
+use dagsched_graph::{TaskGraph, TaskId};
 use dagsched_platform::ProcId;
 
 use crate::common::ReadySet;
@@ -34,10 +34,15 @@ impl Scheduler for DlsApn {
 
     fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
         let mut st = ApnState::new(g, env)?;
-        let sl = levels::static_levels(g);
+        let sl = g.levels().static_levels();
         let mut ready = ReadySet::new(g);
         while !ready.is_empty() {
-            type Key = (i64, std::cmp::Reverse<u64>, std::cmp::Reverse<u32>, std::cmp::Reverse<u32>);
+            type Key = (
+                i64,
+                std::cmp::Reverse<u64>,
+                std::cmp::Reverse<u32>,
+                std::cmp::Reverse<u32>,
+            );
             let mut best_key: Option<Key> = None;
             let mut chosen: Option<(TaskId, ProcId)> = None;
             for n in ready.iter() {
@@ -45,8 +50,12 @@ impl Scheduler for DlsApn {
                     let p = ProcId(pi);
                     let est = st.probe_est(g, n, p);
                     let dl = sl[n.index()] as i64 - est as i64;
-                    let key =
-                        (dl, std::cmp::Reverse(est), std::cmp::Reverse(n.0), std::cmp::Reverse(pi));
+                    let key = (
+                        dl,
+                        std::cmp::Reverse(est),
+                        std::cmp::Reverse(n.0),
+                        std::cmp::Reverse(pi),
+                    );
                     if best_key.is_none_or(|b| key > b) {
                         best_key = Some(key);
                         chosen = Some((n, p));

@@ -12,11 +12,11 @@
 //! Complexity: O(v · p · (e/v · d)) probes, where `d` is the route length —
 //! the paper's Table 6 places MH mid-field among APN algorithms.
 
-use dagsched_graph::{levels, TaskGraph};
+use dagsched_graph::TaskGraph;
 use dagsched_platform::ProcId;
 
-use crate::{AlgoClass, Env, Outcome, SchedError, Scheduler};
 use crate::common::ReadySet;
+use crate::{AlgoClass, Env, Outcome, SchedError, Scheduler};
 
 use super::ApnState;
 
@@ -35,7 +35,7 @@ impl Scheduler for Mh {
 
     fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
         let mut st = ApnState::new(g, env)?;
-        let bl = levels::b_levels(g);
+        let bl = g.levels().b_levels();
         let mut ready = ReadySet::new(g);
         while !ready.is_empty() {
             let n = ready.argmax_by_key(|n| bl[n.index()]).expect("non-empty");
@@ -114,7 +114,12 @@ mod tests {
                 out.schedule.proc_of(e.dst).unwrap(),
             );
             if pu != pv && e.cost > 0 {
-                assert!(net.message_for(e.src, e.dst).is_some(), "{} -> {}", e.src, e.dst);
+                assert!(
+                    net.message_for(e.src, e.dst).is_some(),
+                    "{} -> {}",
+                    e.src,
+                    e.dst
+                );
             }
         }
     }

@@ -52,7 +52,10 @@ impl ApnState {
     pub fn probe_drt(&self, g: &TaskGraph, n: TaskId, p: ProcId) -> u64 {
         let mut t = 0u64;
         for &(q, c) in g.preds(n) {
-            let pl = self.s.placement(q).expect("probe_drt: parent must be placed");
+            let pl = self
+                .s
+                .placement(q)
+                .expect("probe_drt: parent must be placed");
             t = t.max(self.net.probe_arrival(pl.proc, p, pl.finish, c));
         }
         t
@@ -86,12 +89,17 @@ impl ApnState {
     pub fn commit_and_place(&mut self, g: &TaskGraph, n: TaskId, p: ProcId) -> u64 {
         let drt = self.commit_parent_messages(g, n, p);
         let start = self.s.timeline(p).earliest_append(drt);
-        self.s.place(n, p, start, g.weight(n)).expect("append start is free");
+        self.s
+            .place(n, p, start, g.weight(n))
+            .expect("append start is free");
         start
     }
 
     pub fn into_outcome(self) -> Outcome {
-        Outcome { schedule: self.s, network: Some(self.net) }
+        Outcome {
+            schedule: self.s,
+            network: Some(self.net),
+        }
     }
 }
 
@@ -103,11 +111,7 @@ impl ApnState {
 /// Returns `None` if the orders deadlock (a cross-processor precedence
 /// points against some processor-local order) — BSA's insert-by-sequence
 /// discipline guarantees this never happens for its own calls.
-pub(crate) fn replay(
-    g: &TaskGraph,
-    topo: &Topology,
-    orders: &[Vec<TaskId>],
-) -> Option<ApnState> {
+pub(crate) fn replay(g: &TaskGraph, topo: &Topology, orders: &[Vec<TaskId>]) -> Option<ApnState> {
     let procs = topo.num_procs();
     debug_assert_eq!(orders.len(), procs);
     let mut st = ApnState {
@@ -150,9 +154,15 @@ pub(crate) mod testutil {
 
     pub fn run(algo: &dyn Scheduler, g: &TaskGraph, topo: Topology) -> Outcome {
         assert_eq!(algo.class(), AlgoClass::Apn);
-        let out = algo.schedule(g, &Env::apn(topo)).expect("APN scheduling must succeed");
-        out.validate(g).unwrap_or_else(|e| panic!("{} invalid: {e}", algo.name()));
-        assert!(out.network.is_some(), "APN algorithms must expose their message schedule");
+        let out = algo
+            .schedule(g, &Env::apn(topo))
+            .expect("APN scheduling must succeed");
+        out.validate(g)
+            .unwrap_or_else(|e| panic!("{} invalid: {e}", algo.name()));
+        assert!(
+            out.network.is_some(),
+            "APN algorithms must expose their message schedule"
+        );
         out
     }
 
@@ -169,18 +179,35 @@ pub(crate) mod testutil {
             // Heavy-comm chain: one processor, Σw.
             let g = chain4();
             let out = run(algo, &g, topo.clone());
-            assert_eq!(out.schedule.makespan(), 20, "{} on {:?}", algo.name(), topo.kind());
+            assert_eq!(
+                out.schedule.makespan(),
+                20,
+                "{} on {:?}",
+                algo.name(),
+                topo.kind()
+            );
 
             // Independent tasks spread (one per processor).
             let g = independent(topo.num_procs(), 7);
             let out = run(algo, &g, topo.clone());
-            assert_eq!(out.schedule.makespan(), 7, "{} on {:?}", algo.name(), topo.kind());
+            assert_eq!(
+                out.schedule.makespan(),
+                7,
+                "{} on {:?}",
+                algo.name(),
+                topo.kind()
+            );
 
             // Classic nine: valid and bounded.
             let g = classic_nine();
             let out = run(algo, &g, topo.clone());
             let m = out.schedule.makespan();
-            assert!((12..=60).contains(&m), "{} on {:?}: {m}", algo.name(), topo.kind());
+            assert!(
+                (12..=60).contains(&m),
+                "{} on {:?}: {m}",
+                algo.name(),
+                topo.kind()
+            );
 
             // Determinism.
             let again = run(algo, &g, topo.clone());

@@ -11,7 +11,7 @@
 //! Complexity: O(v²·p) — same exhaustive pair scan as ETF (and the same
 //! bottom rank in the paper's running-time table).
 
-use dagsched_graph::{levels, TaskGraph, TaskId};
+use dagsched_graph::{TaskGraph, TaskId};
 use dagsched_platform::ProcId;
 
 use crate::common::{est_on, ReadySet, SlotPolicy};
@@ -33,11 +33,16 @@ impl Scheduler for Dls {
 
     fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
         let mut s = super::new_schedule(g, env)?;
-        let sl = levels::static_levels(g);
+        let sl = g.levels().static_levels();
         let mut ready = ReadySet::new(g);
         while !ready.is_empty() {
             // Maximize DL; ties: smaller EST, then smaller ids.
-            type Key = (i64, std::cmp::Reverse<u64>, std::cmp::Reverse<u32>, std::cmp::Reverse<u32>);
+            type Key = (
+                i64,
+                std::cmp::Reverse<u64>,
+                std::cmp::Reverse<u32>,
+                std::cmp::Reverse<u32>,
+            );
             let mut best_key: Option<Key> = None;
             let mut chosen: Option<(TaskId, ProcId, u64)> = None;
             for n in ready.iter() {
@@ -45,7 +50,12 @@ impl Scheduler for Dls {
                     let p = ProcId(pi);
                     let est = est_on(g, &s, n, p, SlotPolicy::Append);
                     let dl = sl[n.index()] as i64 - est as i64;
-                    let key = (dl, std::cmp::Reverse(est), std::cmp::Reverse(n.0), std::cmp::Reverse(pi));
+                    let key = (
+                        dl,
+                        std::cmp::Reverse(est),
+                        std::cmp::Reverse(n.0),
+                        std::cmp::Reverse(pi),
+                    );
                     if best_key.is_none_or(|b| key > b) {
                         best_key = Some(key);
                         chosen = Some((n, p, est));
@@ -53,10 +63,14 @@ impl Scheduler for Dls {
                 }
             }
             let (n, p, est) = chosen.expect("ready set non-empty");
-            s.place(n, p, est, g.weight(n)).expect("append EST cannot collide");
+            s.place(n, p, est, g.weight(n))
+                .expect("append EST cannot collide");
             ready.take(g, n);
         }
-        Ok(Outcome { schedule: s, network: None })
+        Ok(Outcome {
+            schedule: s,
+            network: None,
+        })
     }
 }
 

@@ -9,7 +9,7 @@
 //! makes it (with DLS) the slowest BNP algorithm in Table 6 of the paper,
 //! at O(v²·p).
 
-use dagsched_graph::{levels, TaskGraph, TaskId};
+use dagsched_graph::{TaskGraph, TaskId};
 use dagsched_platform::ProcId;
 
 use crate::common::{est_on, ReadySet, SlotPolicy};
@@ -30,7 +30,7 @@ impl Scheduler for Etf {
 
     fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
         let mut s = super::new_schedule(g, env)?;
-        let sl = levels::static_levels(g);
+        let sl = g.levels().static_levels();
         let mut ready = ReadySet::new(g);
         while !ready.is_empty() {
             // Globally earliest (node, processor) start; ties: higher SL,
@@ -50,10 +50,14 @@ impl Scheduler for Etf {
                 }
             }
             let (n, p, est) = chosen.expect("ready set non-empty");
-            s.place(n, p, est, g.weight(n)).expect("append EST cannot collide");
+            s.place(n, p, est, g.weight(n))
+                .expect("append EST cannot collide");
             ready.take(g, n);
         }
-        Ok(Outcome { schedule: s, network: None })
+        Ok(Outcome {
+            schedule: s,
+            network: None,
+        })
     }
 }
 

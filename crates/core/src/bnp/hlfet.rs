@@ -6,13 +6,14 @@
 //! CP-based. One of the earliest and simplest list schedulers; the paper
 //! uses it as the BNP baseline.
 //!
-//! Complexity: O(v² + v·p) — each step scans the ready set and all
-//! processors.
+//! Complexity: O(v log v + v·p) — selection is a keyed max-heap pop
+//! ([`ReadyQueue`]) since the static-level priority never changes; each
+//! step still scans all processors for the min-EST placement.
 
-use dagsched_graph::{levels, TaskGraph};
+use dagsched_graph::TaskGraph;
 use dagsched_platform::PlaceError;
 
-use crate::common::{best_proc, ReadySet, SlotPolicy};
+use crate::common::{best_proc, ReadyQueue, SlotPolicy};
 use crate::{AlgoClass, Env, Outcome, SchedError, Scheduler};
 
 /// The HLFET scheduler. Stateless; construct freely.
@@ -30,12 +31,9 @@ impl Scheduler for Hlfet {
 
     fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
         let mut s = super::new_schedule(g, env)?;
-        let sl = levels::static_levels(g);
-        let mut ready = ReadySet::new(g);
-        while !ready.is_empty() {
-            let n = ready
-                .argmax_by_key(|n| sl[n.index()])
-                .expect("ready set is non-empty");
+        let sl = g.levels().static_levels();
+        let mut ready = ReadyQueue::new(g, sl.to_vec());
+        while let Some(n) = ready.peek_max() {
             let (p, est) = best_proc(g, &s, n, SlotPolicy::Append);
             match s.place(n, p, est, g.weight(n)) {
                 Ok(()) => {}
@@ -46,7 +44,10 @@ impl Scheduler for Hlfet {
             }
             ready.take(g, n);
         }
-        Ok(Outcome { schedule: s, network: None })
+        Ok(Outcome {
+            schedule: s,
+            network: None,
+        })
     }
 }
 

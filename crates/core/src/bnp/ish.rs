@@ -12,12 +12,13 @@
 //! The paper singles ISH out in its conclusions: "a simple algorithm such
 //! as ISH employing insertion can yield dramatic performance" (§7).
 //!
-//! Complexity: O(v² + v·p) like HLFET; hole filling adds an O(ready) scan
-//! per placement.
+//! Complexity: selection is O(log v) amortized via [`ReadyQueue`] (static
+//! priority); hole filling keeps its O(ready) scan per placement, which is
+//! inherent — every ready node is a filler candidate.
 
-use dagsched_graph::{levels, TaskGraph};
+use dagsched_graph::TaskGraph;
 
-use crate::common::{best_proc, drt, ReadySet, SlotPolicy};
+use crate::common::{best_proc, drt, ReadyQueue, SlotPolicy};
 use crate::{AlgoClass, Env, Outcome, SchedError, Scheduler};
 
 /// The ISH scheduler.
@@ -35,13 +36,13 @@ impl Scheduler for Ish {
 
     fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
         let mut s = super::new_schedule(g, env)?;
-        let sl = levels::static_levels(g);
-        let mut ready = ReadySet::new(g);
-        while !ready.is_empty() {
-            let n = ready.argmax_by_key(|n| sl[n.index()]).expect("non-empty");
+        let sl = g.levels().static_levels();
+        let mut ready = ReadyQueue::new(g, sl.to_vec());
+        while let Some(n) = ready.peek_max() {
             let (p, est) = best_proc(g, &s, n, SlotPolicy::Append);
             let hole_start = s.timeline(p).ready_time();
-            s.place(n, p, est, g.weight(n)).expect("append EST cannot collide");
+            s.place(n, p, est, g.weight(n))
+                .expect("append EST cannot collide");
             ready.take(g, n);
 
             // Hole filling: the placement created the idle hole
@@ -63,18 +64,21 @@ impl Scheduler for Ish {
                         continue; // the hole would delay this node
                     }
                     let key = (sl[m.index()], std::cmp::Reverse(m.0));
-                    if filler.is_none_or(|(bk, bm, _)| key > (bk, std::cmp::Reverse(bm.0)))
-                    {
+                    if filler.is_none_or(|(bk, bm, _)| key > (bk, std::cmp::Reverse(bm.0))) {
                         filler = Some((sl[m.index()], m, start));
                     }
                 }
                 let Some((_, m, start)) = filler else { break };
-                s.place(m, p, start, g.weight(m)).expect("filler fits in the hole");
+                s.place(m, p, start, g.weight(m))
+                    .expect("filler fits in the hole");
                 ready.take(g, m);
                 cursor = start + g.weight(m);
             }
         }
-        Ok(Outcome { schedule: s, network: None })
+        Ok(Outcome {
+            schedule: s,
+            network: None,
+        })
     }
 }
 
@@ -126,7 +130,10 @@ mod tests {
         let fp = out.schedule.placement(f).unwrap();
         let bp = out.schedule.placement(b).unwrap();
         assert_eq!(fp.proc, bp.proc);
-        assert!(fp.finish <= bp.start, "filler must not delay the hole creator");
+        assert!(
+            fp.finish <= bp.start,
+            "filler must not delay the hole creator"
+        );
         assert_eq!(out.schedule.makespan(), 22);
     }
 

@@ -52,10 +52,14 @@ impl Scheduler for Last {
         while !ready.is_empty() {
             let n = select(g, &ready, &total);
             let (p, est) = best_proc(g, &s, n, SlotPolicy::Append);
-            s.place(n, p, est, g.weight(n)).expect("append EST cannot collide");
+            s.place(n, p, est, g.weight(n))
+                .expect("append EST cannot collide");
             ready.take(g, n);
         }
-        Ok(Outcome { schedule: s, network: None })
+        Ok(Outcome {
+            schedule: s,
+            network: None,
+        })
     }
 }
 
@@ -74,8 +78,7 @@ fn select(g: &TaskGraph, ready: &ReadySet, total: &[u64]) -> TaskId {
                 // treated as ratio 0).
                 let lhs = defined as u128 * bt.max(1) as u128;
                 let rhs = bd as u128 * tot.max(1) as u128;
-                lhs > rhs
-                    || (lhs == rhs && (tot > bt || (tot == bt && n.0 < bn.0)))
+                lhs > rhs || (lhs == rhs && (tot > bt || (tot == bt && n.0 < bn.0)))
             }
         };
         if better {
@@ -127,9 +130,7 @@ mod tests {
         gb.add_edge(heavy, c2, 40).unwrap();
         let g = gb.build().unwrap();
         let out = testutil::run(&Last, &g, 1);
-        assert!(
-            out.schedule.start_of(heavy).unwrap() < out.schedule.start_of(light).unwrap()
-        );
+        assert!(out.schedule.start_of(heavy).unwrap() < out.schedule.start_of(light).unwrap());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! Complexity: O(v² log v) for the lists (v nodes × ≤v descendants, sorted)
 //! + O(v·p·v) scheduling; the paper quotes O(v² log v).
 
-use dagsched_graph::{levels, TaskGraph, TaskId};
+use dagsched_graph::{TaskGraph, TaskId};
 
 use crate::common::{est_on, SlotPolicy};
 use crate::{AlgoClass, Env, Outcome, SchedError, Scheduler};
@@ -65,12 +65,16 @@ impl Scheduler for Mcp {
 
     fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
         let mut s = super::new_schedule(g, env)?;
-        let alap = levels::alap_times(g);
-        let lists = alap_lists(g, &alap);
+        let alap = g.levels().alap_times();
+        let lists = alap_lists(g, alap);
         let mut order: Vec<TaskId> = g.tasks().collect();
         order.sort_by(|&a, &b| lists[a.index()].cmp(&lists[b.index()]).then(a.0.cmp(&b.0)));
 
-        let policy = if self.insertion { SlotPolicy::Insertion } else { SlotPolicy::Append };
+        let policy = if self.insertion {
+            SlotPolicy::Insertion
+        } else {
+            SlotPolicy::Append
+        };
         for n in order {
             let mut best = (ProcId(0), u64::MAX);
             for pi in 0..s.num_procs() as u32 {
@@ -80,9 +84,13 @@ impl Scheduler for Mcp {
                     best = (p, est);
                 }
             }
-            s.place(n, best.0, best.1, g.weight(n)).expect("chosen slot fits");
+            s.place(n, best.0, best.1, g.weight(n))
+                .expect("chosen slot fits");
         }
-        Ok(Outcome { schedule: s, network: None })
+        Ok(Outcome {
+            schedule: s,
+            network: None,
+        })
     }
 }
 
@@ -99,7 +107,7 @@ mod tests {
     #[test]
     fn alap_order_is_topological() {
         let g = testutil::classic_nine();
-        let alap = levels::alap_times(&g);
+        let alap = dagsched_graph::levels::alap_times(&g);
         let lists = alap_lists(&g, &alap);
         let mut order: Vec<TaskId> = g.tasks().collect();
         order.sort_by(|&a, &b| lists[a.index()].cmp(&lists[b.index()]).then(a.0.cmp(&b.0)));
@@ -111,7 +119,7 @@ mod tests {
     #[test]
     fn alap_lists_start_with_own_alap() {
         let g = testutil::classic_nine();
-        let alap = levels::alap_times(&g);
+        let alap = dagsched_graph::levels::alap_times(&g);
         let lists = alap_lists(&g, &alap);
         for n in g.tasks() {
             assert_eq!(lists[n.index()][0], alap[n.index()], "{n}");

@@ -89,9 +89,15 @@ pub(crate) mod testutil {
     /// Run `algo` on `g` with `p` processors, validating the result.
     pub fn run(algo: &dyn Scheduler, g: &TaskGraph, p: usize) -> Outcome {
         assert_eq!(algo.class(), AlgoClass::Bnp);
-        let out = algo.schedule(g, &Env::bnp(p)).expect("scheduling must succeed");
-        out.validate(g).unwrap_or_else(|e| panic!("{} invalid: {e}", algo.name()));
-        assert!(out.network.is_none(), "BNP algorithms do not schedule messages");
+        let out = algo
+            .schedule(g, &Env::bnp(p))
+            .expect("scheduling must succeed");
+        out.validate(g)
+            .unwrap_or_else(|e| panic!("{} invalid: {e}", algo.name()));
+        assert!(
+            out.network.is_none(),
+            "BNP algorithms do not schedule messages"
+        );
         out
     }
 
@@ -100,7 +106,12 @@ pub(crate) mod testutil {
         // Chain with heavy comm: serialized on one processor, length = Σw.
         let chain = chain4();
         let out = run(algo, &chain, 4);
-        assert_eq!(out.schedule.makespan(), 20, "{}: chain must not be split", algo.name());
+        assert_eq!(
+            out.schedule.makespan(),
+            20,
+            "{}: chain must not be split",
+            algo.name()
+        );
         assert_eq!(out.schedule.procs_used(), 1, "{}", algo.name());
 
         // Independent tasks on enough processors: perfectly parallel.

@@ -53,8 +53,10 @@ impl DynLevels {
         }
 
         // Kahn order over the combined DAG.
-        let mut queue: std::collections::VecDeque<TaskId> =
-            (0..v as u32).map(TaskId).filter(|n| indeg[n.index()] == 0).collect();
+        let mut queue: std::collections::VecDeque<TaskId> = (0..v as u32)
+            .map(TaskId)
+            .filter(|n| indeg[n.index()] == 0)
+            .collect();
         let mut order = Vec::with_capacity(v);
         {
             let mut indeg = indeg.clone();

@@ -21,20 +21,18 @@ pub fn drt(g: &TaskGraph, s: &Schedule, n: TaskId, p: ProcId) -> u64 {
     let mut t = 0u64;
     for &(q, c) in g.preds(n) {
         let pl = s.placement(q).expect("drt: predecessor must be scheduled");
-        let arrive = if pl.proc == p { pl.finish } else { pl.finish + c };
+        let arrive = if pl.proc == p {
+            pl.finish
+        } else {
+            pl.finish + c
+        };
         t = t.max(arrive);
     }
     t
 }
 
 /// Earliest start time of `n` on `p` under `policy`.
-pub fn est_on(
-    g: &TaskGraph,
-    s: &Schedule,
-    n: TaskId,
-    p: ProcId,
-    policy: SlotPolicy,
-) -> u64 {
+pub fn est_on(g: &TaskGraph, s: &Schedule, n: TaskId, p: ProcId, policy: SlotPolicy) -> u64 {
     let ready = drt(g, s, n, p);
     match policy {
         SlotPolicy::Append => s.timeline(p).earliest_append(ready),
@@ -44,12 +42,7 @@ pub fn est_on(
 
 /// The processor giving the minimum EST for `n` (ties: smallest processor
 /// id), together with that EST.
-pub fn best_proc(
-    g: &TaskGraph,
-    s: &Schedule,
-    n: TaskId,
-    policy: SlotPolicy,
-) -> (ProcId, u64) {
+pub fn best_proc(g: &TaskGraph, s: &Schedule, n: TaskId, policy: SlotPolicy) -> (ProcId, u64) {
     let mut best = (ProcId(0), u64::MAX);
     for pi in 0..s.num_procs() as u32 {
         let p = ProcId(pi);
@@ -93,16 +86,25 @@ mod tests {
 
     #[test]
     fn est_append_vs_insertion() {
-        let (g, mut s) = fixture();
-        let c = TaskId(2);
-        // Fill P0 far in the future to create a hole [4, 20).
-        s.place(c, ProcId(0), 20, 2).unwrap();
-        s.unplace(c); // we only wanted drt fixture; re-do with blocker
-        let blocker = TaskId(2); // reuse id space: place a fake long task
-        s.place(blocker, ProcId(0), 20, 2).unwrap();
-        s.unplace(blocker);
-        // (direct Track testing covers holes; here check both policies agree
-        // on an empty tail)
+        // Extend the fixture with a real blocker task d occupying P0 at
+        // [20, 30): c's data-ready time on P0 is 4, so insertion may use
+        // the hole [4, 20) while append must queue behind the blocker.
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(4);
+        let b = gb.add_task(3);
+        let c = gb.add_task(2);
+        let d = gb.add_task(10);
+        gb.add_edge(a, c, 6).unwrap();
+        gb.add_edge(b, c, 1).unwrap();
+        let g = gb.build().unwrap();
+        let mut s = Schedule::new(4, 2);
+        s.place(a, ProcId(0), 0, 4).unwrap();
+        s.place(b, ProcId(1), 0, 3).unwrap();
+        s.place(d, ProcId(0), 20, 10).unwrap();
+        assert_eq!(est_on(&g, &s, c, ProcId(0), SlotPolicy::Insertion), 4);
+        assert_eq!(est_on(&g, &s, c, ProcId(0), SlotPolicy::Append), 30);
+        // With the blocker gone the policies agree on the bare tail.
+        s.unplace(d);
         assert_eq!(est_on(&g, &s, c, ProcId(0), SlotPolicy::Append), 4);
         assert_eq!(est_on(&g, &s, c, ProcId(0), SlotPolicy::Insertion), 4);
     }

@@ -8,4 +8,4 @@ pub mod ready;
 
 pub use dynlevels::DynLevels;
 pub use estimate::{best_proc, drt, est_on, SlotPolicy};
-pub use ready::ReadySet;
+pub use ready::{ReadyQueue, ReadySet};

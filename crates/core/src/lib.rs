@@ -16,6 +16,32 @@
 //! non-greedy, CP-based or not), plus any simplification relative to the
 //! original (also summarized in DESIGN.md §2).
 //!
+//! ## Per-step cost of each algorithm (hot-path overhaul)
+//!
+//! The table records the dominant per-scheduling-step cost before and after
+//! the CSR / cached-levels / ready-queue overhaul (`v` tasks, `e` edges,
+//! `p` processors, `r = |ready|`; "—" = unchanged because the cost is
+//! inherent to the algorithm's priority definition):
+//!
+//! | Algorithm | Before | After | What changed |
+//! |-----------|--------|-------|--------------|
+//! | HLFET | O(r) ready scan + O(p) EST | O(log v) heap pop + O(p) EST | static level → [`common::ReadyQueue`] |
+//! | ISH | O(r) scan + O(r·p) hole fill | O(log v) pop + O(r·p) hole fill | selection on the heap; filler scan is inherent |
+//! | MCP | O(v log v) static sort, O(p·len) slot search | — , binary-search start in `Track::earliest_fit` | slot search skips slots ending before the DRT |
+//! | ETF / DLS | O(r·p) pair scan | — | the (node, processor) min pair is recomputed by definition |
+//! | LAST | O(r·e_local) | — | dynamic edge-locality priority |
+//! | DSC | O(v·r) partially-free scan + O(v) `Schedule` clone in DSRW | O(v) scan, clone-free | O(1) `ReadySet::contains` bitvec; place/estimate/unplace on the live schedule |
+//! | EZ | O(e) edge rescan | — | |
+//! | LC / MD / DCP | O(v + e) level recompute | — (input levels now cached per graph) | static level passes shared via `TaskGraph::levels` |
+//! | MH / DLS-APN / BU / BSA | O(r·p·route) | — | message routing dominates |
+//!
+//! Substrate changes underneath all of them: adjacency is CSR (flat
+//! offsets + packed `(TaskId, cost)` entries — cache-line sweeps instead of
+//! per-node heap allocations), and the five level attributes are computed
+//! in two topological passes and cached on the graph, so `cp_length` /
+//! `alap_times` / per-algorithm priority setup no longer re-run b-level
+//! passes.
+//!
 //! ## Using an algorithm
 //!
 //! ```
@@ -83,7 +109,9 @@ impl Env {
     /// A fully connected, contention-free machine with `p` processors —
     /// the BNP environment.
     pub fn bnp(p: usize) -> Env {
-        Env { topology: Topology::fully_connected(p).expect("p >= 1") }
+        Env {
+            topology: Topology::fully_connected(p).expect("p >= 1"),
+        }
     }
 
     /// An arbitrary-network environment.
@@ -170,7 +198,11 @@ mod tests {
 
     #[test]
     fn sched_error_display() {
-        assert!(SchedError::NoProcessors.to_string().contains("no processors"));
-        assert!(SchedError::Unsupported("x".into()).to_string().contains('x'));
+        assert!(SchedError::NoProcessors
+            .to_string()
+            .contains("no processors"));
+        assert!(SchedError::Unsupported("x".into())
+            .to_string()
+            .contains('x'));
     }
 }

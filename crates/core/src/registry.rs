@@ -21,7 +21,13 @@ pub fn bnp() -> Vec<Box<dyn Scheduler>> {
 
 /// The five UNC algorithms, in the paper's listing order (§4).
 pub fn unc() -> Vec<Box<dyn Scheduler>> {
-    vec![Box::new(Ez), Box::new(Lc), Box::new(Dsc), Box::new(Md), Box::new(Dcp::default())]
+    vec![
+        Box::new(Ez),
+        Box::new(Lc),
+        Box::new(Dsc),
+        Box::new(Md),
+        Box::new(Dcp::default()),
+    ]
 }
 
 /// The four APN algorithms, in the paper's listing order (§4).

@@ -100,14 +100,13 @@ impl Scheduler for Dcp {
                                 child_drt = child_drt.max(pl.finish + cost);
                             }
                         }
-                        let child_est = child_drt.max(s.timeline(p).earliest_append(0).max(start + w));
+                        let child_est =
+                            child_drt.max(s.timeline(p).earliest_append(0).max(start + w));
                         start + child_est
                     }
                     None => start,
                 };
-                if best.is_none_or(|(bs, bst, bp)| {
-                    (score, start, p.0) < (bs, bst, bp.0)
-                }) {
+                if best.is_none_or(|(bs, bst, bp)| (score, start, p.0) < (bs, bst, bp.0)) {
                     best = Some((score, start, p));
                 }
             }
@@ -116,7 +115,10 @@ impl Scheduler for Dcp {
             ready.take(g, n);
         }
 
-        Ok(Outcome { schedule: s, network: None })
+        Ok(Outcome {
+            schedule: s,
+            network: None,
+        })
     }
 }
 

@@ -20,8 +20,15 @@
 //! enforced via an explicit re-estimation of the protected node's start
 //! time rather than the original's reservation bookkeeping. Schedule
 //! quality characteristics (dynamic CP focus, edge zeroing) are preserved.
+//!
+//! Hot-path notes: the DSRW guard evaluates the protected node's start
+//! *after* a tentative merge by placing the candidate on the live schedule,
+//! estimating, and unplacing — the previous implementation cloned the whole
+//! `Schedule` per guard check (O(v) copy × O(v) steps). Combined with the
+//! O(1) `ReadySet::contains` inside the partially-free scan this takes the
+//! per-step cost from O(v·|ready|) to O(v + e_local).
 
-use dagsched_graph::{levels, TaskGraph, TaskId};
+use dagsched_graph::{TaskGraph, TaskId};
 use dagsched_platform::{ProcId, Schedule};
 
 use crate::common::ReadySet;
@@ -42,7 +49,7 @@ impl Scheduler for Dsc {
 
     fn schedule(&self, g: &TaskGraph, _env: &Env) -> Result<Outcome, SchedError> {
         let v = g.num_tasks();
-        let bl = levels::b_levels(g); // static b-levels, as in the original
+        let bl = g.levels().b_levels(); // static b-levels, as in the original
         let mut s = Schedule::new(v, v);
         // tlevel[n] = current estimate of n's earliest start: for scheduled
         // nodes their actual start; for unscheduled, max over scheduled
@@ -60,14 +67,17 @@ impl Scheduler for Dsc {
             // Highest-priority *partially free* node: unscheduled, not free,
             // with at least one scheduled parent (its start estimate is
             // meaningful).
-            let pfp = partially_free_max(g, &s, &ready, &tlevel, &bl);
+            let pfp = partially_free_max(g, &s, &ready, &tlevel, bl);
 
             // Candidate clusters: those of nf's parents, evaluated by the
             // start time nf would get appended there (edges from parents in
             // that cluster are zeroed).
             let mut best: Option<(u64, ProcId)> = None;
-            let mut parent_procs: Vec<ProcId> =
-                g.preds(nf).iter().filter_map(|&(q, _)| s.proc_of(q)).collect();
+            let mut parent_procs: Vec<ProcId> = g
+                .preds(nf)
+                .iter()
+                .filter_map(|&(q, _)| s.proc_of(q))
+                .collect();
             parent_procs.sort_unstable();
             parent_procs.dedup();
             for &p in &parent_procs {
@@ -83,23 +93,25 @@ impl Scheduler for Dsc {
             if let Some((start, p)) = best {
                 if start < tlevel[nf.index()] {
                     let dsrw_ok = match pfp {
-                        Some(pf) if priority(pf, &tlevel, &bl) > priority(nf, &tlevel, &bl) => {
+                        Some(pf) if priority(pf, &tlevel, bl) > priority(nf, &tlevel, bl) => {
                             // Estimate pf's start on that cluster before and
                             // after the attachment; reject if it would grow.
+                            // The trial placement goes onto the live
+                            // schedule and is rolled back immediately —
+                            // place/estimate/unplace restores the exact
+                            // previous state, no clone needed.
                             let before = est_partially_free(g, &s, pf, p);
-                            let after = {
-                                let mut trial = s.clone();
-                                trial
-                                    .place(nf, p, start, g.weight(nf))
-                                    .expect("append start is free");
-                                est_partially_free(g, &trial, pf, p)
-                            };
+                            s.place(nf, p, start, g.weight(nf))
+                                .expect("append start is free");
+                            let after = est_partially_free(g, &s, pf, p);
+                            s.unplace(nf);
                             after <= before
                         }
                         _ => true,
                     };
                     if dsrw_ok {
-                        s.place(nf, p, start, g.weight(nf)).expect("append start is free");
+                        s.place(nf, p, start, g.weight(nf))
+                            .expect("append start is free");
                         tlevel[nf.index()] = start;
                         placed = true;
                     }
@@ -112,7 +124,8 @@ impl Scheduler for Dsc {
                 }
                 let p = ProcId(next_fresh);
                 let start = tlevel[nf.index()];
-                s.place(nf, p, start, g.weight(nf)).expect("fresh cluster is idle");
+                s.place(nf, p, start, g.weight(nf))
+                    .expect("fresh cluster is idle");
             }
             scheduled_count += 1;
 
@@ -124,7 +137,10 @@ impl Scheduler for Dsc {
             ready.take(g, nf);
         }
 
-        Ok(Outcome { schedule: s, network: None })
+        Ok(Outcome {
+            schedule: s,
+            network: None,
+        })
     }
 }
 
@@ -250,7 +266,11 @@ mod tests {
         let out = testutil::run(&Dsc, &g);
         // One branch is zeroed onto a's cluster; the rest run remotely in
         // parallel: 6 clusters total… at least 4 to be robust.
-        assert!(out.schedule.procs_used() >= 4, "used {}", out.schedule.procs_used());
+        assert!(
+            out.schedule.procs_used() >= 4,
+            "used {}",
+            out.schedule.procs_used()
+        );
         assert!(out.schedule.makespan() <= 1 + 1 + 10);
     }
 }

@@ -61,7 +61,10 @@ impl Scheduler for Ez {
 
         let schedule = super::schedule_clustering(g, &clusters);
         debug_assert_eq!(schedule.makespan(), best_pt);
-        Ok(Outcome { schedule, network: None })
+        Ok(Outcome {
+            schedule,
+            network: None,
+        })
     }
 }
 
@@ -88,8 +91,10 @@ mod tests {
         gb.add_edge(a, c, 1).unwrap();
         let g = gb.build().unwrap();
         let out = testutil::run(&Ez, &g);
-        assert_eq!(out.schedule.proc_of(dagsched_graph::TaskId(0)),
-                   out.schedule.proc_of(dagsched_graph::TaskId(1)));
+        assert_eq!(
+            out.schedule.proc_of(dagsched_graph::TaskId(0)),
+            out.schedule.proc_of(dagsched_graph::TaskId(1))
+        );
         // pt: a[0,5) b[5,10) same cluster; c starts 5+1=6 elsewhere → 11.
         assert_eq!(out.schedule.makespan(), 11);
         assert_eq!(out.schedule.procs_used(), 2);
@@ -118,8 +123,10 @@ mod tests {
         gb.add_edge(r, sink, 2).unwrap();
         let g = gb.build().unwrap();
         let out = testutil::run(&Ez, &g);
-        assert_eq!(out.schedule.proc_of(dagsched_graph::TaskId(0)),
-                   out.schedule.proc_of(dagsched_graph::TaskId(2)));
+        assert_eq!(
+            out.schedule.proc_of(dagsched_graph::TaskId(0)),
+            out.schedule.proc_of(dagsched_graph::TaskId(2))
+        );
         // l[0,4) with sink on one cluster; r's message still arrives at
         // 4 + 2 = 6, so sink runs [6,10): parallel time 10 (identity
         // clustering would have been 58).

@@ -49,7 +49,10 @@ impl Scheduler for Lc {
         }
 
         let schedule = super::schedule_clustering(g, &clusters);
-        Ok(Outcome { schedule, network: None })
+        Ok(Outcome {
+            schedule,
+            network: None,
+        })
     }
 }
 
@@ -76,7 +79,9 @@ fn critical_path_unmarked(g: &TaskGraph, marked: &[bool]) -> Vec<TaskId> {
         .filter(|&n| !marked[n.index()])
         .filter(|&n| g.preds(n).iter().all(|&(p, _)| marked[p.index()]))
         .max_by_key(|&n| (bl[n.index()], std::cmp::Reverse(n.0)));
-    let Some(mut cur) = start else { return Vec::new() };
+    let Some(mut cur) = start else {
+        return Vec::new();
+    };
     let mut path = vec![cur];
     loop {
         let need = bl[cur.index()] - g.weight(cur);

@@ -67,8 +67,9 @@ pub fn map_clusters(
             clusters.sort_by_key(|&(start, work, _)| (std::cmp::Reverse(work), start));
             let mut load = vec![0u64; procs];
             for (_, work, tasks) in &clusters {
-                let target =
-                    (0..procs).min_by_key(|&i| (load[i], i)).expect("procs >= 1");
+                let target = (0..procs)
+                    .min_by_key(|&i| (load[i], i))
+                    .expect("procs >= 1");
                 load[target] += work;
                 for &t in tasks {
                     assign[t.index()] = target as u32;
@@ -138,7 +139,10 @@ fn simulate(
         .collect();
     order.sort_by_key(|&t| {
         (
-            g.topo_order().iter().position(|&x| x == t).unwrap_or(usize::MAX),
+            g.topo_order()
+                .iter()
+                .position(|&x| x == t)
+                .unwrap_or(usize::MAX),
             std::cmp::Reverse(bl[t.index()]),
         )
     });
@@ -150,7 +154,11 @@ fn simulate(
         let mut drt = 0u64;
         for &(q, c) in g.preds(t) {
             if included[q.index()] {
-                let cost = if assign[q.index()] as usize == p { 0 } else { c };
+                let cost = if assign[q.index()] as usize == p {
+                    0
+                } else {
+                    c
+                };
                 drt = drt.max(finish[q.index()] + cost);
             }
         }
@@ -178,7 +186,8 @@ fn retime(g: &TaskGraph, assign: &[u32], procs: usize) -> Schedule {
             drt = drt.max(pl.finish + cost);
         }
         let est = s.timeline(p).earliest_append(drt);
-        s.place(n, p, est, g.weight(n)).expect("append cannot collide");
+        s.place(n, p, est, g.weight(n))
+            .expect("append cannot collide");
         ready.take(g, n);
     }
     s
@@ -208,7 +217,10 @@ impl<S: Scheduler> Scheduler for UncCs<S> {
         }
         let unc = self.inner.schedule(g, env)?;
         let schedule = map_clusters(g, &unc.schedule, env.procs(), self.mapping);
-        Ok(Outcome { schedule, network: None })
+        Ok(Outcome {
+            schedule,
+            network: None,
+        })
     }
 }
 
@@ -251,7 +263,10 @@ mod tests {
 
     #[test]
     fn adapter_behaves_like_a_bnp_scheduler() {
-        let adapter = UncCs { inner: Dcp::default(), mapping: ClusterMapping::Sarkar };
+        let adapter = UncCs {
+            inner: Dcp::default(),
+            mapping: ClusterMapping::Sarkar,
+        };
         assert_eq!(adapter.class(), AlgoClass::Bnp);
         let g = testutil::classic_nine();
         let out = adapter.schedule(&g, &crate::Env::bnp(3)).unwrap();
@@ -283,6 +298,9 @@ mod tests {
         let unc = testutil::run(&Dsc, &g);
         let sarkar = map_clusters(&g, &unc.schedule, 2, ClusterMapping::Sarkar).makespan();
         let rcp = map_clusters(&g, &unc.schedule, 2, ClusterMapping::Rcp).makespan();
-        assert!(sarkar <= rcp + 5, "Sarkar {sarkar} much worse than RCP {rcp}");
+        assert!(
+            sarkar <= rcp + 5,
+            "Sarkar {sarkar} much worse than RCP {rcp}"
+        );
     }
 }

@@ -85,7 +85,10 @@ impl Scheduler for Md {
             ready.take(g, n);
         }
 
-        Ok(Outcome { schedule: s, network: None })
+        Ok(Outcome {
+            schedule: s,
+            network: None,
+        })
     }
 }
 
@@ -128,7 +131,11 @@ mod tests {
         // sequentially (starts 11,12,13 — no: 13 > ALST 11)… the guard
         // limits packing, so just assert the processor count is below the
         // branch count and the schedule is tight.
-        assert!(out.schedule.procs_used() <= 4, "used {}", out.schedule.procs_used());
+        assert!(
+            out.schedule.procs_used() <= 4,
+            "used {}",
+            out.schedule.procs_used()
+        );
         assert!(out.schedule.makespan() <= 13);
     }
 

@@ -45,11 +45,16 @@ pub(crate) fn schedule_clustering(g: &TaskGraph, clusters: &[u32]) -> Schedule {
         let mut drt = 0u64;
         for &(q, c) in g.preds(n) {
             let pl = s.placement(q).expect("ready ⇒ parents placed");
-            let cost = if clusters[q.index()] == clusters[n.index()] { 0 } else { c };
+            let cost = if clusters[q.index()] == clusters[n.index()] {
+                0
+            } else {
+                c
+            };
             drt = drt.max(pl.finish + cost);
         }
         let est = s.timeline(p).earliest_append(drt);
-        s.place(n, p, est, g.weight(n)).expect("append cannot collide");
+        s.place(n, p, est, g.weight(n))
+            .expect("append cannot collide");
         ready.take(g, n);
     }
     s
@@ -66,7 +71,11 @@ pub(crate) fn zeroed_b_levels(g: &TaskGraph, clusters: &[u32]) -> Vec<u64> {
     for &n in g.topo_order().iter().rev() {
         let mut best = 0u64;
         for &(sx, c) in g.succs(n) {
-            let cost = if clusters[sx.index()] == clusters[n.index()] { 0 } else { c };
+            let cost = if clusters[sx.index()] == clusters[n.index()] {
+                0
+            } else {
+                c
+            };
             best = best.max(cost + bl[sx.index()]);
         }
         bl[n.index()] = g.weight(n) + best;
@@ -78,11 +87,7 @@ pub(crate) fn zeroed_b_levels(g: &TaskGraph, clusters: &[u32]) -> Vec<u64> {
 /// child of `n`, plus the first completely idle processor (a "fresh
 /// cluster"), deduplicated ascending. When nothing is placed yet this is
 /// just the first processor.
-pub(crate) fn neighbourhood_procs(
-    g: &TaskGraph,
-    s: &Schedule,
-    n: TaskId,
-) -> Vec<ProcId> {
+pub(crate) fn neighbourhood_procs(g: &TaskGraph, s: &Schedule, n: TaskId) -> Vec<ProcId> {
     let mut out: Vec<ProcId> = Vec::new();
     for &(q, _) in g.preds(n).iter().chain(g.succs(n).iter()) {
         if let Some(p) = s.proc_of(q) {
@@ -114,8 +119,11 @@ pub(crate) mod testutil {
     /// trait) and validate.
     pub fn run(algo: &dyn Scheduler, g: &TaskGraph) -> Outcome {
         assert_eq!(algo.class(), AlgoClass::Unc);
-        let out = algo.schedule(g, &Env::bnp(1)).expect("UNC scheduling must succeed");
-        out.validate(g).unwrap_or_else(|e| panic!("{} invalid: {e}", algo.name()));
+        let out = algo
+            .schedule(g, &Env::bnp(1))
+            .expect("UNC scheduling must succeed");
+        out.validate(g)
+            .unwrap_or_else(|e| panic!("{} invalid: {e}", algo.name()));
         out
     }
 
@@ -124,7 +132,12 @@ pub(crate) mod testutil {
         // Heavy-comm chain: one cluster, length Σw.
         let chain = chain4();
         let out = run(algo, &chain);
-        assert_eq!(out.schedule.makespan(), 20, "{}: chain must be one cluster", algo.name());
+        assert_eq!(
+            out.schedule.makespan(),
+            20,
+            "{}: chain must be one cluster",
+            algo.name()
+        );
         assert_eq!(out.schedule.procs_used(), 1, "{}", algo.name());
 
         // Independent tasks: unlimited clusters ⇒ full parallelism.
@@ -141,7 +154,11 @@ pub(crate) mod testutil {
         let out = run(algo, &g);
         let m = out.schedule.makespan();
         assert!(m >= 12, "{}: below CP computation bound: {m}", algo.name());
-        assert!(m <= g.total_work(), "{}: worse than serial: {m}", algo.name());
+        assert!(
+            m <= g.total_work(),
+            "{}: worse than serial: {m}",
+            algo.name()
+        );
 
         // Determinism.
         let again = run(algo, &g);

@@ -11,10 +11,8 @@ use proptest::prelude::*;
 fn arb_dag() -> impl Strategy<Value = TaskGraph> {
     (1usize..18).prop_flat_map(|n| {
         let weights = proptest::collection::vec(1u64..50, n);
-        let edges = proptest::collection::vec(
-            (0usize..n.max(1), 0usize..n.max(1), 0u64..120),
-            0..40,
-        );
+        let edges =
+            proptest::collection::vec((0usize..n.max(1), 0usize..n.max(1), 0u64..120), 0..40);
         (weights, edges).prop_map(|(weights, edges)| {
             let mut b = GraphBuilder::new();
             let ids: Vec<TaskId> = weights.iter().map(|&w| b.add_task(w)).collect();

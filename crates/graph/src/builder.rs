@@ -39,7 +39,10 @@ impl GraphBuilder {
 
     /// New builder carrying a graph name used in reports.
     pub fn named(name: impl Into<String>) -> Self {
-        GraphBuilder { name: name.into(), ..Self::default() }
+        GraphBuilder {
+            name: name.into(),
+            ..Self::default()
+        }
     }
 
     /// Pre-allocate for `tasks` tasks and `edges` edges.
@@ -117,20 +120,50 @@ impl GraphBuilder {
             }
         }
 
-        let mut succs: Vec<Vec<(TaskId, u64)>> = vec![Vec::new(); v];
-        let mut preds: Vec<Vec<(TaskId, u64)>> = vec![Vec::new(); v];
-        for &(s, d, c) in &self.edges {
-            succs[s.index()].push((d, c));
-            preds[d.index()].push((s, c));
+        if self.edges.len() > u32::MAX as usize {
+            return Err(GraphError::TooManyEdges);
         }
-        for row in succs.iter_mut().chain(preds.iter_mut()) {
-            row.sort_unstable_by_key(|&(t, _)| t);
+
+        // CSR construction by counting sort: degree counts → prefix-sum
+        // offsets → cursor fill, then an in-place sort of each row by
+        // neighbour id (rows are short; the sort keeps the public
+        // sorted-slice contract).
+        let e = self.edges.len();
+        let mut succ_off = vec![0u32; v + 1];
+        let mut pred_off = vec![0u32; v + 1];
+        for &(s, d, _) in &self.edges {
+            succ_off[s.index() + 1] += 1;
+            pred_off[d.index() + 1] += 1;
+        }
+        for i in 0..v {
+            succ_off[i + 1] += succ_off[i];
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut succ_adj = vec![(TaskId(0), 0u64); e];
+        let mut pred_adj = vec![(TaskId(0), 0u64); e];
+        let mut succ_cur: Vec<u32> = succ_off[..v].to_vec();
+        let mut pred_cur: Vec<u32> = pred_off[..v].to_vec();
+        for &(s, d, c) in &self.edges {
+            succ_adj[succ_cur[s.index()] as usize] = (d, c);
+            succ_cur[s.index()] += 1;
+            pred_adj[pred_cur[d.index()] as usize] = (s, c);
+            pred_cur[d.index()] += 1;
+        }
+        for i in 0..v {
+            succ_adj[succ_off[i] as usize..succ_off[i + 1] as usize]
+                .sort_unstable_by_key(|&(t, _)| t);
+            pred_adj[pred_off[i] as usize..pred_off[i + 1] as usize]
+                .sort_unstable_by_key(|&(t, _)| t);
         }
         // Duplicate detection on the sorted successor rows.
-        for (i, row) in succs.iter().enumerate() {
+        for i in 0..v {
+            let row = &succ_adj[succ_off[i] as usize..succ_off[i + 1] as usize];
             for pair in row.windows(2) {
                 if pair[0].0 == pair[1].0 {
-                    return Err(GraphError::DuplicateEdge { src: i as u32, dst: pair[0].0 .0 });
+                    return Err(GraphError::DuplicateEdge {
+                        src: i as u32,
+                        dst: pair[0].0 .0,
+                    });
                 }
             }
         }
@@ -139,10 +172,12 @@ impl GraphBuilder {
             name: self.name,
             weights: self.weights,
             labels: self.labels,
-            succs,
-            preds,
+            succ_off,
+            succ_adj,
+            pred_off,
+            pred_adj,
             topo: Vec::new(),
-            num_edges: self.edges.len(),
+            levels: std::sync::OnceLock::new(),
         };
         match topo::topological_order(&g) {
             Some(order) => {
@@ -172,14 +207,20 @@ mod tests {
     fn rejects_zero_weight() {
         let mut b = GraphBuilder::new();
         b.add_task(0);
-        assert_eq!(b.build().unwrap_err(), GraphError::ZeroWeightTask { task: 0 });
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::ZeroWeightTask { task: 0 }
+        );
     }
 
     #[test]
     fn rejects_self_loop_immediately() {
         let mut b = GraphBuilder::new();
         let a = b.add_task(1);
-        assert_eq!(b.add_edge(a, a, 1).unwrap_err(), GraphError::SelfLoop { task: 0 });
+        assert_eq!(
+            b.add_edge(a, a, 1).unwrap_err(),
+            GraphError::SelfLoop { task: 0 }
+        );
     }
 
     #[test]
@@ -187,8 +228,14 @@ mod tests {
         let mut b = GraphBuilder::new();
         let a = b.add_task(1);
         let ghost = TaskId(99);
-        assert_eq!(b.add_edge(a, ghost, 1).unwrap_err(), GraphError::UnknownTask { task: 99 });
-        assert_eq!(b.add_edge(ghost, a, 1).unwrap_err(), GraphError::UnknownTask { task: 99 });
+        assert_eq!(
+            b.add_edge(a, ghost, 1).unwrap_err(),
+            GraphError::UnknownTask { task: 99 }
+        );
+        assert_eq!(
+            b.add_edge(ghost, a, 1).unwrap_err(),
+            GraphError::UnknownTask { task: 99 }
+        );
     }
 
     #[test]
@@ -198,7 +245,10 @@ mod tests {
         let c = b.add_task(1);
         b.add_edge(a, c, 1).unwrap();
         b.add_edge(a, c, 2).unwrap();
-        assert_eq!(b.build().unwrap_err(), GraphError::DuplicateEdge { src: 0, dst: 1 });
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::DuplicateEdge { src: 0, dst: 1 }
+        );
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub enum GraphError {
     Empty,
     /// More than `u32::MAX` tasks were requested.
     TooManyTasks,
+    /// More than `u32::MAX` edges were requested (the CSR offsets are
+    /// 32-bit).
+    TooManyEdges,
     /// A `.tgf` parse failure, with the 1-based line number and a reason.
     Parse { line: usize, reason: String },
 }
@@ -43,6 +46,7 @@ impl fmt::Display for GraphError {
             }
             GraphError::Empty => write!(f, "graph has no tasks"),
             GraphError::TooManyTasks => write!(f, "too many tasks (max {})", u32::MAX),
+            GraphError::TooManyEdges => write!(f, "too many edges (max {})", u32::MAX),
             GraphError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
         }
     }
@@ -64,7 +68,10 @@ mod tests {
             (GraphError::Cycle { task: 5 }, "cyclic"),
             (GraphError::Empty, "no tasks"),
             (
-                GraphError::Parse { line: 7, reason: "bad token".into() },
+                GraphError::Parse {
+                    line: 7,
+                    reason: "bad token".into(),
+                },
                 "line 7",
             ),
         ];

@@ -1,6 +1,8 @@
 //! The immutable [`TaskGraph`] representation.
 
+use crate::levels::Levels;
 use crate::topo;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a task (node) in a [`TaskGraph`].
 ///
@@ -39,18 +41,30 @@ pub struct EdgeRef {
 /// edges, acyclicity) so that every `TaskGraph` in existence is well-formed.
 /// A deterministic topological order is computed once at build time and
 /// cached.
+///
+/// Adjacency is stored in CSR (compressed sparse row) form: one flat
+/// `(TaskId, cost)` array per direction plus `v + 1` offsets. Schedulers
+/// spend most of their time sweeping neighbour lists of consecutive tasks,
+/// and the flat layout keeps those sweeps on contiguous cache lines instead
+/// of chasing one heap allocation per task. The public [`TaskGraph::succs`] /
+/// [`TaskGraph::preds`] slice API is unchanged from the `Vec<Vec<_>>` days.
 #[derive(Debug, Clone)]
 pub struct TaskGraph {
     pub(crate) name: String,
     pub(crate) weights: Vec<u64>,
     pub(crate) labels: Vec<String>,
-    /// Successor adjacency: `succs[i]` = `(child, edge cost)` sorted by child id.
-    pub(crate) succs: Vec<Vec<(TaskId, u64)>>,
-    /// Predecessor adjacency: `preds[i]` = `(parent, edge cost)` sorted by parent id.
-    pub(crate) preds: Vec<Vec<(TaskId, u64)>>,
+    /// CSR offsets into `succ_adj`; row `i` is `succ_adj[off[i]..off[i+1]]`.
+    pub(crate) succ_off: Vec<u32>,
+    /// Packed successor entries `(child, edge cost)`, each row sorted by id.
+    pub(crate) succ_adj: Vec<(TaskId, u64)>,
+    /// CSR offsets into `pred_adj`.
+    pub(crate) pred_off: Vec<u32>,
+    /// Packed predecessor entries `(parent, edge cost)`, each row sorted by id.
+    pub(crate) pred_adj: Vec<(TaskId, u64)>,
     /// Cached deterministic topological order (parents before children).
     pub(crate) topo: Vec<TaskId>,
-    pub(crate) num_edges: usize,
+    /// Level attributes, computed on first use and shared across clones.
+    pub(crate) levels: OnceLock<Arc<Levels>>,
 }
 
 impl TaskGraph {
@@ -68,7 +82,7 @@ impl TaskGraph {
     /// Number of edges `e`.
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.num_edges
+        self.succ_adj.len()
     }
 
     /// Computation cost `w(n)` of a task. Always `> 0`.
@@ -91,25 +105,37 @@ impl TaskGraph {
     /// Successors of `n` with edge costs, sorted by task id.
     #[inline]
     pub fn succs(&self, n: TaskId) -> &[(TaskId, u64)] {
-        &self.succs[n.index()]
+        let i = n.index();
+        &self.succ_adj[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
     }
 
-    /// Predecessors of `n` with edge costs, sorted by task id.
+    /// Predecessors of `n` with edge costs, sorted by parent id.
     #[inline]
     pub fn preds(&self, n: TaskId) -> &[(TaskId, u64)] {
-        &self.preds[n.index()]
+        let i = n.index();
+        &self.pred_adj[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
     }
 
     /// Out-degree of `n`.
     #[inline]
     pub fn out_degree(&self, n: TaskId) -> usize {
-        self.succs[n.index()].len()
+        let i = n.index();
+        (self.succ_off[i + 1] - self.succ_off[i]) as usize
     }
 
     /// In-degree of `n`.
     #[inline]
     pub fn in_degree(&self, n: TaskId) -> usize {
-        self.preds[n.index()].len()
+        let i = n.index();
+        (self.pred_off[i + 1] - self.pred_off[i]) as usize
+    }
+
+    /// The level attributes of this graph (t-level, b-level, static level,
+    /// ALAP, critical-path length), computed lazily in two topological
+    /// passes and cached for the life of the graph. Clones share the cache.
+    #[inline]
+    pub fn levels(&self) -> &Levels {
+        self.levels.get_or_init(|| Arc::new(Levels::compute(self)))
     }
 
     /// Iterator over all task ids `0..v`.
@@ -135,8 +161,10 @@ impl TaskGraph {
 
     /// Cost of the edge `src → dst`, or `None` when no such edge exists.
     pub fn edge_cost(&self, src: TaskId, dst: TaskId) -> Option<u64> {
-        let row = &self.succs[src.index()];
-        row.binary_search_by_key(&dst, |&(d, _)| d).ok().map(|i| row[i].1)
+        let row = self.succs(src);
+        row.binary_search_by_key(&dst, |&(d, _)| d)
+            .ok()
+            .map(|i| row[i].1)
     }
 
     /// Whether the edge `src → dst` exists.
@@ -147,7 +175,9 @@ impl TaskGraph {
     /// Iterator over all edges, grouped by source id ascending.
     pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
         self.tasks().flat_map(move |src| {
-            self.succs(src).iter().map(move |&(dst, cost)| EdgeRef { src, dst, cost })
+            self.succs(src)
+                .iter()
+                .map(move |&(dst, cost)| EdgeRef { src, dst, cost })
         })
     }
 
@@ -165,10 +195,10 @@ impl TaskGraph {
     /// Actual communication-to-computation ratio of this graph:
     /// mean edge cost / mean node cost. Zero when the graph has no edges.
     pub fn ccr(&self) -> f64 {
-        if self.num_edges == 0 {
+        if self.num_edges() == 0 {
             return 0.0;
         }
-        let mean_comm = self.total_comm() as f64 / self.num_edges as f64;
+        let mean_comm = self.total_comm() as f64 / self.num_edges() as f64;
         let mean_comp = self.total_work() as f64 / self.num_tasks() as f64;
         mean_comm / mean_comp
     }
@@ -187,7 +217,10 @@ impl TaskGraph {
                 stack.extend(self.succs(t).iter().map(|&(s, _)| s));
             }
         }
-        (0..self.num_tasks() as u32).map(TaskId).filter(|t| seen[t.index()]).collect()
+        (0..self.num_tasks() as u32)
+            .map(TaskId)
+            .filter(|t| seen[t.index()])
+            .collect()
     }
 
     /// Rename the graph (builders of derived graphs use this).
@@ -221,7 +254,9 @@ impl TaskGraph {
         if !topo::is_topological(self, &self.topo) {
             // A bad cached order implies a cycle (the builder would have
             // produced a complete order otherwise).
-            return Err(GraphError::Cycle { task: self.topo.first().map(|t| t.0).unwrap_or(0) });
+            return Err(GraphError::Cycle {
+                task: self.topo.first().map(|t| t.0).unwrap_or(0),
+            });
         }
         Ok(())
     }
@@ -280,7 +315,11 @@ mod tests {
         let g = diamond();
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(edges.len(), 4);
-        assert!(edges.contains(&EdgeRef { src: TaskId(0), dst: TaskId(2), cost: 6 }));
+        assert!(edges.contains(&EdgeRef {
+            src: TaskId(0),
+            dst: TaskId(2),
+            cost: 6
+        }));
     }
 
     #[test]
@@ -293,7 +332,10 @@ mod tests {
     #[test]
     fn descendants_are_transitive() {
         let g = diamond();
-        assert_eq!(g.descendants(TaskId(0)), vec![TaskId(1), TaskId(2), TaskId(3)]);
+        assert_eq!(
+            g.descendants(TaskId(0)),
+            vec![TaskId(1), TaskId(2), TaskId(3)]
+        );
         assert_eq!(g.descendants(TaskId(1)), vec![TaskId(3)]);
         assert!(g.descendants(TaskId(3)).is_empty());
     }

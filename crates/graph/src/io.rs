@@ -25,7 +25,12 @@ use std::fmt::Write as _;
 /// Serialize `g` to TGF text.
 pub fn to_tgf(g: &TaskGraph) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# taskbench TGF v1: {} tasks, {} edges", g.num_tasks(), g.num_edges());
+    let _ = writeln!(
+        out,
+        "# taskbench TGF v1: {} tasks, {} edges",
+        g.num_tasks(),
+        g.num_edges()
+    );
     if !g.name().is_empty() {
         let _ = writeln!(out, "graph {}", g.name());
     }
@@ -101,10 +106,11 @@ pub fn from_tgf(text: &str) -> Result<TaskGraph, GraphError> {
                         reason: "trailing tokens after edge cost".into(),
                     });
                 }
-                b.add_edge(TaskId(src), TaskId(dst), cost).map_err(|e| GraphError::Parse {
-                    line: lineno,
-                    reason: e.to_string(),
-                })?;
+                b.add_edge(TaskId(src), TaskId(dst), cost)
+                    .map_err(|e| GraphError::Parse {
+                        line: lineno,
+                        reason: e.to_string(),
+                    })?;
             }
             other => {
                 return Err(GraphError::Parse {
@@ -126,7 +132,10 @@ fn parse_num<T: std::str::FromStr>(
     line: usize,
     what: &str,
 ) -> Result<T, GraphError> {
-    let tok = tok.ok_or_else(|| GraphError::Parse { line, reason: format!("missing {what}") })?;
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        reason: format!("missing {what}"),
+    })?;
     tok.parse().map_err(|_| GraphError::Parse {
         line,
         reason: format!("invalid {what}: `{tok}`"),
@@ -148,7 +157,11 @@ pub fn to_dot(g: &TaskGraph) -> String {
         let _ = writeln!(out, "  n{} [label=\"{}\"];", n.0, label);
     }
     for e in g.edges() {
-        let _ = writeln!(out, "  n{} -> n{} [label=\"{}\"];", e.src.0, e.dst.0, e.cost);
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\"];",
+            e.src.0, e.dst.0, e.cost
+        );
     }
     out.push_str("}\n");
     out
@@ -228,7 +241,10 @@ mod tests {
     #[test]
     fn rejects_cyclic_file() {
         let text = "task 0 1\ntask 1 1\nedge 0 1 0\nedge 1 0 0\n";
-        assert!(matches!(from_tgf(text).unwrap_err(), GraphError::Cycle { .. }));
+        assert!(matches!(
+            from_tgf(text).unwrap_err(),
+            GraphError::Cycle { .. }
+        ));
     }
 
     #[test]

@@ -20,63 +20,125 @@
 
 use crate::graph::{TaskGraph, TaskId};
 
+/// Every level attribute of one graph, computed together and cached on the
+/// [`TaskGraph`] (see [`TaskGraph::levels`]).
+///
+/// One forward topological pass produces the t-levels; one backward pass
+/// produces b-levels **and** static levels together; ALAP and the CP length
+/// are O(v) derivations from the b-levels. The scheduling algorithms borrow
+/// these slices instead of recomputing levels per run — before this cache,
+/// `cp_length` and `alap_times` each re-ran the full b-level pass and every
+/// algorithm recomputed its priority attribute from scratch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Levels {
+    t: Vec<u64>,
+    b: Vec<u64>,
+    stat: Vec<u64>,
+    alap: Vec<u64>,
+    cp: u64,
+}
+
+impl Levels {
+    /// Compute all attributes for `g`.
+    pub(crate) fn compute(g: &TaskGraph) -> Levels {
+        let v = g.num_tasks();
+        let mut t = vec![0u64; v];
+        for &n in g.topo_order() {
+            let mut best = 0u64;
+            for &(p, c) in g.preds(n) {
+                best = best.max(t[p.index()] + g.weight(p) + c);
+            }
+            t[n.index()] = best;
+        }
+        let mut b = vec![0u64; v];
+        let mut stat = vec![0u64; v];
+        for &n in g.topo_order().iter().rev() {
+            let mut best_b = 0u64;
+            let mut best_s = 0u64;
+            for &(s, c) in g.succs(n) {
+                best_b = best_b.max(c + b[s.index()]);
+                best_s = best_s.max(stat[s.index()]);
+            }
+            let w = g.weight(n);
+            b[n.index()] = w + best_b;
+            stat[n.index()] = w + best_s;
+        }
+        let cp = b.iter().copied().max().unwrap_or(0);
+        let alap = b.iter().map(|&bl| cp - bl).collect();
+        Levels {
+            t,
+            b,
+            stat,
+            alap,
+            cp,
+        }
+    }
+
+    /// t-levels of every task, indexed by task id.
+    #[inline]
+    pub fn t_levels(&self) -> &[u64] {
+        &self.t
+    }
+
+    /// b-levels of every task, indexed by task id.
+    #[inline]
+    pub fn b_levels(&self) -> &[u64] {
+        &self.b
+    }
+
+    /// Static levels (computation-only b-levels) of every task.
+    #[inline]
+    pub fn static_levels(&self) -> &[u64] {
+        &self.stat
+    }
+
+    /// ALAP start times of every task.
+    #[inline]
+    pub fn alap_times(&self) -> &[u64] {
+        &self.alap
+    }
+
+    /// Critical-path length (edge costs included).
+    #[inline]
+    pub fn cp_length(&self) -> u64 {
+        self.cp
+    }
+}
+
 /// t-levels of every task, indexed by task id.
 pub fn t_levels(g: &TaskGraph) -> Vec<u64> {
-    let mut tl = vec![0u64; g.num_tasks()];
-    for &n in g.topo_order() {
-        let mut best = 0u64;
-        for &(p, c) in g.preds(n) {
-            best = best.max(tl[p.index()] + g.weight(p) + c);
-        }
-        tl[n.index()] = best;
-    }
-    tl
+    g.levels().t_levels().to_vec()
 }
 
 /// b-levels of every task, indexed by task id.
 pub fn b_levels(g: &TaskGraph) -> Vec<u64> {
-    let mut bl = vec![0u64; g.num_tasks()];
-    for &n in g.topo_order().iter().rev() {
-        let mut best = 0u64;
-        for &(s, c) in g.succs(n) {
-            best = best.max(c + bl[s.index()]);
-        }
-        bl[n.index()] = g.weight(n) + best;
-    }
-    bl
+    g.levels().b_levels().to_vec()
 }
 
 /// Static levels (computation-only b-levels) of every task.
 pub fn static_levels(g: &TaskGraph) -> Vec<u64> {
-    let mut sl = vec![0u64; g.num_tasks()];
-    for &n in g.topo_order().iter().rev() {
-        let mut best = 0u64;
-        for &(s, _) in g.succs(n) {
-            best = best.max(sl[s.index()]);
-        }
-        sl[n.index()] = g.weight(n) + best;
-    }
-    sl
+    g.levels().static_levels().to_vec()
 }
 
 /// Critical-path length of the graph (edge costs included).
 pub fn cp_length(g: &TaskGraph) -> u64 {
-    b_levels(g).iter().copied().max().unwrap_or(0)
+    g.levels().cp_length()
 }
 
 /// ALAP start times: `ALAP(n) = CP − b-level(n)`.
 pub fn alap_times(g: &TaskGraph) -> Vec<u64> {
-    let bl = b_levels(g);
-    let cp = bl.iter().copied().max().unwrap_or(0);
-    bl.iter().map(|&b| cp - b).collect()
+    g.levels().alap_times().to_vec()
 }
 
 /// One critical path (entry→exit node sequence), deterministic: at every
 /// step the smallest-id qualifying node is chosen.
 pub fn critical_path(g: &TaskGraph) -> Vec<TaskId> {
-    let bl = b_levels(g);
+    let bl = g.levels().b_levels();
     // Start: entry node with maximal b-level, smallest id on ties.
-    let mut cur = match g.entries().max_by_key(|n| (bl[n.index()], std::cmp::Reverse(n.0))) {
+    let mut cur = match g
+        .entries()
+        .max_by_key(|n| (bl[n.index()], std::cmp::Reverse(n.0)))
+    {
         Some(n) => n,
         None => return Vec::new(),
     };
@@ -167,7 +229,11 @@ mod tests {
         let tl = t_levels(&g);
         let bl = b_levels(&g);
         let cp = cp_length(&g);
-        let max_sum = g.tasks().map(|n| tl[n.index()] + bl[n.index()]).max().unwrap();
+        let max_sum = g
+            .tasks()
+            .map(|n| tl[n.index()] + bl[n.index()])
+            .max()
+            .unwrap();
         assert_eq!(cp, max_sum);
         assert_eq!(cp, 20);
     }
@@ -213,6 +279,20 @@ mod tests {
         assert_eq!(b_levels(&g), vec![7]);
         assert_eq!(cp_length(&g), 7);
         assert_eq!(cp_computation(&g), 7);
+    }
+
+    #[test]
+    fn cached_levels_match_free_functions() {
+        let g = sample();
+        let l = g.levels();
+        assert_eq!(l.t_levels(), t_levels(&g).as_slice());
+        assert_eq!(l.b_levels(), b_levels(&g).as_slice());
+        assert_eq!(l.static_levels(), static_levels(&g).as_slice());
+        assert_eq!(l.alap_times(), alap_times(&g).as_slice());
+        assert_eq!(l.cp_length(), cp_length(&g));
+        // The cache survives cloning (shared Arc).
+        let h = g.clone();
+        assert_eq!(h.levels().cp_length(), 20);
     }
 
     #[test]

@@ -63,4 +63,5 @@ pub mod topo;
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{EdgeRef, TaskGraph, TaskId};
+pub use levels::Levels;
 pub use stats::GraphStats;

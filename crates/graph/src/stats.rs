@@ -42,7 +42,12 @@ pub struct GraphStats {
 pub fn precedence_levels(g: &TaskGraph) -> Vec<usize> {
     let mut lvl = vec![0usize; g.num_tasks()];
     for &n in g.topo_order() {
-        let best = g.preds(n).iter().map(|&(p, _)| lvl[p.index()] + 1).max().unwrap_or(0);
+        let best = g
+            .preds(n)
+            .iter()
+            .map(|&(p, _)| lvl[p.index()] + 1)
+            .max()
+            .unwrap_or(0);
         lvl[n.index()] = best;
     }
     lvl
@@ -160,7 +165,10 @@ mod tests {
         for a in g.tasks() {
             for b in g.tasks() {
                 if a < b && lvl[a.index()] == lvl[b.index()] {
-                    assert!(!related(&g, a, b), "{a} and {b} share a level but are related");
+                    assert!(
+                        !related(&g, a, b),
+                        "{a} and {b} share a level but are related"
+                    );
                 }
             }
         }

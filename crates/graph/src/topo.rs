@@ -10,9 +10,13 @@ use crate::graph::{TaskGraph, TaskId};
 /// byte-identical results across runs for EXPERIMENTS.md to be reproducible.
 pub fn topological_order(g: &TaskGraph) -> Option<Vec<TaskId>> {
     let v = g.num_tasks();
-    let mut indeg: Vec<u32> = (0..v).map(|i| g.preds[i].len() as u32).collect();
-    let mut queue: std::collections::VecDeque<TaskId> =
-        (0..v as u32).map(TaskId).filter(|n| indeg[n.index()] == 0).collect();
+    let mut indeg: Vec<u32> = (0..v)
+        .map(|i| g.in_degree(TaskId(i as u32)) as u32)
+        .collect();
+    let mut queue: std::collections::VecDeque<TaskId> = (0..v as u32)
+        .map(TaskId)
+        .filter(|n| indeg[n.index()] == 0)
+        .collect();
     let mut order = Vec::with_capacity(v);
     while let Some(n) = queue.pop_front() {
         order.push(n);
@@ -31,9 +35,13 @@ pub fn topological_order(g: &TaskGraph) -> Option<Vec<TaskId>> {
 /// revisit a node, which is on a cycle. Returns `None` for acyclic graphs.
 pub fn one_node_on_cycle(g: &TaskGraph) -> Option<TaskId> {
     let v = g.num_tasks();
-    let mut indeg: Vec<u32> = (0..v).map(|i| g.preds[i].len() as u32).collect();
-    let mut queue: std::collections::VecDeque<TaskId> =
-        (0..v as u32).map(TaskId).filter(|n| indeg[n.index()] == 0).collect();
+    let mut indeg: Vec<u32> = (0..v)
+        .map(|i| g.in_degree(TaskId(i as u32)) as u32)
+        .collect();
+    let mut queue: std::collections::VecDeque<TaskId> = (0..v as u32)
+        .map(TaskId)
+        .filter(|n| indeg[n.index()] == 0)
+        .collect();
     let mut drained = 0usize;
     while let Some(n) = queue.pop_front() {
         drained += 1;
@@ -150,8 +158,12 @@ mod tests {
         b.add_edge(n1, n3, 0).unwrap();
         b.add_edge(n2, n3, 0).unwrap();
         let g = b.build().unwrap();
-        let pos: std::collections::HashMap<u32, usize> =
-            g.topo_order().iter().enumerate().map(|(i, t)| (t.0, i)).collect();
+        let pos: std::collections::HashMap<u32, usize> = g
+            .topo_order()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.0, i))
+            .collect();
         assert!(pos[&0] < pos[&1] && pos[&0] < pos[&2]);
         assert!(pos[&1] < pos[&3] && pos[&2] < pos[&3]);
     }

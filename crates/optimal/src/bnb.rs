@@ -20,7 +20,11 @@ pub struct OptimalParams {
 
 impl Default for OptimalParams {
     fn default() -> Self {
-        OptimalParams { procs: None, node_limit: 4_000_000, heuristic_incumbent: true }
+        OptimalParams {
+            procs: None,
+            node_limit: 4_000_000,
+            heuristic_incumbent: true,
+        }
     }
 }
 
@@ -68,7 +72,10 @@ struct Search<'g> {
 /// at 32 and the state signature uses a 64-bit task mask.
 pub fn solve(g: &TaskGraph, params: &OptimalParams) -> OptimalResult {
     let v = g.num_tasks();
-    assert!(v <= 64, "branch-and-bound supports at most 64 tasks (got {v})");
+    assert!(
+        v <= 64,
+        "branch-and-bound supports at most 64 tasks (got {v})"
+    );
     let procs = params.procs.unwrap_or(v).min(v).max(1);
 
     // Incumbent from the heuristic roster.
@@ -123,7 +130,9 @@ pub fn solve(g: &TaskGraph, params: &OptimalParams) -> OptimalResult {
     let mut schedule = Schedule::new(v, procs);
     for n in g.tasks() {
         let (p, st) = search.best[n.index()];
-        schedule.place(n, p, st, g.weight(n)).expect("incumbent is feasible");
+        schedule
+            .place(n, p, st, g.weight(n))
+            .expect("incumbent is feasible");
     }
     debug_assert!(schedule.validate(g).is_ok());
     OptimalResult {
@@ -165,8 +174,8 @@ impl Search<'_> {
             let mut opened_empty = false;
             let mut moves: Vec<(u64, u32)> = Vec::with_capacity(self.procs);
             for pi in 0..self.procs as u32 {
-                let empty = self.proc_ready[pi as usize] == 0
-                    && !self.proc_of.contains(&(pi as u8));
+                let empty =
+                    self.proc_ready[pi as usize] == 0 && !self.proc_of.contains(&(pi as u8));
                 if empty {
                     if opened_empty {
                         continue; // processor symmetry: one empty proc only
@@ -211,7 +220,11 @@ impl Search<'_> {
         self.makespan = self.makespan.max(fin);
         self.total_remaining -= self.weights[n.index()];
         self.n_scheduled += 1;
-        let pos = self.ready.iter().position(|&r| r == n).expect("n was ready");
+        let pos = self
+            .ready
+            .iter()
+            .position(|&r| r == n)
+            .expect("n was ready");
         self.ready.swap_remove(pos);
         for &(c, _) in self.g.succs(n) {
             self.missing[c.index()] -= 1;
@@ -224,7 +237,11 @@ impl Search<'_> {
     fn undo(&mut self, n: TaskId, p: ProcId, start: u64) {
         for &(c, _) in self.g.succs(n) {
             if self.missing[c.index()] == 0 {
-                let pos = self.ready.iter().position(|&r| r == c).expect("child was ready");
+                let pos = self
+                    .ready
+                    .iter()
+                    .position(|&r| r == c)
+                    .expect("child was ready");
                 self.ready.swap_remove(pos);
             }
             self.missing[c.index()] += 1;
@@ -326,7 +343,10 @@ mod tests {
     use dagsched_graph::GraphBuilder;
 
     fn params(procs: usize) -> OptimalParams {
-        OptimalParams { procs: Some(procs), ..OptimalParams::default() }
+        OptimalParams {
+            procs: Some(procs),
+            ..OptimalParams::default()
+        }
     }
 
     #[test]
@@ -408,7 +428,11 @@ mod tests {
     #[test]
     fn node_cap_reports_unproven() {
         let g = crate::exhaustive::tests::random_small(14, 7);
-        let p = OptimalParams { procs: Some(4), node_limit: 10, heuristic_incumbent: true };
+        let p = OptimalParams {
+            procs: Some(4),
+            node_limit: 10,
+            heuristic_incumbent: true,
+        };
         let r = solve(&g, &p);
         assert!(!r.proven);
         // Still returns the heuristic incumbent, which is feasible.

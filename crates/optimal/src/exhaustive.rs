@@ -9,7 +9,10 @@ use dagsched_graph::{TaskGraph, TaskId};
 
 /// Minimum makespan over all list schedules of `g` on `procs` processors.
 pub fn min_makespan(g: &TaskGraph, procs: usize) -> u64 {
-    assert!(g.num_tasks() <= 10, "exhaustive oracle is exponential; keep graphs tiny");
+    assert!(
+        g.num_tasks() <= 10,
+        "exhaustive oracle is exponential; keep graphs tiny"
+    );
     let mut st = State {
         g,
         procs,
@@ -102,11 +105,14 @@ pub mod tests {
     pub fn random_small(n: usize, seed: u64) -> TaskGraph {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut b = GraphBuilder::new();
-        let ids: Vec<_> = (0..n).map(|_| b.add_task(rng.random_range(1..=9))).collect();
+        let ids: Vec<_> = (0..n)
+            .map(|_| b.add_task(rng.random_range(1..=9)))
+            .collect();
         for i in 0..n {
             for j in i + 1..n {
                 if rng.random_bool(0.3) {
-                    b.add_edge(ids[i], ids[j], rng.random_range(0..=12)).unwrap();
+                    b.add_edge(ids[i], ids[j], rng.random_range(0..=12))
+                        .unwrap();
                 }
             }
         }

@@ -35,8 +35,7 @@ pub struct ScheduleReport {
 pub fn report(g: &TaskGraph, s: &Schedule) -> ScheduleReport {
     let makespan = s.makespan();
     let used = s.used_procs();
-    let total_busy: u64 =
-        used.iter().map(|&p| s.timeline(p).busy_time()).sum();
+    let total_busy: u64 = used.iter().map(|&p| s.timeline(p).busy_time()).sum();
     let total_idle = used.len() as u64 * makespan - total_busy;
     let (mut cross_edges, mut comm_paid, mut comm_zeroed) = (0usize, 0u64, 0u64);
     for e in g.edges() {

@@ -42,12 +42,21 @@ pub enum ValidationError {
     /// A task was never placed although the schedule is meant to be complete.
     Unplaced { task: TaskId },
     /// `finish − start` differs from the task's computation cost.
-    WrongDuration { task: TaskId, expected: u64, actual: u64 },
+    WrongDuration {
+        task: TaskId,
+        expected: u64,
+        actual: u64,
+    },
     /// Two tasks overlap on one processor.
     ProcOverlap { proc: ProcId, a: TaskId, b: TaskId },
     /// A precedence/communication constraint is violated:
     /// the child starts before its data can be available.
-    Precedence { src: TaskId, dst: TaskId, data_ready: u64, actual_start: u64 },
+    Precedence {
+        src: TaskId,
+        dst: TaskId,
+        data_ready: u64,
+        actual_start: u64,
+    },
     /// (APN) a cross-processor edge with non-zero cost has no message.
     MissingMessage { src: TaskId, dst: TaskId },
     /// (APN) a message's hop sequence is not a valid link path between the
@@ -66,21 +75,36 @@ impl fmt::Display for ValidationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidationError::Unplaced { task } => write!(f, "{task} is not placed"),
-            ValidationError::WrongDuration { task, expected, actual } => {
+            ValidationError::WrongDuration {
+                task,
+                expected,
+                actual,
+            } => {
                 write!(f, "{task} runs for {actual} but costs {expected}")
             }
             ValidationError::ProcOverlap { proc, a, b } => {
                 write!(f, "{a} and {b} overlap on {proc}")
             }
-            ValidationError::Precedence { src, dst, data_ready, actual_start } => write!(
+            ValidationError::Precedence {
+                src,
+                dst,
+                data_ready,
+                actual_start,
+            } => write!(
                 f,
                 "{dst} starts at {actual_start} but data from {src} is ready at {data_ready}"
             ),
             ValidationError::MissingMessage { src, dst } => {
-                write!(f, "no message scheduled for cross-processor edge {src} -> {dst}")
+                write!(
+                    f,
+                    "no message scheduled for cross-processor edge {src} -> {dst}"
+                )
             }
             ValidationError::BadRoute { src, dst } => {
-                write!(f, "message for {src} -> {dst} does not follow a valid link path")
+                write!(
+                    f,
+                    "message for {src} -> {dst} does not follow a valid link path"
+                )
             }
             ValidationError::MessageTiming { src, dst } => {
                 write!(f, "message for {src} -> {dst} has inconsistent hop timing")
@@ -145,7 +169,10 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("n2") && s.contains("10") && s.contains('5'));
 
-        let p = PlaceError::Overlap { task: TaskId(3), proc: ProcId(1) };
+        let p = PlaceError::Overlap {
+            task: TaskId(3),
+            proc: ProcId(1),
+        };
         assert!(p.to_string().contains("n3"));
 
         let t = TopologyError::DuplicateLink { a: 0, b: 1 };

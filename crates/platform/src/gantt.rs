@@ -58,8 +58,8 @@ pub fn bars(s: &Schedule, width: usize) -> String {
         let mut row = vec!['.'; width];
         for slot in tl.slots() {
             let a = (slot.start as u128 * width as u128 / span as u128) as usize;
-            let b = ((slot.finish as u128 * width as u128).div_ceil(span as u128) as usize)
-                .min(width);
+            let b =
+                ((slot.finish as u128 * width as u128).div_ceil(span as u128) as usize).min(width);
             let ch = char::from_digit(slot.tag.0 % 10, 10).unwrap();
             for cell in &mut row[a..b.max(a + 1).min(width)] {
                 *cell = ch;
@@ -67,7 +67,10 @@ pub fn bars(s: &Schedule, width: usize) -> String {
         }
         out.push_str(&format!("{p:>4} |{}|\n", row.iter().collect::<String>()));
     }
-    out.push_str(&format!("time 0..{span}, one column ≈ {:.1}\n", span as f64 / width as f64));
+    out.push_str(&format!(
+        "time 0..{span}, one column ≈ {:.1}\n",
+        span as f64 / width as f64
+    ));
     out
 }
 

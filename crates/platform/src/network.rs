@@ -122,7 +122,11 @@ impl Network {
         let id = MsgId(self.messages.len() as u32);
         let mut hops = Vec::new();
         let (_, arrival) = self.walk_route_mut(from, to, ready, size, |link, s, f| {
-            hops.push(MessageHop { link, start: s, finish: f });
+            hops.push(MessageHop {
+                link,
+                start: s,
+                finish: f,
+            });
         });
         for hop in &hops {
             self.tracks[hop.link.index()]

@@ -72,7 +72,11 @@ impl Schedule {
         self.timelines[proc.index()]
             .insert(start, finish, task)
             .map_err(|()| PlaceError::Overlap { task, proc })?;
-        self.placements[task.index()] = Some(Placement { proc, start, finish });
+        self.placements[task.index()] = Some(Placement {
+            proc,
+            start,
+            finish,
+        });
         Ok(())
     }
 
@@ -117,13 +121,22 @@ impl Schedule {
 
     /// Tasks on `proc` in execution order.
     pub fn tasks_on(&self, proc: ProcId) -> Vec<TaskId> {
-        self.timelines[proc.index()].slots().iter().map(|s| s.tag).collect()
+        self.timelines[proc.index()]
+            .slots()
+            .iter()
+            .map(|s| s.tag)
+            .collect()
     }
 
     /// Schedule length: the latest finish time over all placed tasks
     /// (0 for an empty schedule).
     pub fn makespan(&self) -> u64 {
-        self.placements.iter().flatten().map(|p| p.finish).max().unwrap_or(0)
+        self.placements
+            .iter()
+            .flatten()
+            .map(|p| p.finish)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of processors that execute at least one task — the paper's
@@ -134,7 +147,10 @@ impl Schedule {
 
     /// Ids of the processors that execute at least one task, ascending.
     pub fn used_procs(&self) -> Vec<ProcId> {
-        (0..self.num_procs as u32).map(ProcId).filter(|p| !self.timelines[p.index()].is_empty()).collect()
+        (0..self.num_procs as u32)
+            .map(ProcId)
+            .filter(|p| !self.timelines[p.index()].is_empty())
+            .collect()
     }
 
     /// Renumber processors so the used ones become `P0..Pk` (preserving
@@ -149,8 +165,13 @@ impl Schedule {
         let mut out = Schedule::new(self.num_tasks(), used.len().max(1));
         for (i, p) in self.placements.iter().enumerate() {
             if let Some(p) = p {
-                out.place(TaskId(i as u32), ProcId(map[p.proc.index()]), p.start, p.finish - p.start)
-                    .expect("compacted placements cannot collide");
+                out.place(
+                    TaskId(i as u32),
+                    ProcId(map[p.proc.index()]),
+                    p.start,
+                    p.finish - p.start,
+                )
+                .expect("compacted placements cannot collide");
             }
         }
         out
@@ -164,8 +185,11 @@ impl Schedule {
         for e in g.edges() {
             let pu = self.placements[e.src.index()].unwrap();
             let pv = self.placements[e.dst.index()].unwrap();
-            let ready =
-                if pu.proc == pv.proc { pu.finish } else { pu.finish + e.cost };
+            let ready = if pu.proc == pv.proc {
+                pu.finish
+            } else {
+                pu.finish + e.cost
+            };
             if pv.start < ready {
                 return Err(ValidationError::Precedence {
                     src: e.src,
@@ -203,10 +227,16 @@ impl Schedule {
             }
             let msg = net
                 .message_for(e.src, e.dst)
-                .ok_or(ValidationError::MissingMessage { src: e.src, dst: e.dst })?;
+                .ok_or(ValidationError::MissingMessage {
+                    src: e.src,
+                    dst: e.dst,
+                })?;
             // Hop chain must trace a link path proc(u) → proc(v).
             if msg.hops.is_empty() {
-                return Err(ValidationError::BadRoute { src: e.src, dst: e.dst });
+                return Err(ValidationError::BadRoute {
+                    src: e.src,
+                    dst: e.dst,
+                });
             }
             let mut cur = pu.proc;
             for hop in &msg.hops {
@@ -216,17 +246,26 @@ impl Schedule {
                 } else if b == cur {
                     a
                 } else {
-                    return Err(ValidationError::BadRoute { src: e.src, dst: e.dst });
+                    return Err(ValidationError::BadRoute {
+                        src: e.src,
+                        dst: e.dst,
+                    });
                 };
             }
             if cur != pv.proc {
-                return Err(ValidationError::BadRoute { src: e.src, dst: e.dst });
+                return Err(ValidationError::BadRoute {
+                    src: e.src,
+                    dst: e.dst,
+                });
             }
             // Timing: store-and-forward with constant message size.
             let mut prev_finish = pu.finish;
             for hop in &msg.hops {
                 if hop.start < prev_finish || hop.finish != hop.start + e.cost {
-                    return Err(ValidationError::MessageTiming { src: e.src, dst: e.dst });
+                    return Err(ValidationError::MessageTiming {
+                        src: e.src,
+                        dst: e.dst,
+                    });
                 }
                 prev_finish = hop.finish;
             }
@@ -264,13 +303,17 @@ impl Schedule {
     fn validate_structure(&self, g: &TaskGraph) -> Result<(), ValidationError> {
         if self.placements.len() != g.num_tasks() {
             // Treat a size mismatch as the first missing task.
-            return Err(ValidationError::Unplaced { task: TaskId(self.placements.len() as u32) });
+            return Err(ValidationError::Unplaced {
+                task: TaskId(self.placements.len() as u32),
+            });
         }
         for n in g.tasks() {
-            let p = self.placements[n.index()]
-                .ok_or(ValidationError::Unplaced { task: n })?;
+            let p = self.placements[n.index()].ok_or(ValidationError::Unplaced { task: n })?;
             if p.proc.index() >= self.num_procs {
-                return Err(ValidationError::BadProcessor { task: n, proc: p.proc });
+                return Err(ValidationError::BadProcessor {
+                    task: n,
+                    proc: p.proc,
+                });
             }
             let dur = p.finish - p.start;
             if dur != g.weight(n) {
@@ -341,7 +384,10 @@ mod tests {
         );
         assert_eq!(
             s.place(TaskId(1), ProcId(0), 3, 3),
-            Err(PlaceError::Overlap { task: TaskId(1), proc: ProcId(0) })
+            Err(PlaceError::Overlap {
+                task: TaskId(1),
+                proc: ProcId(0)
+            })
         );
         assert_eq!(
             s.place(TaskId(1), ProcId(3), 0, 3),
@@ -368,7 +414,11 @@ mod tests {
         s.place(TaskId(0), ProcId(0), 0, 5).unwrap();
         s.place(TaskId(1), ProcId(1), 8, 3).unwrap();
         match s.validate(&g) {
-            Err(ValidationError::Precedence { data_ready: 9, actual_start: 8, .. }) => {}
+            Err(ValidationError::Precedence {
+                data_ready: 9,
+                actual_start: 8,
+                ..
+            }) => {}
             other => panic!("expected precedence violation, got {other:?}"),
         }
     }
@@ -390,7 +440,11 @@ mod tests {
         s.place(TaskId(1), ProcId(1), 20, 3).unwrap();
         assert!(matches!(
             s.validate(&g),
-            Err(ValidationError::WrongDuration { expected: 5, actual: 6, .. })
+            Err(ValidationError::WrongDuration {
+                expected: 5,
+                actual: 6,
+                ..
+            })
         ));
     }
 
@@ -399,7 +453,10 @@ mod tests {
         let g = two_task_graph();
         let mut s = Schedule::new(g.num_tasks(), 2);
         s.place(TaskId(0), ProcId(0), 0, 5).unwrap();
-        assert!(matches!(s.validate(&g), Err(ValidationError::Unplaced { .. })));
+        assert!(matches!(
+            s.validate(&g),
+            Err(ValidationError::Unplaced { .. })
+        ));
     }
 
     #[test]

@@ -67,9 +67,17 @@ impl<T: Copy + PartialEq> Track<T> {
     /// **insertion** policy: the first idle hole (or the tail) that fits.
     ///
     /// `duration == 0` is permitted and returns the earliest idle instant.
+    ///
+    /// Slots finishing at or before `earliest` cannot constrain the answer
+    /// (their hole ends before the search begins), so the scan starts at the
+    /// first slot found by binary search instead of walking the whole track —
+    /// on the long timelines the insertion-policy algorithms (ISH, MCP)
+    /// build, most queries land near the tail.
     pub fn earliest_fit(&self, earliest: u64, duration: u64) -> u64 {
         let mut candidate = earliest;
-        for s in &self.slots {
+        // Sorted by start and non-overlapping ⇒ also sorted by finish.
+        let first = self.slots.partition_point(|s| s.finish <= earliest);
+        for s in &self.slots[first..] {
             if s.start >= candidate && s.start - candidate >= duration {
                 return candidate; // fits in the hole before `s`
             }
@@ -110,7 +118,9 @@ impl<T: Copy + PartialEq> Track<T> {
     /// The occupation covering time `t`, if any.
     pub fn at(&self, t: u64) -> Option<&Slot<T>> {
         let idx = self.slots.partition_point(|s| s.start <= t);
-        idx.checked_sub(1).map(|i| &self.slots[i]).filter(|s| s.finish > t)
+        idx.checked_sub(1)
+            .map(|i| &self.slots[i])
+            .filter(|s| s.finish > t)
     }
 
     /// Idle holes between occupations within `[0, horizon)`.

@@ -107,15 +107,16 @@ impl Topology {
             t.kind = TopologyKind::Ring;
             return Ok(t);
         }
-        let mut links: Vec<(u32, u32)> =
-            (0..p as u32 - 1).map(|i| (i, i + 1)).collect();
+        let mut links: Vec<(u32, u32)> = (0..p as u32 - 1).map(|i| (i, i + 1)).collect();
         links.push((0, p as u32 - 1));
         Self::from_links(TopologyKind::Ring, p, &links)
     }
 
     /// Linear chain of `p` processors.
     pub fn chain(p: usize) -> Result<Topology, TopologyError> {
-        let links: Vec<(u32, u32)> = (0..p.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+        let links: Vec<(u32, u32)> = (0..p.saturating_sub(1) as u32)
+            .map(|i| (i, i + 1))
+            .collect();
         Self::from_links(TopologyKind::Chain, p, &links)
     }
 
@@ -129,7 +130,9 @@ impl Topology {
     /// `r*cols + c`.
     pub fn mesh(rows: usize, cols: usize) -> Result<Topology, TopologyError> {
         if rows == 0 || cols == 0 {
-            return Err(TopologyError::BadParameter("mesh needs rows, cols ≥ 1".into()));
+            return Err(TopologyError::BadParameter(
+                "mesh needs rows, cols ≥ 1".into(),
+            ));
         }
         let id = |r: usize, c: usize| (r * cols + c) as u32;
         let mut links = Vec::new();
@@ -152,7 +155,9 @@ impl Topology {
     /// [`Topology::mesh`] or [`Topology::ring`] below that.
     pub fn torus(rows: usize, cols: usize) -> Result<Topology, TopologyError> {
         if rows < 3 || cols < 3 {
-            return Err(TopologyError::BadParameter("torus needs rows, cols ≥ 3".into()));
+            return Err(TopologyError::BadParameter(
+                "torus needs rows, cols ≥ 3".into(),
+            ));
         }
         let id = |r: usize, c: usize| (r * cols + c) as u32;
         let mut links = Vec::new();
@@ -212,7 +217,10 @@ impl Topology {
         canon.sort_unstable();
         for w in canon.windows(2) {
             if w[0] == w[1] {
-                return Err(TopologyError::DuplicateLink { a: w[0].0, b: w[0].1 });
+                return Err(TopologyError::DuplicateLink {
+                    a: w[0].0,
+                    b: w[0].1,
+                });
             }
         }
         let links: Vec<(ProcId, ProcId)> =
@@ -271,7 +279,14 @@ impl Topology {
             }
         }
 
-        Ok(Topology { kind, num_procs: p, links, adj, next_hop, dist: dist_sd })
+        Ok(Topology {
+            kind,
+            num_procs: p,
+            links,
+            adj,
+            next_hop,
+            dist: dist_sd,
+        })
     }
 
     /// Which family this topology belongs to.
@@ -329,7 +344,10 @@ impl Topology {
         let mut cur = a;
         while cur != b {
             let next = ProcId(self.next_hop[cur.index() * self.num_procs + b.index()]);
-            out.push(self.link_between(cur, next).expect("next hop must be adjacent"));
+            out.push(
+                self.link_between(cur, next)
+                    .expect("next hop must be adjacent"),
+            );
             cur = next;
         }
         out
@@ -403,7 +421,10 @@ mod tests {
         let t = Topology::star(5).unwrap();
         assert_eq!(t.num_links(), 4);
         assert_eq!(t.distance(ProcId(1), ProcId(4)), 2);
-        assert_eq!(t.route_procs(ProcId(1), ProcId(4)), vec![ProcId(1), ProcId(0), ProcId(4)]);
+        assert_eq!(
+            t.route_procs(ProcId(1), ProcId(4)),
+            vec![ProcId(1), ProcId(0), ProcId(4)]
+        );
     }
 
     #[test]
@@ -452,7 +473,10 @@ mod tests {
 
     #[test]
     fn custom_rejects_bad_input() {
-        assert!(matches!(Topology::custom(0, &[]), Err(TopologyError::Empty)));
+        assert!(matches!(
+            Topology::custom(0, &[]),
+            Err(TopologyError::Empty)
+        ));
         assert!(matches!(
             Topology::custom(2, &[(0, 5)]),
             Err(TopologyError::BadEndpoint { proc: 5 })
@@ -465,7 +489,10 @@ mod tests {
             Topology::custom(2, &[(0, 1), (1, 0)]),
             Err(TopologyError::DuplicateLink { .. })
         ));
-        assert!(matches!(Topology::custom(3, &[(0, 1)]), Err(TopologyError::Disconnected)));
+        assert!(matches!(
+            Topology::custom(3, &[(0, 1)]),
+            Err(TopologyError::Disconnected)
+        ));
     }
 
     #[test]
@@ -523,7 +550,13 @@ mod tests {
 
     #[test]
     fn torus_rejects_small_extents() {
-        assert!(matches!(Topology::torus(2, 5), Err(TopologyError::BadParameter(_))));
-        assert!(matches!(Topology::torus(3, 2), Err(TopologyError::BadParameter(_))));
+        assert!(matches!(
+            Topology::torus(2, 5),
+            Err(TopologyError::BadParameter(_))
+        ));
+        assert!(matches!(
+            Topology::torus(3, 2),
+            Err(TopologyError::BadParameter(_))
+        ));
     }
 }

@@ -42,11 +42,10 @@ pub fn sizes() -> Vec<usize> {
 pub fn generate(p: RgbosParams) -> TaskGraph {
     assert!(p.nodes >= 2, "RGBOS graphs need at least two nodes");
     let mut rng = StdRng::seed_from_u64(p.seed);
-    let mut b = GraphBuilder::named(format!(
-        "rgbos-v{}-ccr{}-s{}",
-        p.nodes, p.ccr, p.seed
-    ));
-    let ids: Vec<_> = (0..p.nodes).map(|_| b.add_task(node_cost(&mut rng))).collect();
+    let mut b = GraphBuilder::named(format!("rgbos-v{}-ccr{}-s{}", p.nodes, p.ccr, p.seed));
+    let ids: Vec<_> = (0..p.nodes)
+        .map(|_| b.add_task(node_cost(&mut rng)))
+        .collect();
     let child_mean = p.nodes as f64 / 10.0;
     let edge_mean = 40.0 * p.ccr;
     for i in 0..p.nodes.saturating_sub(1) {
@@ -56,7 +55,8 @@ pub fn generate(p: RgbosParams) -> TaskGraph {
         let mut chosen: Vec<usize> = pool[..k].to_vec();
         chosen.sort_unstable(); // deterministic edge insertion order
         for j in chosen {
-            b.add_edge(ids[i], ids[j], uniform_mean(&mut rng, edge_mean)).unwrap();
+            b.add_edge(ids[i], ids[j], uniform_mean(&mut rng, edge_mean))
+                .unwrap();
         }
     }
     // Guarantee no task is fully isolated (every non-first node unreachable
@@ -79,7 +79,8 @@ pub fn generate(p: RgbosParams) -> TaskGraph {
         if !have_parent[i] {
             let parent = rng.random_range(0..i);
             if !b.has_edge(ids[parent], ids[i]) {
-                b.add_edge(ids[parent], ids[i], uniform_mean(&mut rng, edge_mean)).unwrap();
+                b.add_edge(ids[parent], ids[i], uniform_mean(&mut rng, edge_mean))
+                    .unwrap();
             }
         }
     }
@@ -108,7 +109,11 @@ mod tests {
 
     #[test]
     fn generates_requested_size() {
-        let g = generate(RgbosParams { nodes: 20, ccr: 1.0, seed: 1 });
+        let g = generate(RgbosParams {
+            nodes: 20,
+            ccr: 1.0,
+            seed: 1,
+        });
         assert_eq!(g.num_tasks(), 20);
         assert!(g.num_edges() > 0);
         assert!(g.validate().is_ok());
@@ -116,11 +121,29 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate(RgbosParams { nodes: 24, ccr: 10.0, seed: 5 });
-        let b = generate(RgbosParams { nodes: 24, ccr: 10.0, seed: 5 });
-        assert_eq!(dagsched_graph::io::to_tgf(&a), dagsched_graph::io::to_tgf(&b));
-        let c = generate(RgbosParams { nodes: 24, ccr: 10.0, seed: 6 });
-        assert_ne!(dagsched_graph::io::to_tgf(&a), dagsched_graph::io::to_tgf(&c));
+        let a = generate(RgbosParams {
+            nodes: 24,
+            ccr: 10.0,
+            seed: 5,
+        });
+        let b = generate(RgbosParams {
+            nodes: 24,
+            ccr: 10.0,
+            seed: 5,
+        });
+        assert_eq!(
+            dagsched_graph::io::to_tgf(&a),
+            dagsched_graph::io::to_tgf(&b)
+        );
+        let c = generate(RgbosParams {
+            nodes: 24,
+            ccr: 10.0,
+            seed: 6,
+        });
+        assert_ne!(
+            dagsched_graph::io::to_tgf(&a),
+            dagsched_graph::io::to_tgf(&c)
+        );
     }
 
     #[test]
@@ -130,7 +153,12 @@ mod tests {
             let mut acc = 0.0;
             let runs = 10;
             for seed in 0..runs {
-                acc += generate(RgbosParams { nodes: 32, ccr, seed }).ccr();
+                acc += generate(RgbosParams {
+                    nodes: 32,
+                    ccr,
+                    seed,
+                })
+                .ccr();
             }
             let emp = acc / runs as f64;
             assert!(
@@ -143,12 +171,12 @@ mod tests {
     #[test]
     fn every_non_first_node_has_a_parent() {
         for seed in 0..5 {
-            let g = generate(RgbosParams { nodes: 16, ccr: 1.0, seed });
-            let orphans = g
-                .tasks()
-                .skip(1)
-                .filter(|&n| g.in_degree(n) == 0)
-                .count();
+            let g = generate(RgbosParams {
+                nodes: 16,
+                ccr: 1.0,
+                seed,
+            });
+            let orphans = g.tasks().skip(1).filter(|&n| g.in_degree(n) == 0).count();
             // node 0 is always an entry; all others got a parent injected
             // unless they naturally had one.
             assert_eq!(orphans, 0, "seed {seed}");
@@ -167,7 +195,11 @@ mod tests {
 
     #[test]
     fn weights_in_paper_bounds() {
-        let g = generate(RgbosParams { nodes: 32, ccr: 1.0, seed: 9 });
+        let g = generate(RgbosParams {
+            nodes: 32,
+            ccr: 1.0,
+            seed: 9,
+        });
         for n in g.tasks() {
             assert!((2..=78).contains(&g.weight(n)));
         }

@@ -53,7 +53,13 @@ pub const DEFAULT_AVG_CHILDREN: f64 = 5.0;
 impl RgnosParams {
     /// Paper-style parameters (constant mean out-degree, see module docs).
     pub fn new(nodes: usize, ccr: f64, parallelism: u32, seed: u64) -> RgnosParams {
-        RgnosParams { nodes, ccr, parallelism, avg_children: Some(DEFAULT_AVG_CHILDREN), seed }
+        RgnosParams {
+            nodes,
+            ccr,
+            parallelism,
+            avg_children: Some(DEFAULT_AVG_CHILDREN),
+            seed,
+        }
     }
 }
 
@@ -75,10 +81,14 @@ pub fn generate(p: RgnosParams) -> TaskGraph {
         "rgnos-v{}-ccr{}-par{}-s{}",
         p.nodes, p.ccr, p.parallelism, p.seed
     ));
-    let ids: Vec<_> = (0..p.nodes).map(|_| b.add_task(node_cost(&mut rng))).collect();
+    let ids: Vec<_> = (0..p.nodes)
+        .map(|_| b.add_task(node_cost(&mut rng)))
+        .collect();
 
     // 1. Deal nodes into layers of width ≈ parallelism·√v.
-    let width = ((p.parallelism as f64) * (p.nodes as f64).sqrt()).round().max(1.0);
+    let width = ((p.parallelism as f64) * (p.nodes as f64).sqrt())
+        .round()
+        .max(1.0);
     let mut layers: Vec<Vec<TaskId>> = Vec::new();
     let mut next = 0usize;
     while next < p.nodes {
@@ -96,7 +106,8 @@ pub fn generate(p: RgnosParams) -> TaskGraph {
             let child = layers[l][i];
             let parent = layers[l - 1][rng.random_range(0..layers[l - 1].len())];
             if have.insert((parent.0, child.0)) {
-                b.add_edge(parent, child, uniform_mean(&mut rng, edge_mean)).unwrap();
+                b.add_edge(parent, child, uniform_mean(&mut rng, edge_mean))
+                    .unwrap();
             }
         }
     }
@@ -130,7 +141,8 @@ pub fn generate(p: RgnosParams) -> TaskGraph {
         chosen.sort_unstable();
         for j in chosen {
             if have.insert((src.0, ids[j].0)) {
-                b.add_edge(src, ids[j], uniform_mean(&mut rng, edge_mean)).unwrap();
+                b.add_edge(src, ids[j], uniform_mean(&mut rng, edge_mean))
+                    .unwrap();
             }
         }
     }
@@ -176,7 +188,12 @@ mod tests {
             wide.level_width,
             narrow.level_width
         );
-        assert!(wide.depth < narrow.depth, "wide {} vs narrow {}", wide.depth, narrow.depth);
+        assert!(
+            wide.depth < narrow.depth,
+            "wide {} vs narrow {}",
+            wide.depth,
+            narrow.depth
+        );
     }
 
     #[test]
@@ -206,7 +223,10 @@ mod tests {
     fn deterministic_per_seed() {
         let a = generate(RgnosParams::new(60, 2.0, 2, 9));
         let b = generate(RgnosParams::new(60, 2.0, 2, 9));
-        assert_eq!(dagsched_graph::io::to_tgf(&a), dagsched_graph::io::to_tgf(&b));
+        assert_eq!(
+            dagsched_graph::io::to_tgf(&a),
+            dagsched_graph::io::to_tgf(&b)
+        );
     }
 
     #[test]

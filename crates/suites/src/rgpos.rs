@@ -57,13 +57,23 @@ pub struct RgposParams {
 impl RgposParams {
     /// Paper-style defaults: 8 processors, density factor 2, chained.
     pub fn new(nodes: usize, ccr: f64, seed: u64) -> RgposParams {
-        RgposParams { nodes, procs: 8, ccr, edge_factor: 2.0, chain_edges: true, seed }
+        RgposParams {
+            nodes,
+            procs: 8,
+            ccr,
+            edge_factor: 2.0,
+            chain_edges: true,
+            seed,
+        }
     }
 
     /// Same, without the chain edges: the optimum is pinned only for
     /// machines with at most `procs` processors (utilization bound).
     pub fn unchained(nodes: usize, ccr: f64, seed: u64) -> RgposParams {
-        RgposParams { chain_edges: false, ..Self::new(nodes, ccr, seed) }
+        RgposParams {
+            chain_edges: false,
+            ..Self::new(nodes, ccr, seed)
+        }
     }
 }
 
@@ -87,28 +97,47 @@ pub fn sizes() -> Vec<usize> {
 
 /// Generate one RGPOS instance.
 pub fn generate(p: RgposParams) -> RgposInstance {
-    assert!(p.procs >= 1 && p.nodes >= p.procs, "need at least one task per processor");
+    assert!(
+        p.procs >= 1 && p.nodes >= p.procs,
+        "need at least one task per processor"
+    );
     let mut rng = StdRng::seed_from_u64(p.seed);
 
     // 1. Tasks per processor: uniform around v/p, adjusted to sum exactly v.
     let mean = p.nodes as f64 / p.procs as f64;
-    let mut counts: Vec<usize> =
-        (0..p.procs).map(|_| uniform_mean(&mut rng, mean) as usize).collect();
+    let mut counts: Vec<usize> = (0..p.procs)
+        .map(|_| uniform_mean(&mut rng, mean) as usize)
+        .collect();
     let mut sum: usize = counts.iter().sum();
     while sum > p.nodes {
-        let i = counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i).unwrap();
+        let i = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap();
         counts[i] -= 1;
         sum -= 1;
     }
     while sum < p.nodes {
-        let i = counts.iter().enumerate().min_by_key(|(_, &c)| c).map(|(i, _)| i).unwrap();
+        let i = counts
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap();
         counts[i] += 1;
         sum += 1;
     }
     // A processor with zero tasks would idle the whole interval and break
     // the optimality argument; give it one task from the largest pile.
     while let Some(zi) = counts.iter().position(|&c| c == 0) {
-        let max = counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i).unwrap();
+        let max = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap();
         counts[max] -= 1;
         counts[zi] += 1;
     }
@@ -152,8 +181,12 @@ pub fn generate(p: RgposParams) -> RgposInstance {
             for w in row.windows(2) {
                 let (a, c) = (w[0].1, w[1].1);
                 have.insert((a as u32, c as u32));
-                b.add_edge(TaskId(a as u32), TaskId(c as u32), uniform_mean(&mut rng, edge_mean))
-                    .expect("chain edges follow time order");
+                b.add_edge(
+                    TaskId(a as u32),
+                    TaskId(c as u32),
+                    uniform_mean(&mut rng, edge_mean),
+                )
+                .expect("chain edges follow time order");
             }
         }
     }
@@ -190,11 +223,14 @@ pub fn generate(p: RgposParams) -> RgposInstance {
             }
             uniform_mean_capped(&mut rng, edge_mean, gap)
         };
-        b.add_edge(TaskId(a as u32), TaskId(c as u32), cost).unwrap();
+        b.add_edge(TaskId(a as u32), TaskId(c as u32), cost)
+            .unwrap();
         added += 1;
     }
 
-    let graph = b.build().expect("edges point forward in time, hence acyclic");
+    let graph = b
+        .build()
+        .expect("edges point forward in time, hence acyclic");
     let mut schedule = Schedule::new(p.nodes, p.procs);
     for (i, &(proc, st, ft)) in placements.iter().enumerate() {
         schedule
@@ -202,7 +238,12 @@ pub fn generate(p: RgposParams) -> RgposInstance {
             .expect("spans partition each processor exactly");
     }
     debug_assert!(schedule.validate(&graph).is_ok());
-    RgposInstance { graph, schedule, procs: p.procs, optimal: l_opt }
+    RgposInstance {
+        graph,
+        schedule,
+        procs: p.procs,
+        optimal: l_opt,
+    }
 }
 
 /// The full published suite: `sizes() × CCRS` on 8 processors.
@@ -247,7 +288,11 @@ mod tests {
         // degradation tables to be meaningful.
         let inst = generate(RgposParams::new(80, 0.1, 11));
         let cp_comp = dagsched_graph::levels::cp_computation(&inst.graph);
-        assert!(cp_comp <= inst.optimal, "cp computation {cp_comp} > L_opt {}", inst.optimal);
+        assert!(
+            cp_comp <= inst.optimal,
+            "cp computation {cp_comp} > L_opt {}",
+            inst.optimal
+        );
     }
 
     #[test]
@@ -270,7 +315,14 @@ mod tests {
 
     #[test]
     fn edge_density_close_to_target() {
-        let inst = generate(RgposParams { nodes: 200, procs: 8, ccr: 1.0, edge_factor: 2.0, chain_edges: true, seed: 2 });
+        let inst = generate(RgposParams {
+            nodes: 200,
+            procs: 8,
+            ccr: 1.0,
+            edge_factor: 2.0,
+            chain_edges: true,
+            seed: 2,
+        });
         // ~192 chain edges (v − p) + up to 400 random ones.
         let e = inst.graph.num_edges();
         assert!(e >= 300, "too sparse: {e}");
@@ -291,7 +343,14 @@ mod tests {
 
     #[test]
     fn small_instances_work() {
-        let inst = generate(RgposParams { nodes: 8, procs: 4, ccr: 1.0, edge_factor: 1.0, chain_edges: true, seed: 0 });
+        let inst = generate(RgposParams {
+            nodes: 8,
+            procs: 4,
+            ccr: 1.0,
+            edge_factor: 1.0,
+            chain_edges: true,
+            seed: 0,
+        });
         assert!(inst.schedule.validate(&inst.graph).is_ok());
         assert_eq!(inst.graph.num_tasks(), 8);
     }

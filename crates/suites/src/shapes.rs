@@ -61,7 +61,9 @@ pub fn in_tree(depth: usize, fanin: usize, w: u64, c: u64) -> TaskGraph {
     assert!(fanin >= 1);
     let mut b = GraphBuilder::named(format!("in-tree-d{depth}-f{fanin}"));
     // Build level by level from the leaves down to the root.
-    let mut level: Vec<TaskId> = (0..fanin.pow(depth as u32)).map(|_| b.add_task(w)).collect();
+    let mut level: Vec<TaskId> = (0..fanin.pow(depth as u32))
+        .map(|_| b.add_task(w))
+        .collect();
     while level.len() > 1 {
         let mut next = Vec::new();
         for chunk in level.chunks(fanin) {
@@ -81,7 +83,10 @@ pub fn in_tree(depth: usize, fanin: usize, w: u64, c: u64) -> TaskGraph {
 /// Each node feeds the one or two nodes below it, like Pascal's triangle
 /// glued to its mirror image.
 pub fn diamond(levels: usize, w: u64, c: u64) -> TaskGraph {
-    assert!(levels >= 1 && levels % 2 == 1, "diamond needs an odd level count");
+    assert!(
+        levels >= 1 && levels % 2 == 1,
+        "diamond needs an odd level count"
+    );
     let k = levels / 2; // widths 1..=k+1..=1
     let width_of = |r: usize| if r <= k { r + 1 } else { levels - r };
     let mut b = GraphBuilder::named(format!("diamond-{levels}"));
@@ -113,8 +118,9 @@ pub fn diamond(levels: usize, w: u64, c: u64) -> TaskGraph {
 pub fn pipeline(stages: usize, lanes: usize, w: u64, c: u64) -> TaskGraph {
     assert!(stages >= 1 && lanes >= 1);
     let mut b = GraphBuilder::named(format!("pipeline-{stages}x{lanes}"));
-    let grid: Vec<Vec<TaskId>> =
-        (0..stages).map(|_| (0..lanes).map(|_| b.add_task(w)).collect()).collect();
+    let grid: Vec<Vec<TaskId>> = (0..stages)
+        .map(|_| (0..lanes).map(|_| b.add_task(w)).collect())
+        .collect();
     for s in 0..stages - 1 {
         for l in 0..lanes {
             b.add_edge(grid[s][l], grid[s + 1][l], c).unwrap();

@@ -35,13 +35,16 @@ fn build_scaled(
         target_ccr * mean_w / mean_c_raw
     };
     let mut b = GraphBuilder::named(name);
-    let ids: Vec<TaskId> =
-        tasks.into_iter().map(|(w, label)| b.add_labeled_task(w, label)).collect();
+    let ids: Vec<TaskId> = tasks
+        .into_iter()
+        .map(|(w, label)| b.add_labeled_task(w, label))
+        .collect();
     for (s, d, raw) in edges {
         let c = ((raw as f64 * scale).round() as u64).max(1);
         b.add_edge(ids[s], ids[d], c).unwrap();
     }
-    b.build().expect("traced structures are acyclic by construction")
+    b.build()
+        .expect("traced structures are acyclic by construction")
 }
 
 /// Column-Cholesky factorization of an `n × n` matrix.
@@ -237,17 +240,18 @@ mod tests {
         let g = laplace(3, 2, 1.0);
         assert_eq!(g.num_tasks(), 18);
         // interior node of sweep 1 has 5 parents
-        let centre = g
-            .tasks()
-            .find(|&n| g.label(n) == "lap(t1,1,1)")
-            .unwrap();
+        let centre = g.tasks().find(|&n| g.label(n) == "lap(t1,1,1)").unwrap();
         assert_eq!(g.in_degree(centre), 5);
     }
 
     #[test]
     fn traced_graphs_have_positive_cp() {
-        for g in [cholesky(8, 1.0), gaussian_elimination(6, 1.0), fft(4, 1.0), laplace(4, 3, 1.0)]
-        {
+        for g in [
+            cholesky(8, 1.0),
+            gaussian_elimination(6, 1.0),
+            fft(4, 1.0),
+            laplace(4, 3, 1.0),
+        ] {
             assert!(levels::cp_length(&g) > 0);
             assert!(levels::cp_computation(&g) > 0);
         }

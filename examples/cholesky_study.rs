@@ -9,7 +9,10 @@ use taskbench::prelude::*;
 use taskbench::suites::traced;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
     let g = traced::cholesky(n, 1.0);
     println!(
         "Cholesky N={n}: {} tasks ({} cdiv + {} cmod), {} edges, CCR {:.2}\n",
@@ -41,7 +44,10 @@ fn main() {
             s.procs_used().to_string(),
             format!("{:.2}", speedup(&g, s)),
         ]);
-        if best.as_ref().is_none_or(|(_, bs)| s.makespan() < bs.makespan()) {
+        if best
+            .as_ref()
+            .is_none_or(|(_, bs)| s.makespan() < bs.makespan())
+        {
             best = Some((algo.name().to_string(), s.clone()));
         }
     }

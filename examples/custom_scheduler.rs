@@ -26,11 +26,7 @@ impl Scheduler for LargestTaskFirst {
         AlgoClass::Bnp
     }
 
-    fn schedule(
-        &self,
-        g: &TaskGraph,
-        env: &Env,
-    ) -> Result<Outcome, SchedError> {
+    fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
         if env.procs() == 0 {
             return Err(SchedError::NoProcessors);
         }
@@ -39,10 +35,14 @@ impl Scheduler for LargestTaskFirst {
         while !ready.is_empty() {
             let n = ready.argmax_by_key(|n| g.weight(n)).expect("non-empty");
             let (p, est) = best_proc(g, &s, n, SlotPolicy::Insertion);
-            s.place(n, p, est, g.weight(n)).expect("insertion slot fits");
+            s.place(n, p, est, g.weight(n))
+                .expect("insertion slot fits");
             ready.take(g, n);
         }
-        Ok(Outcome { schedule: s, network: None })
+        Ok(Outcome {
+            schedule: s,
+            network: None,
+        })
     }
 }
 

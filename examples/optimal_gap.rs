@@ -16,18 +16,35 @@ fn main() {
     let ccr: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1.0);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2024);
 
-    let g = rgbos::generate(RgbosParams { nodes: v, ccr, seed });
-    println!("instance: {} ({} tasks, {} edges)\n", g.name(), g.num_tasks(), g.num_edges());
+    let g = rgbos::generate(RgbosParams {
+        nodes: v,
+        ccr,
+        seed,
+    });
+    println!(
+        "instance: {} ({} tasks, {} edges)\n",
+        g.name(),
+        g.num_tasks(),
+        g.num_edges()
+    );
 
     let t0 = std::time::Instant::now();
     let opt = solve(
         &g,
-        &OptimalParams { procs: None, node_limit: 10_000_000, heuristic_incumbent: true },
+        &OptimalParams {
+            procs: None,
+            node_limit: 10_000_000,
+            heuristic_incumbent: true,
+        },
     );
     println!(
         "branch-and-bound: length {} ({}) — {} nodes in {:.2?}\n",
         opt.length,
-        if opt.proven { "proven optimal" } else { "best found, node-capped" },
+        if opt.proven {
+            "proven optimal"
+        } else {
+            "best found, node-capped"
+        },
         opt.nodes,
         t0.elapsed()
     );
@@ -49,5 +66,8 @@ fn main() {
         ]);
     }
     println!("{}", table.ascii());
-    print!("optimal schedule:\n{}", gantt::listing(&opt.schedule.compact_procs(), &g));
+    print!(
+        "optimal schedule:\n{}",
+        gantt::listing(&opt.schedule.compact_procs(), &g)
+    );
 }

@@ -25,14 +25,26 @@ fn main() {
     b.add_edge(norm, sum, 1).unwrap();
     let g = b.build().expect("acyclic by construction");
 
-    println!("graph: {} tasks, {} edges, CCR {:.2}", g.num_tasks(), g.num_edges(), g.ccr());
-    println!("critical path length (with comm): {}\n", levels::cp_length(&g));
+    println!(
+        "graph: {} tasks, {} edges, CCR {:.2}",
+        g.num_tasks(),
+        g.num_edges(),
+        g.ccr()
+    );
+    println!(
+        "critical path length (with comm): {}\n",
+        levels::cp_length(&g)
+    );
 
     // A BNP algorithm on a 2-processor machine…
     let mcp = registry::by_name("MCP").unwrap();
     let out = mcp.schedule(&g, &Env::bnp(2)).unwrap();
     out.validate(&g).unwrap();
-    println!("MCP on 2 processors → makespan {}, NSL {:.2}", out.schedule.makespan(), nsl(&g, &out.schedule));
+    println!(
+        "MCP on 2 processors → makespan {}, NSL {:.2}",
+        out.schedule.makespan(),
+        nsl(&g, &out.schedule)
+    );
     print!("{}", gantt::listing(&out.schedule, &g));
     print!("{}", gantt::bars(&out.schedule, 60));
 

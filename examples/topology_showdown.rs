@@ -28,7 +28,15 @@ fn main() {
 
     let mut table = Table::new(
         "BSA and friends across 8-processor networks",
-        &["algorithm", "topology", "links", "makespan", "NSL", "messages", "link busy"],
+        &[
+            "algorithm",
+            "topology",
+            "links",
+            "makespan",
+            "NSL",
+            "messages",
+            "link busy",
+        ],
     );
     for algo in registry::apn() {
         for (name, topo) in &topologies {
@@ -50,7 +58,9 @@ fn main() {
 
     // Zoom in: the longest single message route under BSA on the chain.
     let bsa = registry::by_name("BSA").unwrap();
-    let out = bsa.schedule(&g, &Env::apn(Topology::chain(8).unwrap())).unwrap();
+    let out = bsa
+        .schedule(&g, &Env::apn(Topology::chain(8).unwrap()))
+        .unwrap();
     let net = out.network.unwrap();
     if let Some(msg) = net.messages().max_by_key(|m| m.hops.len()) {
         println!(

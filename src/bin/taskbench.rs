@@ -113,7 +113,10 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         "fft" => traced::fft(parse(args.get(1), "m")?, parse(args.get(2), "ccr")?),
         "psg" => {
             let idx: usize = parse(args.get(1), "index")?;
-            psg::peer_set().into_iter().nth(idx).ok_or("psg index out of range (0..8)")?
+            psg::peer_set()
+                .into_iter()
+                .nth(idx)
+                .ok_or("psg index out of range (0..8)")?
         }
         other => return Err(format!("unknown family `{other}`")),
     };
@@ -127,7 +130,9 @@ fn load(path: &str) -> Result<TaskGraph, String> {
 }
 
 fn parse_topology(spec: &str) -> Result<Topology, String> {
-    let (kind, rest) = spec.split_once(':').ok_or("topology must look like kind:N")?;
+    let (kind, rest) = spec
+        .split_once(':')
+        .ok_or("topology must look like kind:N")?;
     let t = match kind {
         "full" => Topology::fully_connected(rest.parse().map_err(|_| "bad N")?),
         "ring" => Topology::ring(rest.parse().map_err(|_| "bad N")?),
@@ -187,18 +192,19 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         (_, _) => Env::bnp(procs.unwrap_or_else(|| g.num_tasks().min(32))),
     };
     let out = algo.schedule(&g, &env).map_err(|e| e.to_string())?;
-    out.validate(&g).map_err(|e| format!("internal: invalid schedule: {e}"))?;
-    println!(
-        "{}  on {}: makespan {}  NSL {:.3}  procs used {}",
+    out.validate(&g)
+        .map_err(|e| format!("internal: invalid schedule: {e}"))?;
+    emit(&format!(
+        "{}  on {}: makespan {}  NSL {:.3}  procs used {}\n",
         algo.name(),
         g.name(),
         out.schedule.makespan(),
         nsl(&g, &out.schedule),
         out.schedule.procs_used()
-    );
-    print!("{}", taskbench::platform::report(&g, &out.schedule.compact_procs()));
+    ));
+    emit(&taskbench::platform::report(&g, &out.schedule.compact_procs()).to_string());
     if want_gantt {
-        print!("{}", gantt::listing(&out.schedule, &g));
+        emit(&gantt::listing(&out.schedule, &g));
     }
     Ok(())
 }
@@ -206,18 +212,32 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let g = load(args.first().ok_or("missing graph file")?)?;
     let s = taskbench::graph::GraphStats::of(&g);
-    println!("graph        {}", g.name());
-    println!("tasks        {}", s.tasks);
-    println!("edges        {}", s.edges);
-    println!("total work   {}", s.total_work);
-    println!("total comm   {}", s.total_comm);
-    println!("CCR          {:.3}", s.ccr);
-    println!("depth        {}", s.depth);
-    println!("level width  {}", s.level_width);
-    println!("CP length    {}", s.cp_length);
-    println!("CP work      {}", s.cp_computation);
-    println!("entries      {}", s.entries);
-    println!("exits        {}", s.exits);
+    emit(&format!(
+        "graph        {}\n\
+         tasks        {}\n\
+         edges        {}\n\
+         total work   {}\n\
+         total comm   {}\n\
+         CCR          {:.3}\n\
+         depth        {}\n\
+         level width  {}\n\
+         CP length    {}\n\
+         CP work      {}\n\
+         entries      {}\n\
+         exits        {}\n",
+        g.name(),
+        s.tasks,
+        s.edges,
+        s.total_work,
+        s.total_comm,
+        s.ccr,
+        s.depth,
+        s.level_width,
+        s.cp_length,
+        s.cp_computation,
+        s.entries,
+        s.exits
+    ));
     Ok(())
 }
 

@@ -74,7 +74,10 @@ mod tests {
         let c = b.add_task(4);
         b.add_edge(a, c, 1).unwrap();
         let g = b.build().unwrap();
-        let out = registry::by_name("DCP").unwrap().schedule(&g, &Env::bnp(1)).unwrap();
+        let out = registry::by_name("DCP")
+            .unwrap()
+            .schedule(&g, &Env::bnp(1))
+            .unwrap();
         assert!(out.validate(&g).is_ok());
         assert_eq!(out.schedule.makespan(), 7);
     }

@@ -25,9 +25,9 @@ fn every_cross_edge_has_a_message_with_a_real_route() {
             if pu == pv || e.cost == 0 {
                 continue;
             }
-            let msg = net
-                .message_for(e.src, e.dst)
-                .unwrap_or_else(|| panic!("{}: no message for {} -> {}", algo.name(), e.src, e.dst));
+            let msg = net.message_for(e.src, e.dst).unwrap_or_else(|| {
+                panic!("{}: no message for {} -> {}", algo.name(), e.src, e.dst)
+            });
             assert_eq!(msg.from, pu, "{}", algo.name());
             assert_eq!(msg.to, pv, "{}", algo.name());
             assert!(!msg.hops.is_empty());
@@ -104,7 +104,9 @@ fn zero_comm_graphs_need_no_messages() {
     b.add_edge(a, d, 0).unwrap();
     let g = b.build().unwrap();
     for algo in registry::apn() {
-        let out = algo.schedule(&g, &Env::apn(Topology::ring(4).unwrap())).unwrap();
+        let out = algo
+            .schedule(&g, &Env::apn(Topology::ring(4).unwrap()))
+            .unwrap();
         out.validate(&g).unwrap();
         assert_eq!(
             out.network.as_ref().unwrap().messages().count(),
@@ -128,6 +130,8 @@ fn star_hub_serializes_fanout_messages() {
     b.add_edge(src, c2, 10).unwrap();
     let g = b.build().unwrap();
     let mh = registry::by_name("MH").unwrap();
-    let out = mh.schedule(&g, &Env::apn(Topology::star(4).unwrap())).unwrap();
+    let out = mh
+        .schedule(&g, &Env::apn(Topology::star(4).unwrap()))
+        .unwrap();
     out.validate(&g).unwrap();
 }

@@ -51,7 +51,11 @@ fn schedules_are_deterministic_for_all_fifteen() {
 #[test]
 fn every_suite_graph_round_trips_through_tgf() {
     let mut graphs = psg::peer_set();
-    graphs.push(rgbos::generate(rgbos::RgbosParams { nodes: 20, ccr: 10.0, seed: 3 }));
+    graphs.push(rgbos::generate(rgbos::RgbosParams {
+        nodes: 20,
+        ccr: 10.0,
+        seed: 3,
+    }));
     graphs.push(rgnos::generate(rgnos::RgnosParams::new(90, 0.5, 4, 8)));
     graphs.push(traced::cholesky(8, 1.0));
     graphs.push(traced::fft(3, 0.1));

@@ -1,0 +1,106 @@
+//! Golden-makespan regression suite: the exact makespan of every
+//! registered algorithm on two fixed inputs, locked so that substrate
+//! refactors (CSR storage, cached levels, heap-based ready queues,
+//! clone-free DSC, binary-search slot insertion) are provably
+//! behavior-preserving. Any intentional algorithm change must update this
+//! table *and* say why in the commit.
+//!
+//! Environments: BNP/UNC run on `Env::bnp(4)` (UNC ignores it), APN on a
+//! 3-dimensional hypercube. The RGNOS instance is pinned by seed; its
+//! generator stream is the in-tree `rand` stand-in, so these values are
+//! stable across platforms.
+
+use taskbench::prelude::*;
+use taskbench::suites::{psg, rgnos};
+
+/// (graph, algorithm, expected makespan).
+const GOLDEN: &[(&str, &str, u64)] = &[
+    ("nine", "HLFET", 21),
+    ("nine", "ISH", 20),
+    ("nine", "MCP", 20),
+    ("nine", "ETF", 20),
+    ("nine", "DLS", 20),
+    ("nine", "LAST", 17),
+    ("nine", "EZ", 20),
+    ("nine", "LC", 21),
+    ("nine", "DSC", 21),
+    ("nine", "MD", 20),
+    ("nine", "DCP", 21),
+    ("nine", "MH", 25),
+    ("nine", "DLS-APN", 22),
+    ("nine", "BU", 22),
+    ("nine", "BSA", 22),
+    ("rgnos60", "HLFET", 659),
+    ("rgnos60", "ISH", 577),
+    ("rgnos60", "MCP", 557),
+    ("rgnos60", "ETF", 551),
+    ("rgnos60", "DLS", 569),
+    ("rgnos60", "LAST", 837),
+    ("rgnos60", "EZ", 393),
+    ("rgnos60", "LC", 382),
+    ("rgnos60", "DSC", 383),
+    ("rgnos60", "MD", 404),
+    ("rgnos60", "DCP", 382),
+    ("rgnos60", "MH", 2197),
+    ("rgnos60", "DLS-APN", 2004),
+    ("rgnos60", "BU", 1869),
+    ("rgnos60", "BSA", 1648),
+];
+
+fn graph_by_label(label: &str) -> taskbench::graph::TaskGraph {
+    match label {
+        "nine" => psg::classic_nine(),
+        "rgnos60" => rgnos::generate(rgnos::RgnosParams::new(60, 1.0, 3, 7)),
+        other => panic!("unknown golden graph {other}"),
+    }
+}
+
+#[test]
+fn every_algorithm_hits_its_golden_makespan() {
+    let mut covered = std::collections::HashSet::new();
+    for &(label, name, expected) in GOLDEN {
+        let g = graph_by_label(label);
+        let algo = registry::by_name(name).unwrap_or_else(|| panic!("unknown algorithm {name}"));
+        let env = match algo.class() {
+            AlgoClass::Apn => Env::apn(Topology::hypercube(3).unwrap()),
+            _ => Env::bnp(4),
+        };
+        let out = algo.schedule(&g, &env).unwrap();
+        out.validate(&g)
+            .unwrap_or_else(|e| panic!("{name} invalid on {label}: {e}"));
+        assert_eq!(
+            out.schedule.makespan(),
+            expected,
+            "{name} drifted on {label} (golden {expected})"
+        );
+        covered.insert(name);
+    }
+    // The table must cover the full roster — a new algorithm without a
+    // golden row fails here, not silently.
+    assert_eq!(
+        covered.len(),
+        registry::all().len(),
+        "golden table incomplete"
+    );
+}
+
+#[test]
+fn golden_runs_are_deterministic() {
+    // Two fresh runs (fresh graphs, fresh scheduler objects) must agree
+    // placement-by-placement, not just on makespan.
+    let g = graph_by_label("rgnos60");
+    let h = graph_by_label("rgnos60");
+    for algo in registry::bnp().into_iter().chain(registry::unc()) {
+        let env = Env::bnp(4);
+        let a = algo.schedule(&g, &env).unwrap();
+        let b = algo.schedule(&h, &env).unwrap();
+        for n in g.tasks() {
+            assert_eq!(
+                a.schedule.placement(n),
+                b.schedule.placement(n),
+                "{} nondeterministic at {n}",
+                algo.name()
+            );
+        }
+    }
+}

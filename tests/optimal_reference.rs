@@ -7,12 +7,23 @@ use taskbench::suites::{rgbos, rgpos};
 #[test]
 fn bnb_lower_bounds_every_heuristic_on_rgbos() {
     for seed in 0..4u64 {
-        let g = rgbos::generate(rgbos::RgbosParams { nodes: 14, ccr: 1.0, seed });
+        let g = rgbos::generate(rgbos::RgbosParams {
+            nodes: 14,
+            ccr: 1.0,
+            seed,
+        });
         let opt = solve(
             &g,
-            &OptimalParams { procs: None, node_limit: 3_000_000, heuristic_incumbent: true },
+            &OptimalParams {
+                procs: None,
+                node_limit: 50_000_000,
+                heuristic_incumbent: true,
+            },
         );
-        assert!(opt.proven, "seed {seed}: 14-node instance should be provable");
+        assert!(
+            opt.proven,
+            "seed {seed}: 14-node instance should be provable"
+        );
         assert!(opt.schedule.validate(&g).is_ok());
         let env = Env::bnp(g.num_tasks());
         for algo in registry::bnp().into_iter().chain(registry::unc()) {
@@ -30,10 +41,18 @@ fn bnb_lower_bounds_every_heuristic_on_rgbos() {
 #[test]
 fn bnb_respects_ccr_difficulty() {
     // Same structure, heavier comm ⇒ optimal length can only grow.
-    let light = rgbos::generate(rgbos::RgbosParams { nodes: 12, ccr: 0.1, seed: 9 });
+    let light = rgbos::generate(rgbos::RgbosParams {
+        nodes: 12,
+        ccr: 0.1,
+        seed: 9,
+    });
     let opt_light = solve(
         &light,
-        &OptimalParams { procs: None, node_limit: 3_000_000, heuristic_incumbent: true },
+        &OptimalParams {
+            procs: None,
+            node_limit: 3_000_000,
+            heuristic_incumbent: true,
+        },
     );
     assert!(opt_light.proven);
     // Lower bound sanity: optimum ≥ computation critical path and
@@ -60,7 +79,11 @@ fn rgpos_embedded_schedule_is_the_packing_optimum() {
         );
         let env = Env::bnp(inst.procs);
         for algo in registry::bnp() {
-            let m = algo.schedule(&inst.graph, &env).unwrap().schedule.makespan();
+            let m = algo
+                .schedule(&inst.graph, &env)
+                .unwrap()
+                .schedule
+                .makespan();
             assert!(
                 m >= inst.optimal,
                 "{} beat the packing bound on v={v} ccr={ccr}",

@@ -21,9 +21,17 @@ fn avg_nsl(name: &str, graphs: &[TaskGraph], env_of: impl Fn(&TaskGraph) -> Env)
 
 fn sample() -> Vec<TaskGraph> {
     let mut v = Vec::new();
-    for (i, &(ccr, par)) in [(0.1, 2u32), (1.0, 3), (2.0, 2), (10.0, 3)].iter().enumerate() {
+    for (i, &(ccr, par)) in [(0.1, 2u32), (1.0, 3), (2.0, 2), (10.0, 3)]
+        .iter()
+        .enumerate()
+    {
         for size in [60usize, 100] {
-            v.push(rgnos::generate(RgnosParams::new(size, ccr, par, 500 + i as u64)));
+            v.push(rgnos::generate(RgnosParams::new(
+                size,
+                ccr,
+                par,
+                500 + i as u64,
+            )));
         }
     }
     v
@@ -40,7 +48,10 @@ fn cp_based_beats_non_cp_based_in_bnp() {
     let graphs = sample();
     let mcp = avg_nsl("MCP", &graphs, bnp_env);
     let last = avg_nsl("LAST", &graphs, bnp_env);
-    assert!(mcp < last, "MCP {mcp:.3} should beat LAST {last:.3} on average");
+    assert!(
+        mcp < last,
+        "MCP {mcp:.3} should beat LAST {last:.3} on average"
+    );
 }
 
 #[test]
@@ -50,8 +61,10 @@ fn dcp_leads_the_unc_class() {
     // the class best (usually it *is* the best).
     let graphs = sample();
     let names = ["EZ", "LC", "DSC", "MD", "DCP"];
-    let scores: Vec<(f64, &str)> =
-        names.iter().map(|n| (avg_nsl(n, &graphs, bnp_env), *n)).collect();
+    let scores: Vec<(f64, &str)> = names
+        .iter()
+        .map(|n| (avg_nsl(n, &graphs, bnp_env), *n))
+        .collect();
     let best = scores.iter().map(|(s, _)| *s).fold(f64::INFINITY, f64::min);
     let dcp = scores.iter().find(|(_, n)| *n == "DCP").unwrap().0;
     assert!(
@@ -87,13 +100,10 @@ fn greedy_bnp_algorithms_cluster_tightly() {
         .iter()
         .map(|n| avg_nsl(n, &graphs, bnp_env))
         .collect();
-    let (lo, hi) = scores
-        .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &s| (lo.min(s), hi.max(s)));
-    assert!(
-        hi / lo < 1.25,
-        "greedy BNP spread too wide: {scores:?}"
-    );
+    let (lo, hi) = scores.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &s| {
+        (lo.min(s), hi.max(s))
+    });
+    assert!(hi / lo < 1.25, "greedy BNP spread too wide: {scores:?}");
 }
 
 #[test]
@@ -104,15 +114,26 @@ fn unc_uses_more_processors_than_dcp_and_md() {
         let algo = registry::by_name(name).unwrap();
         graphs
             .iter()
-            .map(|g| algo.schedule(g, &Env::bnp(1)).unwrap().schedule.procs_used() as f64)
+            .map(|g| {
+                algo.schedule(g, &Env::bnp(1))
+                    .unwrap()
+                    .schedule
+                    .procs_used() as f64
+            })
             .sum::<f64>()
             / graphs.len() as f64
     };
     let lc = procs_used("LC");
     let dsc = procs_used("DSC");
     let md = procs_used("MD");
-    assert!(lc > md, "LC {lc:.1} should use more processors than MD {md:.1}");
-    assert!(dsc > md, "DSC {dsc:.1} should use more processors than MD {md:.1}");
+    assert!(
+        lc > md,
+        "LC {lc:.1} should use more processors than MD {md:.1}"
+    );
+    assert!(
+        dsc > md,
+        "DSC {dsc:.1} should use more processors than MD {md:.1}"
+    );
 }
 
 #[test]
@@ -137,8 +158,9 @@ fn apn_class_is_slower_but_valid_on_the_eight_proc_machine() {
     // Fig. 2(c): APN algorithms pay for contention; their NSL on the same
     // workloads must be ≥ the best contention-free result (they solve a
     // strictly harder problem).
-    let graphs: Vec<TaskGraph> =
-        (0..3).map(|i| rgnos::generate(RgnosParams::new(60, 1.0, 3, 900 + i))).collect();
+    let graphs: Vec<TaskGraph> = (0..3)
+        .map(|i| rgnos::generate(RgnosParams::new(60, 1.0, 3, 900 + i)))
+        .collect();
     let apn_env = |_: &TaskGraph| Env::apn(Topology::hypercube(3).unwrap());
     let bnp8 = |_: &TaskGraph| Env::bnp(8);
     let best_bnp = ["MCP", "ETF", "DLS"]

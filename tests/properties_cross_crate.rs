@@ -7,10 +7,8 @@ use taskbench::prelude::*;
 fn arb_dag() -> impl Strategy<Value = TaskGraph> {
     (2usize..11).prop_flat_map(|n| {
         let weights = proptest::collection::vec(1u64..40, n);
-        let edges = proptest::collection::vec(
-            (0usize..n.max(1), 0usize..n.max(1), 0u64..90),
-            0..24,
-        );
+        let edges =
+            proptest::collection::vec((0usize..n.max(1), 0usize..n.max(1), 0u64..90), 0..24);
         (weights, edges).prop_map(|(weights, edges)| {
             let mut b = GraphBuilder::new();
             let ids: Vec<TaskId> = weights.iter().map(|&w| b.add_task(w)).collect();

@@ -7,8 +7,16 @@ use taskbench::suites::{psg, rgbos, rgnos, rgpos, shapes, traced};
 
 fn all_fixture_graphs() -> Vec<TaskGraph> {
     let mut graphs = psg::peer_set();
-    graphs.push(rgbos::generate(rgbos::RgbosParams { nodes: 24, ccr: 1.0, seed: 1 }));
-    graphs.push(rgbos::generate(rgbos::RgbosParams { nodes: 32, ccr: 10.0, seed: 2 }));
+    graphs.push(rgbos::generate(rgbos::RgbosParams {
+        nodes: 24,
+        ccr: 1.0,
+        seed: 1,
+    }));
+    graphs.push(rgbos::generate(rgbos::RgbosParams {
+        nodes: 32,
+        ccr: 10.0,
+        seed: 2,
+    }));
     graphs.push(rgnos::generate(rgnos::RgnosParams::new(80, 0.5, 2, 3)));
     graphs.push(rgnos::generate(rgnos::RgnosParams::new(120, 10.0, 5, 4)));
     graphs.push(rgpos::generate(rgpos::RgposParams::new(64, 1.0, 5)).graph);
