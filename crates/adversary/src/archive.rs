@@ -1,0 +1,167 @@
+//! Archival of discovered adversarial instances as TGF.
+//!
+//! Every instance the matrix driver reports is written under
+//! `examples/adversarial/` so found graphs become a permanent, diffable
+//! benchmark suite: the TGF carries a comment header recording the pair,
+//! the observed makespans and the reproduction seed, and [`reverify`]
+//! re-parses the text and reschedules both algorithms to prove the archived
+//! file reproduces exactly the makespans it claims.
+
+use crate::matrix::{env_for, PairOutcome};
+use crate::search::SearchResult;
+use dagsched_core::{registry, AlgoClass};
+use dagsched_graph::io::{from_tgf, to_tgf};
+use std::fmt::Write as _;
+
+/// Deterministic file stem for one pair, e.g. `unc_lc_vs_dcp`.
+pub fn file_stem(class: AlgoClass, target: &str, baseline: &str) -> String {
+    let clean = |s: &str| s.to_ascii_lowercase().replace('-', "_");
+    format!(
+        "{}_{}_vs_{}",
+        class.to_string().to_ascii_lowercase(),
+        clean(target),
+        clean(baseline)
+    )
+}
+
+/// The archived TGF text: a provenance comment header followed by the graph
+/// (renamed to the canonical `adv-…` instance name).
+pub fn archived_tgf(
+    class: AlgoClass,
+    target: &str,
+    baseline: &str,
+    seed: u64,
+    r: &SearchResult,
+) -> String {
+    let g = r
+        .graph
+        .clone()
+        .with_name(format!("adv-{}", file_stem(class, target, baseline)));
+    let mut out = String::new();
+    let _ = writeln!(out, "# dagsched-adversary discovered instance");
+    let _ = writeln!(
+        out,
+        "# class {class}  target {target} (makespan {})  baseline {baseline} (makespan {})  ratio {:.4}",
+        r.target_makespan,
+        r.baseline_makespan,
+        r.ratio(),
+    );
+    let _ = writeln!(out, "# search seed {seed}, {} evaluations", r.evals);
+    out.push_str(&to_tgf(&g));
+    out
+}
+
+/// [`archived_tgf`] for a completed matrix cell.
+pub fn archived_pair_tgf(o: &PairOutcome) -> String {
+    archived_tgf(o.class, &o.target, &o.baseline, o.seed, &o.result)
+}
+
+/// Parse archived TGF text and reschedule both algorithms under the class
+/// environment; errors unless both makespans match the expected values.
+pub fn reverify(
+    text: &str,
+    class: AlgoClass,
+    target: &str,
+    baseline: &str,
+    expected_target: u64,
+    expected_baseline: u64,
+) -> Result<(), String> {
+    let g = from_tgf(text).map_err(|e| format!("archived TGF does not parse: {e}"))?;
+    let env = env_for(class);
+    let run = |name: &str| -> Result<u64, String> {
+        let algo = registry::by_name(name).ok_or_else(|| format!("unknown algorithm {name}"))?;
+        let out = algo
+            .schedule(&g, &env)
+            .map_err(|e| format!("{name} failed on archived graph: {e}"))?;
+        out.validate(&g)
+            .map_err(|e| format!("{name} produced an invalid schedule: {e}"))?;
+        Ok(out.schedule.makespan())
+    };
+    let t = run(target)?;
+    let b = run(baseline)?;
+    if t != expected_target {
+        return Err(format!(
+            "{target} makespan {t} != archived {expected_target}"
+        ));
+    }
+    if b != expected_baseline {
+        return Err(format!(
+            "{baseline} makespan {b} != archived {expected_baseline}"
+        ));
+    }
+    Ok(())
+}
+
+/// Convenience: [`reverify`] against a matrix cell's recorded makespans.
+pub fn reverify_pair(text: &str, o: &PairOutcome) -> Result<(), String> {
+    reverify(
+        text,
+        o.class,
+        &o.target,
+        &o.baseline,
+        o.result.target_makespan,
+        o.result.baseline_makespan,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::run_pair;
+    use crate::search::Budget;
+
+    fn outcome() -> PairOutcome {
+        run_pair(
+            AlgoClass::Unc,
+            "LC",
+            "DSC",
+            &Budget {
+                max_evals: 40,
+                seed: 5,
+                max_nodes: 20,
+            },
+        )
+    }
+
+    #[test]
+    fn file_stems_are_clean() {
+        assert_eq!(file_stem(AlgoClass::Unc, "LC", "DCP"), "unc_lc_vs_dcp");
+        assert_eq!(
+            file_stem(AlgoClass::Apn, "DLS-APN", "BSA"),
+            "apn_dls_apn_vs_bsa"
+        );
+    }
+
+    #[test]
+    fn archived_instance_reverifies() {
+        let o = outcome();
+        let text = archived_pair_tgf(&o);
+        assert!(text.starts_with("# dagsched-adversary"));
+        assert!(text.contains("graph adv-unc_lc_vs_dsc"));
+        reverify_pair(&text, &o).expect("archived instance must reproduce its makespans");
+    }
+
+    #[test]
+    fn reverify_rejects_tampered_makespans() {
+        let o = outcome();
+        let text = archived_pair_tgf(&o);
+        let err = reverify(
+            &text,
+            o.class,
+            &o.target,
+            &o.baseline,
+            o.result.target_makespan + 1,
+            o.result.baseline_makespan,
+        )
+        .unwrap_err();
+        assert!(err.contains("!= archived"), "{err}");
+    }
+
+    #[test]
+    fn reverify_rejects_corrupt_text() {
+        let o = outcome();
+        assert!(reverify_pair("task 0 banana\n", &o)
+            .unwrap_err()
+            .contains("does not parse"));
+    }
+}

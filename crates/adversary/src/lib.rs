@@ -1,0 +1,63 @@
+//! # dagsched-adversary — adversarial instance search & dominance analysis
+//!
+//! Kwok & Ahmad benchmark the fifteen schedulers on *fixed* suites, which
+//! can hide worst-case separations: an algorithm may look fine on average
+//! while a reachable family of graphs makes it lose badly to a competitor.
+//! This crate searches graph space for exactly those instances, in the
+//! spirit of PISA-style adversarial benchmarking: maximize the makespan
+//! ratio `L_target(g) / L_baseline(g)` over graphs reachable from random
+//! RGNOS seeds through DAG-preserving mutations.
+//!
+//! Three layers:
+//!
+//! * [`perturb`] — the [`perturb::Perturb`] trait and seven operators
+//!   (task/edge reweight, forward-edge add, edge remove, task split, edge
+//!   contraction, global CCR rescale), all rebuilt through `GraphBuilder`
+//!   so proposals are always valid DAGs;
+//! * [`search`] — annealed restart hill-climbing under a deterministic
+//!   [`search::Budget`] (max evaluations + master seed), generic over any
+//!   registry scheduler pair or the `dagsched-optimal` bound;
+//! * [`matrix`] / [`archive`] — the all-pairs driver producing a dominance
+//!   matrix through `dagsched-metrics`, and TGF archival with
+//!   re-verification so every reported instance is a reproducible artifact
+//!   under `examples/adversarial/`.
+//!
+//! ## Reproduction
+//!
+//! ```text
+//! # one pair, CI-sized budget:
+//! taskbench adversary LC DCP --budget 400 --seed 6552
+//!
+//! # the full per-class matrix + archived instances:
+//! cargo run --release -p dagsched-bench --bin adversary_matrix
+//! TASKBENCH_FULL=1 cargo run --release -p dagsched-bench --bin adversary_matrix
+//! ```
+//!
+//! With a fixed seed and budget every run is byte-deterministic: cell seeds
+//! derive from the pair *names* (see [`matrix::cell_seed`]), so the
+//! parallel per-cell fan-out cannot perturb results.
+//!
+//! ```
+//! use dagsched_adversary::{search, Budget, Reference};
+//! use dagsched_core::{registry, Env};
+//!
+//! let lc = registry::by_name("LC").unwrap();
+//! let dcp = registry::by_name("DCP").unwrap();
+//! let budget = Budget { max_evals: 60, seed: 1, max_nodes: 24 };
+//! let r = search::search(
+//!     lc.as_ref(),
+//!     &Reference::Algo(dcp.as_ref()),
+//!     &Env::bnp(1),
+//!     &budget,
+//! );
+//! assert!(r.graph.num_tasks() <= 24);
+//! assert!(r.ratio() > 0.0);
+//! ```
+
+pub mod archive;
+pub mod matrix;
+pub mod perturb;
+pub mod search;
+
+pub use perturb::{Limits, Perturb};
+pub use search::{Budget, Reference, SearchResult};

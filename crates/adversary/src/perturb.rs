@@ -1,0 +1,541 @@
+//! Seeded, DAG-preserving mutation operators over [`TaskGraph`]s.
+//!
+//! Every operator consumes an immutable graph and proposes a new validated
+//! graph through [`GraphBuilder`], so a mutated instance can never violate
+//! the model invariants (positive weights, no duplicate edges, acyclicity).
+//! Operators return `None` when they do not apply to the given graph (e.g.
+//! removing an edge from an edgeless graph) or when a growth operator would
+//! exceed [`Limits::max_nodes`]; the search engine simply draws another
+//! operator.
+//!
+//! Acyclicity is preserved *by construction*, never by rejection sampling
+//! over arbitrary edits:
+//!
+//! * [`AddEdge`] only inserts edges that point forward in the cached
+//!   topological order;
+//! * [`SplitTask`] replaces one task by a two-task chain (cuts cannot create
+//!   cycles);
+//! * [`MergeTask`] contracts an edge `u → v` only when the direct edge is
+//!   the *sole* path from `u` to `v` — the classic condition under which DAG
+//!   edge contraction stays acyclic.
+
+use dagsched_graph::{GraphBuilder, TaskGraph, TaskId};
+use dagsched_suites::rng::{node_cost, uniform_mean};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Default cap on a single communication cost: with mean node costs of 40
+/// this bounds graph CCR to ≈ 25, comfortably past the paper's CCR = 10
+/// regime while keeping discovered instances meaningful benchmark graphs
+/// (otherwise repeated rescales compound edge costs without limit and the
+/// objective diverges on degenerate instances).
+pub const DEFAULT_MAX_EDGE_COST: u64 = 1_000;
+
+/// Structural limits every operator must respect.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Upper bound on the task count; growth operators skip at the cap.
+    pub max_nodes: usize,
+    /// Upper bound on any single communication cost; cost-changing
+    /// operators clamp to it.
+    pub max_edge_cost: u64,
+}
+
+impl Limits {
+    /// Limits with the default edge-cost cap.
+    pub fn with_max_nodes(max_nodes: usize) -> Limits {
+        Limits {
+            max_nodes,
+            max_edge_cost: DEFAULT_MAX_EDGE_COST,
+        }
+    }
+}
+
+/// A seeded, DAG-preserving mutation over task graphs.
+pub trait Perturb: Sync {
+    /// Short operator name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Propose a mutated graph, or `None` when the operator does not apply
+    /// to `g` under `limits`. Implementations draw all randomness from
+    /// `rng`, so a fixed seed replays the identical proposal stream.
+    fn perturb(&self, g: &TaskGraph, limits: &Limits, rng: &mut StdRng) -> Option<TaskGraph>;
+}
+
+/// The standard operator set used by the search engine.
+pub fn standard() -> Vec<Box<dyn Perturb>> {
+    vec![
+        Box::new(ReweightTask),
+        Box::new(ReweightEdge),
+        Box::new(AddEdge),
+        Box::new(RemoveEdge),
+        Box::new(SplitTask),
+        Box::new(MergeTask),
+        Box::new(CcrRescale),
+    ]
+}
+
+/// A mutable copy of a graph's parts, finalized back through the builder so
+/// every proposal is re-validated.
+struct Draft {
+    weights: Vec<u64>,
+    labels: Vec<String>,
+    edges: Vec<(u32, u32, u64)>,
+}
+
+impl Draft {
+    fn of(g: &TaskGraph) -> Draft {
+        Draft {
+            weights: g.weights().to_vec(),
+            labels: g.tasks().map(|n| g.label(n).to_string()).collect(),
+            edges: g.edges().map(|e| (e.src.0, e.dst.0, e.cost)).collect(),
+        }
+    }
+
+    fn build(self, name: &str) -> Option<TaskGraph> {
+        let mut b = GraphBuilder::with_capacity(self.weights.len(), self.edges.len());
+        for (w, l) in self.weights.into_iter().zip(self.labels) {
+            b.add_labeled_task(w, l);
+        }
+        for (s, d, c) in self.edges {
+            b.add_edge(TaskId(s), TaskId(d), c).ok()?;
+        }
+        b.build().ok().map(|g| g.with_name(name))
+    }
+}
+
+/// Mean communication cost, with a generic fallback for edgeless graphs.
+fn mean_edge_cost(g: &TaskGraph) -> f64 {
+    if g.num_edges() == 0 {
+        40.0
+    } else {
+        g.total_comm() as f64 / g.num_edges() as f64
+    }
+}
+
+/// Resample one task's computation cost from the paper's node-cost
+/// distribution (uniform `[2, 78]`).
+pub struct ReweightTask;
+
+impl Perturb for ReweightTask {
+    fn name(&self) -> &'static str {
+        "reweight-task"
+    }
+
+    fn perturb(&self, g: &TaskGraph, _limits: &Limits, rng: &mut StdRng) -> Option<TaskGraph> {
+        let mut d = Draft::of(g);
+        let i = rng.random_range(0..g.num_tasks());
+        d.weights[i] = node_cost(rng);
+        d.build(g.name())
+    }
+}
+
+/// Resample one edge's communication cost around the graph's current mean,
+/// so CCR can drift locally without a global rescale.
+pub struct ReweightEdge;
+
+impl Perturb for ReweightEdge {
+    fn name(&self) -> &'static str {
+        "reweight-edge"
+    }
+
+    fn perturb(&self, g: &TaskGraph, limits: &Limits, rng: &mut StdRng) -> Option<TaskGraph> {
+        if g.num_edges() == 0 {
+            return None;
+        }
+        let mut d = Draft::of(g);
+        let i = rng.random_range(0..d.edges.len());
+        d.edges[i].2 = uniform_mean(rng, mean_edge_cost(g).max(1.0)).min(limits.max_edge_cost);
+        d.build(g.name())
+    }
+}
+
+/// Insert a new dependence that points forward in the topological order
+/// (acyclic by construction). A few attempts are made to find a non-edge.
+pub struct AddEdge;
+
+impl Perturb for AddEdge {
+    fn name(&self) -> &'static str {
+        "add-edge"
+    }
+
+    fn perturb(&self, g: &TaskGraph, limits: &Limits, rng: &mut StdRng) -> Option<TaskGraph> {
+        let v = g.num_tasks();
+        if v < 2 {
+            return None;
+        }
+        let topo = g.topo_order();
+        for _ in 0..8 {
+            let i = rng.random_range(0..v - 1);
+            let j = rng.random_range(i + 1..v);
+            let (src, dst) = (topo[i], topo[j]);
+            if !g.has_edge(src, dst) {
+                let mut d = Draft::of(g);
+                let cost = uniform_mean(rng, mean_edge_cost(g).max(1.0)).min(limits.max_edge_cost);
+                d.edges.push((src.0, dst.0, cost));
+                return d.build(g.name());
+            }
+        }
+        None
+    }
+}
+
+/// Delete one edge (subgraphs of DAGs are DAGs).
+pub struct RemoveEdge;
+
+impl Perturb for RemoveEdge {
+    fn name(&self) -> &'static str {
+        "remove-edge"
+    }
+
+    fn perturb(&self, g: &TaskGraph, _limits: &Limits, rng: &mut StdRng) -> Option<TaskGraph> {
+        if g.num_edges() == 0 {
+            return None;
+        }
+        let mut d = Draft::of(g);
+        let i = rng.random_range(0..d.edges.len());
+        d.edges.swap_remove(i);
+        d.build(g.name())
+    }
+}
+
+/// Split one task of weight `w ≥ 2` into a two-task chain `w = w₁ + w₂`;
+/// predecessors keep the head, successors move to the tail, and the new
+/// internal edge gets a cost drawn around the graph's mean.
+pub struct SplitTask;
+
+impl Perturb for SplitTask {
+    fn name(&self) -> &'static str {
+        "split-task"
+    }
+
+    fn perturb(&self, g: &TaskGraph, limits: &Limits, rng: &mut StdRng) -> Option<TaskGraph> {
+        if g.num_tasks() >= limits.max_nodes {
+            return None;
+        }
+        for _ in 0..8 {
+            let n = TaskId(rng.random_range(0..g.num_tasks() as u32));
+            let w = g.weight(n);
+            if w < 2 {
+                continue;
+            }
+            let cut = rng.random_range(1..w);
+            let mut d = Draft::of(g);
+            d.weights[n.index()] = cut;
+            let tail = d.weights.len() as u32;
+            d.weights.push(w - cut);
+            d.labels.push(String::new());
+            for e in d.edges.iter_mut() {
+                if e.0 == n.0 {
+                    e.0 = tail;
+                }
+            }
+            let cost = uniform_mean(rng, mean_edge_cost(g).max(1.0)).min(limits.max_edge_cost);
+            d.edges.push((n.0, tail, cost));
+            return d.build(g.name());
+        }
+        None
+    }
+}
+
+/// Contract an edge `u → v` into one task of weight `w(u) + w(v)`, keeping
+/// the contraction acyclic by requiring the direct edge to be the only
+/// `u → v` path. Parallel dependences created by the merge are deduplicated
+/// keeping the larger cost.
+pub struct MergeTask;
+
+/// Whether a path `u → … → v` of length ≥ 2 exists (the direct edge is
+/// excluded from the seed frontier, so only alternate routes count).
+fn has_alternate_path(g: &TaskGraph, u: TaskId, v: TaskId) -> bool {
+    let mut seen = vec![false; g.num_tasks()];
+    let mut stack: Vec<TaskId> = g
+        .succs(u)
+        .iter()
+        .filter(|&&(s, _)| s != v)
+        .map(|&(s, _)| s)
+        .collect();
+    while let Some(t) = stack.pop() {
+        if t == v {
+            return true;
+        }
+        if !seen[t.index()] {
+            seen[t.index()] = true;
+            stack.extend(g.succs(t).iter().map(|&(s, _)| s));
+        }
+    }
+    false
+}
+
+impl Perturb for MergeTask {
+    fn name(&self) -> &'static str {
+        "merge-task"
+    }
+
+    fn perturb(&self, g: &TaskGraph, _limits: &Limits, rng: &mut StdRng) -> Option<TaskGraph> {
+        if g.num_edges() == 0 || g.num_tasks() < 3 {
+            return None;
+        }
+        let edges: Vec<_> = g.edges().collect();
+        for _ in 0..8 {
+            let e = edges[rng.random_range(0..edges.len())];
+            let (u, v) = (e.src, e.dst);
+            if has_alternate_path(g, u, v) {
+                continue;
+            }
+            // v's slot disappears; u absorbs its weight. Ids above v shift
+            // down by one to stay dense — including u's own id when it lies
+            // above v (ids need not follow edge direction: SplitTask's tail
+            // node takes the max id but keeps lower-id successors).
+            let merged_id = if u.0 > v.0 { u.0 - 1 } else { u.0 };
+            let remap = |x: u32| -> u32 {
+                if x == v.0 {
+                    merged_id
+                } else if x > v.0 {
+                    x - 1
+                } else {
+                    x
+                }
+            };
+            let mut weights = Vec::with_capacity(g.num_tasks() - 1);
+            let mut labels = Vec::with_capacity(g.num_tasks() - 1);
+            for n in g.tasks() {
+                if n == v {
+                    continue;
+                }
+                let w = if n == u {
+                    g.weight(u) + g.weight(v)
+                } else {
+                    g.weight(n)
+                };
+                weights.push(w);
+                labels.push(g.label(n).to_string());
+            }
+            let mut merged: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+            for f in &edges {
+                if f.src == u && f.dst == v {
+                    continue; // the contracted edge itself
+                }
+                let (s, d) = (remap(f.src.0), remap(f.dst.0));
+                debug_assert_ne!(s, d, "only the contracted edge can self-loop");
+                let slot = merged.entry((s, d)).or_insert(0);
+                *slot = (*slot).max(f.cost);
+            }
+            let d = Draft {
+                weights,
+                labels,
+                edges: merged.into_iter().map(|((s, t), c)| (s, t, c)).collect(),
+            };
+            return d.build(g.name());
+        }
+        None
+    }
+}
+
+/// Rescale every communication cost by a factor in `[0.5, 2.0]` — the global
+/// CCR knob of the paper's sweeps, made continuous.
+pub struct CcrRescale;
+
+impl Perturb for CcrRescale {
+    fn name(&self) -> &'static str {
+        "ccr-rescale"
+    }
+
+    fn perturb(&self, g: &TaskGraph, limits: &Limits, rng: &mut StdRng) -> Option<TaskGraph> {
+        if g.num_edges() == 0 {
+            return None;
+        }
+        let f = rng.random_range(50u64..=200) as f64 / 100.0;
+        let mut d = Draft::of(g);
+        for e in d.edges.iter_mut() {
+            e.2 = ((e.2 as f64 * f).round() as u64).min(limits.max_edge_cost);
+        }
+        d.build(g.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_suites::rgnos::{self, RgnosParams};
+    use rand::SeedableRng;
+
+    fn seed_graph() -> TaskGraph {
+        rgnos::generate(RgnosParams::new(30, 1.0, 2, 11))
+    }
+
+    fn limits() -> Limits {
+        Limits::with_max_nodes(60)
+    }
+
+    #[test]
+    fn every_operator_preserves_validity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = seed_graph();
+        let ops = standard();
+        let mut applied = vec![0usize; ops.len()];
+        for step in 0..400 {
+            let op = &ops[step % ops.len()];
+            if let Some(h) = op.perturb(&g, &limits(), &mut rng) {
+                h.validate().unwrap_or_else(|e| {
+                    panic!("{} produced an invalid graph: {e}", op.name());
+                });
+                assert!(h.num_tasks() <= 60, "{} grew past the cap", op.name());
+                applied[step % ops.len()] += 1;
+                g = h;
+            }
+        }
+        for (op, n) in ops.iter().zip(&applied) {
+            assert!(*n > 0, "{} never applied over 400 draws", op.name());
+        }
+    }
+
+    #[test]
+    fn split_grows_and_merge_shrinks() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = seed_graph();
+        let split = SplitTask.perturb(&g, &limits(), &mut rng).unwrap();
+        assert_eq!(split.num_tasks(), g.num_tasks() + 1);
+        assert_eq!(split.total_work(), g.total_work(), "split conserves work");
+        let merged = MergeTask.perturb(&g, &limits(), &mut rng).unwrap();
+        assert_eq!(merged.num_tasks(), g.num_tasks() - 1);
+        assert_eq!(merged.total_work(), g.total_work(), "merge conserves work");
+    }
+
+    #[test]
+    fn split_respects_node_cap() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = seed_graph();
+        let at_cap = Limits::with_max_nodes(g.num_tasks());
+        assert!(SplitTask.perturb(&g, &at_cap, &mut rng).is_none());
+    }
+
+    #[test]
+    fn add_edge_increases_edge_count_and_stays_acyclic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = seed_graph();
+        for _ in 0..50 {
+            if let Some(h) = AddEdge.perturb(&g, &limits(), &mut rng) {
+                assert_eq!(h.num_edges(), g.num_edges() + 1);
+                h.validate().unwrap();
+                g = h;
+            }
+        }
+    }
+
+    #[test]
+    fn remove_edge_decreases_edge_count() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = seed_graph();
+        let h = RemoveEdge.perturb(&g, &limits(), &mut rng).unwrap();
+        assert_eq!(h.num_edges(), g.num_edges() - 1);
+    }
+
+    #[test]
+    fn edge_costs_never_exceed_the_cap() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let tight = Limits {
+            max_nodes: 60,
+            max_edge_cost: 50,
+        };
+        let mut g = seed_graph();
+        let ops = standard();
+        for step in 0..300 {
+            if let Some(h) = ops[step % ops.len()].perturb(&g, &tight, &mut rng) {
+                g = h;
+            }
+        }
+        // Seed costs may start above a tight cap; rescales clamp downward,
+        // and no operator may (re)introduce a cost above it.
+        let seed_max = seed_graph().edges().map(|e| e.cost).max().unwrap();
+        let now_max = g.edges().map(|e| e.cost).max().unwrap();
+        assert!(
+            now_max <= seed_max.max(50),
+            "cost {now_max} escaped the cap"
+        );
+    }
+
+    #[test]
+    fn ccr_rescale_moves_total_comm() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = seed_graph();
+        let mut changed = false;
+        for _ in 0..10 {
+            let h = CcrRescale.perturb(&g, &limits(), &mut rng).unwrap();
+            assert_eq!(h.num_edges(), g.num_edges());
+            changed |= h.total_comm() != g.total_comm();
+        }
+        assert!(changed, "rescale never moved the communication volume");
+    }
+
+    #[test]
+    fn operators_are_deterministic_per_seed() {
+        let g = seed_graph();
+        for op in standard() {
+            let mut a = StdRng::seed_from_u64(42);
+            let mut b = StdRng::seed_from_u64(42);
+            let x = op.perturb(&g, &limits(), &mut a);
+            let y = op.perturb(&g, &limits(), &mut b);
+            match (x, y) {
+                (Some(x), Some(y)) => assert_eq!(
+                    dagsched_graph::io::to_tgf(&x),
+                    dagsched_graph::io::to_tgf(&y),
+                    "{} not deterministic",
+                    op.name()
+                ),
+                (None, None) => {}
+                _ => panic!("{} applicability not deterministic", op.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn merge_handles_edges_whose_src_id_exceeds_dst_id() {
+        // Ids need not follow edge direction. Contracting (3, 0) removes
+        // slot 0, so the merged node's id is 2 (= 3 shifted down), and the
+        // edge 2→0 must become (1, 2) — the old remap sent it to a
+        // self-loop (2, 2) instead.
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..4).map(|i| b.add_task(10 + i)).collect();
+        b.add_edge(ids[2], ids[0], 3).unwrap();
+        b.add_edge(ids[3], ids[0], 4).unwrap();
+        b.add_edge(ids[1], ids[2], 5).unwrap();
+        let g = b.build().unwrap();
+        let total = g.total_work();
+        let mut merged_some = false;
+        for seed in 0..30 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Some(h) = MergeTask.perturb(&g, &limits(), &mut rng) {
+                h.validate().unwrap();
+                assert_eq!(h.num_tasks(), 3);
+                assert_eq!(h.total_work(), total, "merge conserves work");
+                merged_some = true;
+            }
+        }
+        assert!(merged_some, "no contraction ever applied");
+    }
+
+    #[test]
+    fn merge_refuses_transitive_edges() {
+        // u → v direct plus u → w → v: contracting (u, v) would need the
+        // alternate path collapsed too; the operator must skip that edge.
+        let mut b = GraphBuilder::new();
+        let u = b.add_task(1);
+        let w = b.add_task(2);
+        let v = b.add_task(3);
+        b.add_edge(u, v, 1).unwrap();
+        b.add_edge(u, w, 1).unwrap();
+        b.add_edge(w, v, 1).unwrap();
+        let g = b.build().unwrap();
+        assert!(has_alternate_path(&g, u, v));
+        assert!(!has_alternate_path(&g, u, w));
+        // Repeated draws only ever contract (u,w) or (w,v); results validate.
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            if let Some(h) = MergeTask.perturb(&g, &limits(), &mut rng) {
+                h.validate().unwrap();
+                assert_eq!(h.num_tasks(), 2);
+            }
+        }
+    }
+}

@@ -13,7 +13,11 @@
 //!    sweep through the parallel runner with 1 worker vs all cores.
 //!
 //! Output path: `TASKBENCH_BENCH_OUT` or `<workspace>/BENCH_RESULTS.json`.
-//! Run with `--release`; debug timings are not comparable.
+//! Additionally, one summary record per run is *appended* to
+//! `BENCH_HISTORY.jsonl` (override with `TASKBENCH_BENCH_HISTORY`), keyed
+//! by git SHA and UTC date, so the perf trajectory across PRs survives the
+//! overwrite of the full report. Run with `--release`; debug timings are
+//! not comparable.
 
 use dagsched_bench::baseline::DscBaseline;
 use dagsched_bench::par;
@@ -169,16 +173,86 @@ fn runner_scaling_section() -> Json {
     ])
 }
 
+/// The current git commit (short SHA), or `"unknown"` outside a checkout.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days, no external deps).
+fn utc_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after 1970")
+        .as_secs();
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Pull a numeric field out of a `Json::Obj` by key.
+fn field(j: &Json, key: &str) -> Json {
+    match j {
+        Json::Obj(fields) => fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .expect("field present"),
+        _ => panic!("not an object"),
+    }
+}
+
 fn main() {
+    let dsc = dsc_speedup_section();
+    let runner = runner_scaling_section();
     let report = Json::obj([
         ("schema", Json::Int(1)),
         ("suite", Json::str("rgnos ccr=1.0 par=3")),
-        ("dsc_speedup", dsc_speedup_section()),
+        ("dsc_speedup", dsc.clone()),
         ("algo_runtimes", algo_runtimes_section()),
-        ("runner_scaling", runner_scaling_section()),
+        ("runner_scaling", runner.clone()),
     ]);
     let path = std::env::var("TASKBENCH_BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_RESULTS.json", env!("CARGO_MANIFEST_DIR")));
     std::fs::write(&path, report.pretty()).expect("write BENCH_RESULTS.json");
     println!("wrote {path}");
+
+    // Append the run's headline numbers to the trend file: one JSONL record
+    // per run, keyed by commit and date, never overwritten.
+    let record = Json::obj([
+        ("schema", Json::Int(1)),
+        ("sha", Json::str(git_sha())),
+        ("date", Json::str(utc_date())),
+        ("dsc_speedup_v1000", field(&dsc, "headline_speedup_v1000")),
+        ("runner_speedup", field(&runner, "speedup")),
+        ("runner_workers", field(&runner, "workers")),
+        ("runner_cells", field(&runner, "cells")),
+    ]);
+    let history = std::env::var("TASKBENCH_BENCH_HISTORY")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_HISTORY.jsonl", env!("CARGO_MANIFEST_DIR")));
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history)
+        .expect("open BENCH_HISTORY.jsonl");
+    writeln!(f, "{}", record.compact()).expect("append BENCH_HISTORY.jsonl");
+    println!("appended {history}");
 }

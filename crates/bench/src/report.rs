@@ -42,6 +42,41 @@ impl Json {
         out
     }
 
+    /// Serialize onto a single line (for JSONL trend files).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Bool(_) | Json::Num(_) | Json::Int(_) | Json::Str(_) => self.write(out, 0),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out, 0);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Bool(b) => {
@@ -135,5 +170,19 @@ mod tests {
     fn empty_collections() {
         assert_eq!(Json::Arr(vec![]).pretty(), "[]\n");
         assert_eq!(Json::Obj(vec![]).pretty(), "{}\n");
+    }
+
+    #[test]
+    fn compact_is_single_line() {
+        let j = Json::obj([
+            ("sha", Json::str("abc123")),
+            ("speedup", Json::Num(6.5)),
+            ("sizes", Json::Arr(vec![Json::Int(200), Json::Int(1000)])),
+        ]);
+        assert_eq!(
+            j.compact(),
+            r#"{"sha":"abc123","speedup":6.5,"sizes":[200,1000]}"#
+        );
+        assert!(!j.compact().contains('\n'));
     }
 }

@@ -53,10 +53,12 @@ pub fn by_class(class: AlgoClass) -> Vec<Box<dyn Scheduler>> {
     }
 }
 
-/// Look an algorithm up by its paper acronym (case-insensitive).
-/// `"DLS"` names the BNP variant; the APN variant is `"DLS-APN"`.
+/// Look an algorithm up by its paper acronym (case-insensitive, surrounding
+/// whitespace ignored). `"DLS"` names the BNP variant; the APN variant is
+/// `"DLS-APN"`. On a miss, callers with a human on the other end should
+/// print [`names`] — the `taskbench` CLI does.
 pub fn by_name(name: &str) -> Option<Box<dyn Scheduler>> {
-    let upper = name.to_ascii_uppercase();
+    let upper = name.trim().to_ascii_uppercase();
     all().into_iter().find(|a| a.name() == upper)
 }
 
@@ -101,6 +103,8 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         assert_eq!(by_name("mcp").unwrap().name(), "MCP");
+        assert_eq!(by_name("Mcp").unwrap().name(), "MCP");
+        assert_eq!(by_name(" mcp\n").unwrap().name(), "MCP");
         assert_eq!(by_name("DLS").unwrap().class(), AlgoClass::Bnp);
         assert_eq!(by_name("dls-apn").unwrap().class(), AlgoClass::Apn);
         assert!(by_name("nope").is_none());

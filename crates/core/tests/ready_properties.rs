@@ -1,0 +1,100 @@
+//! Property tests for [`dagsched_core::common::ReadyQueue`]'s lazy
+//! invalidation. The queue backs static-priority selection under the
+//! adversarial search's millions of schedule evaluations, so its contract —
+//! `peek_max` always agrees with a naive rescan of the ready set — is
+//! checked here over random DAGs, random (heavily tied) priorities, and
+//! interleaved out-of-order takes that stale the heap exactly the way ISH's
+//! hole fillers do.
+
+use dagsched_core::common::{ReadyQueue, ReadySet};
+use dagsched_graph::{GraphBuilder, TaskGraph, TaskId};
+use proptest::prelude::*;
+
+/// An arbitrary DAG plus per-task priority keys and an interleaving script:
+/// (weights, raw forward edges, priority keys from a small range so ties
+/// abound, interleaving picks).
+type Scenario = (Vec<u64>, Vec<(usize, usize, u64)>, Vec<u64>, Vec<usize>);
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..=20).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(1u64..50, n),
+            proptest::collection::vec((0usize..n, 0usize..n, 1u64..9), 0..=50),
+            proptest::collection::vec(0u64..5, n),
+            proptest::collection::vec(0usize..16, 1..=40),
+        )
+    })
+}
+
+fn build(weights: &[u64], raw_edges: &[(usize, usize, u64)]) -> TaskGraph {
+    let mut b = GraphBuilder::new();
+    let ids: Vec<TaskId> = weights.iter().map(|&w| b.add_task(w)).collect();
+    let mut seen = std::collections::HashSet::new();
+    for &(x, y, c) in raw_edges {
+        let (lo, hi) = (x.min(y), x.max(y));
+        if lo != hi && seen.insert((lo, hi)) {
+            b.add_edge(ids[lo], ids[hi], c).unwrap();
+        }
+    }
+    b.build().expect("forward edges are acyclic")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Drain the graph taking a mix of heap maxima and arbitrary ready
+    // nodes ("fillers"); after every take the queue's lazily-invalidated
+    // heap must agree with a full rescan, and both structures must agree
+    // on membership and size.
+    #[test]
+    fn peek_max_matches_naive_rescan_under_interleaved_takes(
+        (weights, edges, keys, picks) in arb_scenario()
+    ) {
+        let g = build(&weights, &edges);
+        let mut queue = ReadyQueue::new(&g, keys.clone());
+        let mut naive = ReadySet::new(&g);
+        let mut step = 0usize;
+        while !naive.is_empty() {
+            // Invariant: lazy heap == naive O(|ready|) rescan.
+            let expected = naive.argmax_by_key(|n| keys[n.index()]);
+            prop_assert_eq!(queue.peek_max(), expected);
+            prop_assert_eq!(queue.len(), naive.len());
+            prop_assert_eq!(queue.remaining(), naive.remaining());
+
+            // Take either the max or an arbitrary ready node, per script.
+            let pick = picks[step % picks.len()];
+            step += 1;
+            let victim = if pick % 2 == 0 {
+                expected.unwrap()
+            } else {
+                // Deterministic "filler": k-th smallest-id ready node.
+                let mut ready: Vec<TaskId> = naive.iter().collect();
+                ready.sort_unstable();
+                ready[pick % ready.len()]
+            };
+            prop_assert!(queue.contains(victim));
+            queue.take(&g, victim);
+            naive.take(&g, victim);
+        }
+        prop_assert_eq!(queue.peek_max(), None);
+        prop_assert!(queue.is_empty());
+        prop_assert_eq!(queue.remaining(), 0);
+    }
+
+    // Draining purely by maximum must visit every task exactly once in
+    // key-descending order within each ready frontier.
+    #[test]
+    fn max_drain_takes_every_task_once(
+        (weights, edges, keys, _picks) in arb_scenario()
+    ) {
+        let g = build(&weights, &edges);
+        let mut queue = ReadyQueue::new(&g, keys);
+        let mut taken = vec![false; g.num_tasks()];
+        while let Some(n) = queue.peek_max() {
+            prop_assert!(!taken[n.index()], "{n} taken twice");
+            taken[n.index()] = true;
+            queue.take(&g, n);
+        }
+        prop_assert!(taken.iter().all(|&t| t), "some task never became ready");
+    }
+}

@@ -16,6 +16,14 @@
 //! task <id> <weight> [label …]   (ids must be dense and ascending from 0)
 //! edge <src> <dst> <cost>
 //! ```
+//!
+//! Graph names and task labels are written with a minimal backslash escape
+//! so any string round-trips exactly: `\\` (backslash), `\n`, `\r`, `\t`,
+//! `\_` for the leading/trailing spaces the line-oriented parser would
+//! otherwise trim, and `\u{…}` for every other Unicode whitespace character
+//! (U+00A0, U+2028, vertical tab, …) which line trimming and token
+//! splitting would likewise eat. Interior spaces stay literal, keeping
+//! files readable.
 
 use crate::builder::GraphBuilder;
 use crate::error::GraphError;
@@ -32,20 +40,118 @@ pub fn to_tgf(g: &TaskGraph) -> String {
         g.num_edges()
     );
     if !g.name().is_empty() {
-        let _ = writeln!(out, "graph {}", g.name());
+        let _ = writeln!(out, "graph {}", escape_text(g.name()));
     }
     for n in g.tasks() {
         let label = g.label(n);
         if label.is_empty() {
             let _ = writeln!(out, "task {} {}", n.0, g.weight(n));
         } else {
-            let _ = writeln!(out, "task {} {} {}", n.0, g.weight(n), label);
+            let _ = writeln!(out, "task {} {} {}", n.0, g.weight(n), escape_text(label));
         }
     }
     for e in g.edges() {
         let _ = writeln!(out, "edge {} {} {}", e.src.0, e.dst.0, e.cost);
     }
     out
+}
+
+/// Escape a graph name or task label for one TGF line: backslash and the
+/// whitespace the parser cannot represent literally (newlines, carriage
+/// returns, tabs) get backslash escapes, and leading/trailing spaces —
+/// which line trimming would eat — become `\_`. Interior spaces are
+/// untouched.
+fn escape_text(s: &str) -> String {
+    let first = s.find(|c| c != ' ');
+    let last = s.rfind(|c| c != ' ');
+    let mut out = String::with_capacity(s.len());
+    for (i, c) in s.char_indices() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            ' ' if first.is_none_or(|f| i < f) || last.is_none_or(|l| i > l) => {
+                out.push_str("\\_");
+            }
+            // Any other Unicode whitespace (U+00A0, U+2028, U+000B, …)
+            // would be eaten by line trimming / token splitting on read.
+            c if c.is_whitespace() && c != ' ' => {
+                let _ = write!(out, "\\u{{{:x}}}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`escape_text`]; unknown escapes are a parse error.
+fn unescape_text(s: &str, line: usize) -> Result<String, GraphError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('_') => out.push(' '),
+            Some('u') => {
+                let err = |why: &str| GraphError::Parse {
+                    line,
+                    reason: format!("bad \\u escape: {why}"),
+                };
+                if chars.next() != Some('{') {
+                    return Err(err("expected `{`"));
+                }
+                let mut hex = String::new();
+                let mut closed = false;
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        closed = true;
+                        break;
+                    }
+                    hex.push(c);
+                }
+                if !closed {
+                    return Err(err("missing `}`"));
+                }
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| err(&format!("invalid hex `{hex}`")))?;
+                out.push(char::from_u32(code).ok_or_else(|| err("not a scalar value"))?);
+            }
+            other => {
+                return Err(GraphError::Parse {
+                    line,
+                    reason: match other {
+                        Some(c) => format!("unknown escape `\\{c}`"),
+                        None => "dangling backslash".to_string(),
+                    },
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `None` for an empty token (so [`parse_num`] reports it as missing).
+fn nonempty(t: &str) -> Option<&str> {
+    (!t.is_empty()).then_some(t)
+}
+
+/// Split off the first whitespace-delimited token; the remainder comes back
+/// with its leading whitespace stripped (label boundary spaces are escaped,
+/// so this is lossless).
+fn next_token(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim_start()),
+        None => (s, ""),
+    }
 }
 
 /// Parse TGF text into a validated [`TaskGraph`].
@@ -75,11 +181,15 @@ pub fn from_tgf(text: &str) -> Result<TaskGraph, GraphError> {
                         reason: "`graph` needs a name".into(),
                     });
                 }
-                name = Some(rest.to_string());
+                name = Some(unescape_text(rest, lineno)?);
             }
             "task" => {
-                let id: u32 = parse_num(parts.next(), lineno, "task id")?;
-                let weight: u64 = parse_num(parts.next(), lineno, "task weight")?;
+                // Tokens are scanned off the raw line (not `split_whitespace`)
+                // so the label keeps its interior spacing verbatim.
+                let (id_tok, rest) = next_token(&line["task".len()..]);
+                let (weight_tok, label_raw) = next_token(rest);
+                let id: u32 = parse_num(nonempty(id_tok), lineno, "task id")?;
+                let weight: u64 = parse_num(nonempty(weight_tok), lineno, "task weight")?;
                 if id as usize != b.num_tasks() {
                     return Err(GraphError::Parse {
                         line: lineno,
@@ -90,11 +200,7 @@ pub fn from_tgf(text: &str) -> Result<TaskGraph, GraphError> {
                         ),
                     });
                 }
-                let label: String = {
-                    let rest: Vec<&str> = parts.collect();
-                    rest.join(" ")
-                };
-                b.add_labeled_task(weight, label);
+                b.add_labeled_task(weight, unescape_text(label_raw, lineno)?);
             }
             "edge" => {
                 let src: u32 = parse_num(parts.next(), lineno, "edge src")?;
@@ -252,6 +358,54 @@ mod tests {
         let text = "task 0 5 big bang task\n";
         let g = from_tgf(text).unwrap();
         assert_eq!(g.label(TaskId(0)), "big bang task");
+    }
+
+    #[test]
+    fn labels_with_interior_space_runs_round_trip_exactly() {
+        // `split_whitespace` + join used to collapse "a  b" to "a b".
+        let mut b = GraphBuilder::new();
+        b.add_labeled_task(1, "a  b   c");
+        let g = b.build().unwrap();
+        let h = from_tgf(&to_tgf(&g)).unwrap();
+        assert_eq!(h.label(TaskId(0)), "a  b   c");
+    }
+
+    #[test]
+    fn hostile_labels_and_names_round_trip_exactly() {
+        for label in [
+            " leading",
+            "trailing ",
+            "  both  ",
+            "tab\tinside",
+            "line\nbreak",
+            "back\\slash",
+            "\r\n\t\\",
+            "   ",
+            "mixed \\n literal",
+            "nbsp\u{a0}tail",
+            "x\u{a0}",
+            "\u{2028}line sep",
+            "vt\u{b}ff\u{c}",
+        ] {
+            let mut b = GraphBuilder::named(format!("name-{label}"));
+            b.add_labeled_task(1, label);
+            let g = b.build().unwrap();
+            let h = from_tgf(&to_tgf(&g)).unwrap();
+            assert_eq!(h.label(TaskId(0)), label, "label {label:?}");
+            assert_eq!(h.name(), g.name(), "name for {label:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_escape_is_a_parse_error() {
+        let err = from_tgf("task 0 5 bad\\q\n").unwrap_err();
+        assert!(err.to_string().contains("unknown escape"), "{err}");
+        let err = from_tgf("task 0 5 dangling\\\n").unwrap_err();
+        assert!(err.to_string().contains("dangling backslash"), "{err}");
+        for bad in ["\\u00a0", "\\u{00a0", "\\u{zz}", "\\u{110000}"] {
+            let err = from_tgf(&format!("task 0 5 {bad}\n")).unwrap_err();
+            assert!(err.to_string().contains("bad \\u escape"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -19,6 +19,15 @@ fn arb_dag() -> impl Strategy<Value = (Vec<u64>, Vec<(usize, usize, u64)>)> {
     })
 }
 
+/// Character pool for labels and graph names: heavy on the characters the
+/// line-oriented format must escape or preserve (space runs, backslash,
+/// newline, tab, `#`, non-ASCII, and Unicode whitespace that line trimming
+/// would otherwise eat — NBSP, line separator, vertical tab).
+const TEXT_CHARS: [char; 19] = [
+    'a', 'b', 'z', '0', '(', ')', '.', '_', ' ', ' ', ' ', '\\', '\n', '\t', '#', 'é', '\u{a0}',
+    '\u{2028}', '\u{b}',
+];
+
 fn build(weights: &[u64], raw_edges: &[(usize, usize, u64)]) -> TaskGraph {
     let mut b = GraphBuilder::new();
     let ids: Vec<TaskId> = weights.iter().map(|&w| b.add_task(w)).collect();
@@ -122,6 +131,49 @@ proptest! {
         for e in g.edges() {
             prop_assert_eq!(h.edge_cost(e.src, e.dst), Some(e.cost));
         }
+    }
+
+    #[test]
+    fn tgf_round_trip_is_exact_with_labels_and_name(
+        (weights, edges) in arb_dag(),
+        label_picks in proptest::collection::vec(
+            proptest::collection::vec(0usize..TEXT_CHARS.len(), 0..10), 24),
+        name_pick in proptest::collection::vec(0usize..TEXT_CHARS.len(), 0..12),
+    ) {
+        // TGF is the archival format for discovered adversarial instances,
+        // so `from_tgf(to_tgf(g))` must be the identity on *everything*:
+        // weights, edge costs, and arbitrary labels/names, including
+        // whitespace runs, escapes and newlines.
+        let text_of = |picks: &[usize]| -> String {
+            picks.iter().map(|&i| TEXT_CHARS[i]).collect()
+        };
+        let mut b = GraphBuilder::named(text_of(&name_pick));
+        let ids: Vec<TaskId> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| b.add_labeled_task(w, text_of(&label_picks[i % 24])))
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for &(x, y, c) in &edges {
+            let (lo, hi) = (x.min(y), x.max(y));
+            if lo != hi && seen.insert((lo, hi)) {
+                b.add_edge(ids[lo], ids[hi], c).unwrap();
+            }
+        }
+        let g = b.build().unwrap();
+        let h = io::from_tgf(&io::to_tgf(&g)).unwrap();
+        prop_assert_eq!(h.name(), g.name());
+        prop_assert_eq!(h.num_tasks(), g.num_tasks());
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        for n in g.tasks() {
+            prop_assert_eq!(h.weight(n), g.weight(n));
+            prop_assert_eq!(h.label(n), g.label(n));
+        }
+        for e in g.edges() {
+            prop_assert_eq!(h.edge_cost(e.src, e.dst), Some(e.cost));
+        }
+        // Canonical: a second trip is byte-identical.
+        prop_assert_eq!(io::to_tgf(&h), io::to_tgf(&g));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! taskbench gen  <family> [args…]        generate a graph, print TGF
 //! taskbench run  <ALGO> <file.tgf> [-p N] [--topology T] [--gantt]
+//! taskbench adversary <TARGET> <BASELINE|optimal> [flags]
 //! taskbench info <file.tgf>              structural statistics
 //! taskbench dot  <file.tgf>              Graphviz export
 //! taskbench list                         the fifteen algorithms
@@ -34,6 +35,7 @@ fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("adversary") => cmd_adversary(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
         Some("list") => {
@@ -73,6 +75,8 @@ taskbench — benchmarking task graph scheduling algorithms (Kwok & Ahmad, IPPS'
   taskbench gen fft <m> <ccr>                 2^m-point FFT butterfly
   taskbench gen psg <0..8>                    one of the nine peer set graphs
   taskbench run <ALGO> <file.tgf> [-p N] [--topology T] [--gantt]
+  taskbench adversary <TARGET> <BASELINE|optimal> [--budget N] [--seed S]
+            [--max-nodes V] [--out file.tgf]     adversarial instance search
   taskbench info <file.tgf>
   taskbench dot <file.tgf>
   taskbench list";
@@ -158,11 +162,21 @@ fn parse_topology(spec: &str) -> Result<Topology, String> {
     t.map_err(|e| e.to_string())
 }
 
+/// Registry lookup that lists the valid names on a miss instead of a bare
+/// "unknown" error.
+fn lookup_algo(name: &str) -> Result<Box<dyn Scheduler>, String> {
+    registry::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown algorithm `{name}`; valid names: {}",
+            registry::names().join(", ")
+        )
+    })
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let algo_name = args.first().ok_or("missing algorithm name")?;
     let path = args.get(1).ok_or("missing graph file")?;
-    let algo = registry::by_name(algo_name)
-        .ok_or_else(|| format!("unknown algorithm `{algo_name}` (see `taskbench list`)"))?;
+    let algo = lookup_algo(algo_name)?;
     let g = load(path)?;
 
     let mut procs: Option<usize> = None;
@@ -244,5 +258,110 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
 fn cmd_dot(args: &[String]) -> Result<(), String> {
     let g = load(args.first().ok_or("missing graph file")?)?;
     emit(&taskbench::graph::io::to_dot(&g));
+    Ok(())
+}
+
+fn cmd_adversary(args: &[String]) -> Result<(), String> {
+    use taskbench::adversary::{archive, matrix, search, Budget, Reference};
+
+    let target_name = args.first().ok_or("missing target algorithm")?;
+    let baseline_name = args.get(1).ok_or("missing baseline algorithm")?;
+    let target = lookup_algo(target_name)?;
+    let against_optimal = baseline_name.eq_ignore_ascii_case("optimal");
+    let baseline_algo = if against_optimal {
+        None
+    } else {
+        let b = lookup_algo(baseline_name)?;
+        if b.class() != target.class() {
+            return Err(format!(
+                "target {} is {} but baseline {} is {}; compare within one class \
+                 (or against `optimal`)",
+                target.name(),
+                target.class(),
+                b.name(),
+                b.class()
+            ));
+        }
+        Some(b)
+    };
+
+    // The optimal bound re-solves a branch-and-bound per evaluation, so its
+    // defaults are much smaller.
+    let mut budget = Budget {
+        max_evals: if against_optimal { 60 } else { 400 },
+        seed: 0x1998,
+        max_nodes: if against_optimal { 20 } else { 60 },
+    };
+    let mut out: Option<String> = None;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--budget" => {
+                budget.max_evals = parse(args.get(i + 1), "budget")?;
+                i += 2;
+            }
+            "--seed" => {
+                budget.seed = parse(args.get(i + 1), "seed")?;
+                i += 2;
+            }
+            "--max-nodes" => {
+                budget.max_nodes = parse(args.get(i + 1), "max-nodes")?;
+                i += 2;
+            }
+            "--out" => {
+                out = Some(args.get(i + 1).ok_or("missing output path")?.clone());
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+
+    if budget.max_evals == 0 {
+        return Err("budget must be at least 1".into());
+    }
+    if budget.max_nodes < 8 {
+        return Err("max-nodes must be at least 8".into());
+    }
+    if against_optimal && budget.max_nodes > 64 {
+        return Err(format!(
+            "the optimal baseline supports at most 64 tasks (branch-and-bound cap); \
+             --max-nodes {} is too large",
+            budget.max_nodes
+        ));
+    }
+    let reference = match &baseline_algo {
+        Some(b) => Reference::Algo(b.as_ref()),
+        None => Reference::Optimal {
+            node_limit: 300_000,
+        },
+    };
+    let env = matrix::env_for(target.class());
+    let r = search::search(target.as_ref(), &reference, &env, &budget);
+    emit(&format!(
+        "{} vs {}: max ratio {:.4}  ({} vs {})  on {} (v={} e={} ccr={:.2})  \
+         [{} evals, seed {}]\n",
+        target.name(),
+        reference.label(),
+        r.ratio(),
+        r.target_makespan,
+        r.baseline_makespan,
+        r.graph.name(),
+        r.graph.num_tasks(),
+        r.graph.num_edges(),
+        r.graph.ccr(),
+        r.evals,
+        budget.seed,
+    ));
+    if let Some(path) = out {
+        let text = archive::archived_tgf(
+            target.class(),
+            target.name(),
+            &reference.label(),
+            budget.seed,
+            &r,
+        );
+        std::fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?;
+        emit(&format!("wrote {path}\n"));
+    }
     Ok(())
 }

@@ -16,7 +16,9 @@
 //! * [`core`] — the [`core::Scheduler`] trait and all fifteen algorithms;
 //! * [`suites`] — PSG / RGBOS / RGPOS / RGNOS / traced generators;
 //! * [`optimal`] — branch-and-bound optimal schedules;
-//! * [`metrics`] — NSL, degradation, speedup and reporting tables.
+//! * [`metrics`] — NSL, degradation, speedup and reporting tables;
+//! * [`adversary`] — adversarial instance search and pairwise dominance
+//!   analysis over the roster.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@
 //! }
 //! ```
 
+pub use dagsched_adversary as adversary;
 pub use dagsched_core as core;
 pub use dagsched_graph as graph;
 pub use dagsched_metrics as metrics;

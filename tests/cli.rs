@@ -75,6 +75,11 @@ fn errors_are_reported_not_panicked() {
     let (ok, _, stderr) = taskbench(&["run", "NOPE", "/nonexistent.tgf"]);
     assert!(!ok);
     assert!(stderr.contains("unknown algorithm"));
+    // A miss lists every valid name instead of a bare error.
+    assert!(stderr.contains("valid names"), "{stderr}");
+    for name in ["HLFET", "MCP", "DCP", "BSA", "DLS-APN"] {
+        assert!(stderr.contains(name), "miss list lacks {name}: {stderr}");
+    }
 
     let (ok, _, stderr) = taskbench(&["gen", "martian", "1"]);
     assert!(!ok);
@@ -87,6 +92,75 @@ fn errors_are_reported_not_panicked() {
     let (ok, _, stderr) = taskbench(&["run", "BSA", "/nonexistent.tgf"]);
     assert!(!ok);
     assert!(stderr.contains("nonexistent"));
+}
+
+#[test]
+fn adversary_search_reports_and_archives() {
+    let dir = std::env::temp_dir().join(format!("taskbench-adv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("found.tgf");
+    let out_s = out.to_str().unwrap();
+
+    let (ok, report, stderr) = taskbench(&[
+        "adversary",
+        "lc",
+        "dcp",
+        "--budget",
+        "80",
+        "--seed",
+        "5",
+        "--max-nodes",
+        "24",
+        "--out",
+        out_s,
+    ]);
+    assert!(ok, "stdout: {report}\nstderr: {stderr}");
+    assert!(report.contains("LC vs DCP: max ratio"), "{report}");
+    assert!(report.contains("evals, seed 5"), "{report}");
+
+    // The archived instance parses, schedules, and reproduces the report.
+    let text = std::fs::read_to_string(&out).unwrap();
+    assert!(text.starts_with("# dagsched-adversary"), "{text}");
+    let (ok, run_out, _) = taskbench(&["run", "LC", out_s]);
+    assert!(ok, "{run_out}");
+    assert!(run_out.contains("makespan"));
+
+    // Same seed and budget → byte-identical report (search determinism
+    // end to end through the CLI).
+    let (_, again, _) = taskbench(&[
+        "adversary",
+        "lc",
+        "dcp",
+        "--budget",
+        "80",
+        "--seed",
+        "5",
+        "--max-nodes",
+        "24",
+    ]);
+    let first_line = again.lines().next().unwrap_or("");
+    assert!(
+        !first_line.is_empty() && report.starts_with(first_line),
+        "non-deterministic: {report} vs {again}"
+    );
+
+    // Cross-class pairs are rejected with a helpful message.
+    let (ok, _, stderr) = taskbench(&["adversary", "LC", "MCP"]);
+    assert!(!ok);
+    assert!(stderr.contains("compare within one class"), "{stderr}");
+
+    // Degenerate budgets are reported as errors, never panics.
+    let (ok, _, stderr) = taskbench(&["adversary", "LC", "DCP", "--budget", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("budget must be at least 1"), "{stderr}");
+    let (ok, _, stderr) = taskbench(&["adversary", "LC", "DCP", "--max-nodes", "4"]);
+    assert!(!ok);
+    assert!(stderr.contains("max-nodes must be at least 8"), "{stderr}");
+    let (ok, _, stderr) = taskbench(&["adversary", "LC", "optimal", "--max-nodes", "130"]);
+    assert!(!ok);
+    assert!(stderr.contains("at most 64 tasks"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
