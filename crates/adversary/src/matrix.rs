@@ -136,6 +136,14 @@ mod tests {
     }
 
     #[test]
+    fn apn_has_twelve_ordered_pairs() {
+        let pairs = ordered_pairs(AlgoClass::Apn);
+        assert_eq!(pairs.len(), 12);
+        assert!(pairs.contains(&("BSA".to_string(), "MH".to_string())));
+        assert!(pairs.contains(&("MH".to_string(), "BSA".to_string())));
+    }
+
+    #[test]
     fn cell_seed_is_order_free_and_asymmetric() {
         let a = cell_seed(7, "LC", "DSC");
         assert_eq!(a, cell_seed(7, "LC", "DSC"));

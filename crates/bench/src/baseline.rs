@@ -9,10 +9,24 @@
 //! `dagsched_core::unc::Dsc` must produce byte-identical schedules; the
 //! `algo_runtimes` bench and the `perf_baseline` binary check both the
 //! speedup and the equivalence.
+//!
+//! [`BsaBaseline`] is BSA as it stood before the APN message-layer
+//! overhaul, over a verbatim retention of the old message layer
+//! ([`OldNetwork`]/[`OldTrack`]): per-call route vectors with a
+//! `link_between` lookup per hop, probe-then-insert double slot searches,
+//! O(n) tag-scan removals, a tombstone message store behind a hashed edge
+//! index — and, on top, the old algorithmic shape: every tentative
+//! migration cloned the per-processor orders and **replayed the entire
+//! schedule from scratch** (fresh `Schedule`, fresh network over a cloned
+//! `Topology`, every message recommitted). The refactored
+//! `dagsched_core::apn::Bsa` evaluates candidates through an incremental
+//! rollback journal over the new layer instead and must produce
+//! placement- *and* message-identical schedules; `perf_baseline` gates
+//! the speedup.
 
 use dagsched_core::{AlgoClass, Env, Outcome, SchedError, Scheduler};
-use dagsched_graph::{TaskGraph, TaskId};
-use dagsched_platform::{ProcId, Schedule};
+use dagsched_graph::{levels, TaskGraph, TaskId};
+use dagsched_platform::{Message, MessageHop, Network, ProcId, Schedule, Topology};
 
 /// The ready set as it was before the overhaul: `Vec` membership scans.
 #[derive(Debug, Clone)]
@@ -197,11 +211,422 @@ fn partially_free_max(
         .max_by_key(|&n| (priority(n, tlevel, bl), std::cmp::Reverse(n.0)))
 }
 
+/// The link-occupancy track as it stood before the overhaul: insert
+/// re-searches the slot list the probe already walked, and removal is an
+/// O(n) scan by tag.
+#[derive(Debug, Clone, Default)]
+struct OldTrack {
+    slots: Vec<(u64, u64, dagsched_platform::MsgId)>, // (start, finish, tag)
+}
+
+impl OldTrack {
+    fn earliest_fit(&self, earliest: u64, duration: u64) -> u64 {
+        let mut candidate = earliest;
+        let first = self.slots.partition_point(|s| s.1 <= earliest);
+        for s in &self.slots[first..] {
+            if s.0 >= candidate && s.0 - candidate >= duration {
+                return candidate;
+            }
+            if s.1 > candidate {
+                candidate = s.1;
+            }
+        }
+        candidate
+    }
+
+    fn insert(&mut self, start: u64, finish: u64, tag: dagsched_platform::MsgId) {
+        let idx = self.slots.partition_point(|s| s.0 < start);
+        debug_assert!(idx == 0 || self.slots[idx - 1].1 <= start);
+        debug_assert!(idx == self.slots.len() || self.slots[idx].0 >= finish);
+        self.slots.insert(idx, (start, finish, tag));
+    }
+}
+
+/// The message layer as it stood before the overhaul (PR 2 state),
+/// retained verbatim in behaviour and cost profile: per-call route
+/// vectors with a `link_between` lookup per hop, a tombstone-accumulating
+/// message store, a hashed edge index, and probe-then-insert double slot
+/// searches. Produces arrival times identical to the new `Network`.
+struct OldNetwork {
+    topo: Topology,
+    tracks: Vec<OldTrack>,
+    messages: Vec<Option<Message>>,
+    by_edge: std::collections::HashMap<(TaskId, TaskId), dagsched_platform::MsgId>,
+}
+
+impl OldNetwork {
+    fn new(topo: Topology) -> OldNetwork {
+        let links = topo.num_links();
+        OldNetwork {
+            topo,
+            tracks: vec![OldTrack::default(); links],
+            messages: Vec::new(),
+            by_edge: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The pre-overhaul route computation: a fresh `Vec` per call, one
+    /// adjacency binary search per hop.
+    fn route(&self, a: ProcId, b: ProcId) -> Vec<dagsched_platform::LinkId> {
+        let procs = self.topo.route_procs(a, b);
+        let mut out = Vec::new();
+        for w in procs.windows(2) {
+            out.push(
+                self.topo
+                    .link_between(w[0], w[1])
+                    .expect("next hop must be adjacent"),
+            );
+        }
+        out
+    }
+
+    fn walk_route(
+        &self,
+        from: ProcId,
+        to: ProcId,
+        ready: u64,
+        size: u64,
+        mut visit: impl FnMut(dagsched_platform::LinkId, u64, u64),
+    ) -> u64 {
+        if from == to || size == 0 {
+            return ready;
+        }
+        let route = self.route(from, to);
+        let mut t = ready;
+        for &link in &route {
+            let s = self.tracks[link.index()].earliest_fit(t, size);
+            let f = s + size;
+            visit(link, s, f);
+            t = f;
+        }
+        t
+    }
+
+    fn commit(
+        &mut self,
+        src_task: TaskId,
+        dst_task: TaskId,
+        from: ProcId,
+        to: ProcId,
+        ready: u64,
+        size: u64,
+    ) -> u64 {
+        if let Some(id) = self.by_edge.remove(&(src_task, dst_task)) {
+            if let Some(msg) = self.messages[id.0 as usize].take() {
+                for hop in &msg.hops {
+                    let track = &mut self.tracks[hop.link.index()];
+                    let idx = track
+                        .slots
+                        .iter()
+                        .position(|s| s.2 == id)
+                        .expect("hop reserved");
+                    track.slots.remove(idx);
+                }
+            }
+        }
+        let id = dagsched_platform::MsgId(self.messages.len() as u32);
+        let mut hops = Vec::new();
+        let arrival = self.walk_route(from, to, ready, size, |link, s, f| {
+            hops.push(MessageHop {
+                link,
+                start: s,
+                finish: f,
+            });
+        });
+        for hop in &hops {
+            self.tracks[hop.link.index()].insert(hop.start, hop.finish, id);
+        }
+        self.messages.push(Some(Message {
+            src_task,
+            dst_task,
+            from,
+            to,
+            hops,
+            ready,
+            arrival,
+        }));
+        self.by_edge.insert((src_task, dst_task), id);
+        arrival
+    }
+}
+
+/// Task schedule + link state for the baseline BSA, mirroring the former
+/// private `ApnState` of `dagsched_core::apn` over the old message layer.
+struct ApnStateBaseline {
+    s: Schedule,
+    net: OldNetwork,
+}
+
+impl ApnStateBaseline {
+    fn commit_and_place(&mut self, g: &TaskGraph, n: TaskId, p: ProcId) -> u64 {
+        let mut drt = 0u64;
+        for &(q, c) in g.preds(n) {
+            let pl = self.s.placement(q).expect("commit: parent must be placed");
+            let arrival = if pl.proc == p || c == 0 {
+                pl.finish
+            } else {
+                self.net.commit(q, n, pl.proc, p, pl.finish, c)
+            };
+            drt = drt.max(arrival);
+        }
+        let start = self.s.timeline(p).earliest_append(drt);
+        self.s
+            .place(n, p, start, g.weight(n))
+            .expect("append start is free");
+        start
+    }
+}
+
+/// From-scratch replay of a full assignment, exactly as the pre-overhaul
+/// BSA ran it once per tentative migration: fresh schedule, fresh network
+/// (cloning the topology), every message recommitted through the old
+/// message layer.
+fn replay_baseline(
+    g: &TaskGraph,
+    topo: &Topology,
+    orders: &[Vec<TaskId>],
+) -> Option<ApnStateBaseline> {
+    let procs = topo.num_procs();
+    let mut st = ApnStateBaseline {
+        s: Schedule::new(g.num_tasks(), procs),
+        net: OldNetwork::new(topo.clone()),
+    };
+    let mut heads = vec![0usize; procs];
+    let mut remaining = g.num_tasks();
+    while remaining > 0 {
+        let mut progress = false;
+        for pi in 0..procs as u32 {
+            let p = ProcId(pi);
+            while let Some(&n) = orders[pi as usize].get(heads[pi as usize]) {
+                let ready = g.preds(n).iter().all(|&(q, _)| st.s.placement(q).is_some());
+                if !ready {
+                    break;
+                }
+                st.commit_and_place(g, n, p);
+                heads[pi as usize] += 1;
+                remaining -= 1;
+                progress = true;
+            }
+        }
+        if !progress {
+            return None;
+        }
+    }
+    Some(st)
+}
+
+/// Rebuild the final outcome on the *new* message layer by replaying the
+/// decided orders once through the public `Network` API (identical times:
+/// the layers implement the same model). Runs once, outside the timed
+/// migration loop, so `BsaBaseline`'s `Outcome` is comparable field by
+/// field with the refactored BSA's.
+fn modern_outcome(g: &TaskGraph, topo: &Topology, orders: &[Vec<TaskId>]) -> Outcome {
+    let procs = topo.num_procs();
+    let mut s = Schedule::new(g.num_tasks(), procs);
+    let mut net = Network::new(topo.clone());
+    let mut heads = vec![0usize; procs];
+    let mut remaining = g.num_tasks();
+    while remaining > 0 {
+        let mut progress = false;
+        for pi in 0..procs as u32 {
+            let p = ProcId(pi);
+            while let Some(&n) = orders[pi as usize].get(heads[pi as usize]) {
+                let ready = g.preds(n).iter().all(|&(q, _)| s.placement(q).is_some());
+                if !ready {
+                    break;
+                }
+                let mut drt = 0u64;
+                for &(q, c) in g.preds(n) {
+                    let pl = s.placement(q).expect("parent placed");
+                    let arrival = if pl.proc == p || c == 0 {
+                        pl.finish
+                    } else {
+                        net.commit(q, n, pl.proc, p, pl.finish, c).1
+                    };
+                    drt = drt.max(arrival);
+                }
+                let start = s.timeline(p).earliest_append(drt);
+                s.place(n, p, start, g.weight(n)).expect("append is free");
+                heads[pi as usize] += 1;
+                remaining -= 1;
+                progress = true;
+            }
+        }
+        assert!(progress, "decided orders cannot deadlock");
+    }
+    Outcome {
+        schedule: s,
+        network: Some(net),
+    }
+}
+
+/// The CPN-dominant sequence, copied verbatim from `dagsched_core::apn::bsa`
+/// (the sequence construction is not part of the overhaul).
+fn cpn_dominant_sequence(g: &TaskGraph) -> Vec<TaskId> {
+    let cp = levels::critical_path(g);
+    let bl = g.levels().b_levels();
+    let topo_pos: Vec<usize> = {
+        let mut v = vec![0usize; g.num_tasks()];
+        for (i, &n) in g.topo_order().iter().enumerate() {
+            v[n.index()] = i;
+        }
+        v
+    };
+    let mut listed = vec![false; g.num_tasks()];
+    let mut seq = Vec::with_capacity(g.num_tasks());
+    for &cpn in &cp {
+        let mut anc = Vec::new();
+        let mut stack = vec![cpn];
+        let mut seen = vec![false; g.num_tasks()];
+        while let Some(x) = stack.pop() {
+            for &(q, _) in g.preds(x) {
+                if !seen[q.index()] && !listed[q.index()] {
+                    seen[q.index()] = true;
+                    anc.push(q);
+                    stack.push(q);
+                }
+            }
+        }
+        anc.sort_unstable_by_key(|&n| topo_pos[n.index()]);
+        for n in anc {
+            listed[n.index()] = true;
+            seq.push(n);
+        }
+        if !listed[cpn.index()] {
+            listed[cpn.index()] = true;
+            seq.push(cpn);
+        }
+    }
+    let mut rest: Vec<TaskId> = g.tasks().filter(|n| !listed[n.index()]).collect();
+    rest.sort_unstable_by_key(|&n| (std::cmp::Reverse(bl[n.index()]), n.0));
+    seq.extend(rest);
+    seq
+}
+
+/// The pre-refactor BSA: serial injection on the pivot, then bubbling
+/// migration with a **full replay per candidate** (cloned orders, fresh
+/// schedule and network each time). See the module docs; the decision
+/// rules are identical to `dagsched_core::apn::Bsa`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BsaBaseline;
+
+impl Scheduler for BsaBaseline {
+    fn name(&self) -> &'static str {
+        "BSA-baseline"
+    }
+
+    fn class(&self) -> AlgoClass {
+        AlgoClass::Apn
+    }
+
+    fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
+        if env.procs() == 0 {
+            return Err(SchedError::NoProcessors);
+        }
+        let topo = &env.topology;
+        let procs = topo.num_procs();
+        let seq = cpn_dominant_sequence(g);
+        let mut seq_pos = vec![0usize; g.num_tasks()];
+        for (i, &n) in seq.iter().enumerate() {
+            seq_pos[n.index()] = i;
+        }
+
+        let pivot = ProcId(0);
+        let mut orders: Vec<Vec<TaskId>> = vec![Vec::new(); procs];
+        orders[pivot.index()] = seq.clone();
+        let mut st = replay_baseline(g, topo, &orders)
+            .expect("serial injection follows a topological order");
+
+        for p in topo.bfs_order(pivot) {
+            let snapshot = st.s.tasks_on(p);
+            for n in snapshot {
+                if st.s.proc_of(n) != Some(p) {
+                    continue;
+                }
+                let cur_start = st.s.start_of(n).expect("placed");
+                let cur_makespan = st.s.makespan();
+                type Candidate = (u64, u64, u32, Vec<Vec<TaskId>>, ApnStateBaseline);
+                let mut best: Option<Candidate> = None;
+                for &(q, _) in topo.neighbors(p) {
+                    let mut trial = orders.clone();
+                    trial[p.index()].retain(|&t| t != n);
+                    let row = &mut trial[q.index()];
+                    let at = row
+                        .iter()
+                        .position(|&t| seq_pos[t.index()] > seq_pos[n.index()])
+                        .unwrap_or(row.len());
+                    row.insert(at, n);
+                    let Some(cand) = replay_baseline(g, topo, &trial) else {
+                        continue;
+                    };
+                    let ns = cand.s.start_of(n).expect("placed in replay");
+                    let nm = cand.s.makespan();
+                    if ns <= cur_start && nm <= cur_makespan {
+                        let key = (ns, nm, q.0);
+                        if best
+                            .as_ref()
+                            .is_none_or(|(bs, bm, bq, _, _)| key < (*bs, *bm, *bq))
+                        {
+                            best = Some((ns, nm, q.0, trial, cand));
+                        }
+                    }
+                }
+                if let Some((_, _, _, trial, cand)) = best {
+                    orders = trial;
+                    st = cand;
+                }
+            }
+        }
+
+        drop(st);
+        Ok(modern_outcome(g, topo, &orders))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dagsched_core::registry;
     use dagsched_suites::rgnos::{self, RgnosParams};
+
+    /// The incremental BSA must match the replay-per-candidate baseline
+    /// exactly: same placements AND the same committed message schedule,
+    /// across topologies and CCR regimes.
+    #[test]
+    fn refactored_bsa_matches_baseline_schedules_and_messages() {
+        let bsa = registry::by_name("BSA").unwrap();
+        for &(v, ccr, seed) in &[(30usize, 0.5, 1u64), (50, 2.0, 2), (80, 10.0, 3)] {
+            let g = rgnos::generate(RgnosParams::new(v, ccr, 3, seed));
+            for topo in [
+                Topology::chain(4).unwrap(),
+                Topology::hypercube(3).unwrap(),
+                Topology::mesh(2, 3).unwrap(),
+            ] {
+                let env = Env::apn(topo.clone());
+                let a = BsaBaseline.schedule(&g, &env).unwrap();
+                let b = bsa.schedule(&g, &env).unwrap();
+                for n in g.tasks() {
+                    assert_eq!(
+                        a.schedule.placement(n),
+                        b.schedule.placement(n),
+                        "v={v} ccr={ccr} seed={seed} {:?}: task {n}",
+                        topo.kind()
+                    );
+                }
+                let msgs = |o: &Outcome| {
+                    let mut m: Vec<_> = o.network.as_ref().unwrap().messages().cloned().collect();
+                    m.sort_by_key(|m| (m.src_task, m.dst_task));
+                    m
+                };
+                assert_eq!(
+                    msgs(&a),
+                    msgs(&b),
+                    "v={v} ccr={ccr} seed={seed} {:?}: message schedules diverged",
+                    topo.kind()
+                );
+            }
+        }
+    }
 
     /// The refactored DSC must match the baseline schedule exactly — same
     /// makespan, same processor count — on a spread of RGNOS instances.

@@ -8,8 +8,10 @@
 //! immediately read back from disk and re-verified by rescheduling both
 //! algorithms to the recorded makespans.
 //!
-//! Quick mode covers the UNC class; `TASKBENCH_FULL=1` adds BNP and raises
-//! the per-cell evaluation budget. Cells run in parallel (`bench::par`) and
+//! Quick mode covers the UNC and APN classes (APN pairs became affordable
+//! with the incremental-BSA message-layer overhaul — per-evaluation cost
+//! used to be the blocker); `TASKBENCH_FULL=1` adds BNP and raises the
+//! per-cell evaluation budget. Cells run in parallel (`bench::par`) and
 //! derive their seeds from the pair names, so stdout and every archived
 //! file are byte-identical across runs with the same seed and budget —
 //! wall-clock goes to stderr only.
@@ -38,9 +40,9 @@ fn main() {
         Budget::quick(cfg.seed)
     };
     let classes = if cfg.full {
-        vec![AlgoClass::Unc, AlgoClass::Bnp]
+        vec![AlgoClass::Unc, AlgoClass::Bnp, AlgoClass::Apn]
     } else {
-        vec![AlgoClass::Unc]
+        vec![AlgoClass::Unc, AlgoClass::Apn]
     };
     let dir = out_dir();
     std::fs::create_dir_all(&dir).expect("create archive directory");

@@ -1,15 +1,22 @@
 //! Records the workspace perf baseline into `BENCH_RESULTS.json`.
 //!
-//! Three sections, all deterministic given the seed:
+//! Four sections, all deterministic given the seed:
 //!
 //! 1. **dsc_speedup** — the refactored DSC against the retained
 //!    pre-refactor implementation ([`dagsched_bench::baseline`]) on
 //!    1000-node CCR=1.0 RGNOS graphs; asserts byte-identical placements
-//!    and a ≥5× speedup (the PR's acceptance bar).
-//! 2. **algo_runtimes** — seconds per run for every registered algorithm
+//!    and a ≥5× speedup (PR 1's acceptance bar).
+//! 2. **bsa_speedup** — the journal-driven incremental BSA against the
+//!    retained replay-per-candidate baseline over the old message layer
+//!    ([`dagsched_bench::baseline::BsaBaseline`]) on the paper-scale APN
+//!    instance (500-node RGNOS on the 8-processor hypercube, §6.4);
+//!    asserts placement- and message-identical schedules and a ≥5×
+//!    speedup on the headline CCR=0.1 instance (this PR's acceptance
+//!    bar), with CCR 1.0 and 10.0 rows recorded alongside.
+//! 3. **algo_runtimes** — seconds per run for every registered algorithm
 //!    on RGNOS graphs of growing size (APN capped small: message routing
-//!    is orders of magnitude slower per run). Timing is single-threaded.
-//! 3. **runner_scaling** — wall-clock of the same (algorithm × graph)
+//!    is still the slowest class per run). Timing is single-threaded.
+//! 4. **runner_scaling** — wall-clock of the same (algorithm × graph)
 //!    sweep through the parallel runner with 1 worker vs all cores.
 //!
 //! Output path: `TASKBENCH_BENCH_OUT` or `<workspace>/BENCH_RESULTS.json`.
@@ -19,7 +26,7 @@
 //! overwrite of the full report. Run with `--release`; debug timings are
 //! not comparable.
 
-use dagsched_bench::baseline::DscBaseline;
+use dagsched_bench::baseline::{BsaBaseline, DscBaseline};
 use dagsched_bench::par;
 use dagsched_bench::report::Json;
 use dagsched_core::{registry, AlgoClass, Env, Scheduler};
@@ -83,6 +90,65 @@ fn dsc_speedup_section() -> Json {
     );
     Json::obj([
         ("headline_speedup_v1000", Json::Num(headline)),
+        ("instances", Json::Arr(rows)),
+    ])
+}
+
+fn bsa_speedup_section() -> Json {
+    let bsa = registry::by_name("BSA").unwrap();
+    let topo = dagsched_bench::Config::quick(0x1998).apn_topology();
+    let env = Env::apn(topo);
+    let mut rows = Vec::new();
+    let mut headline = 0.0;
+    for &ccr in &[0.1f64, 1.0, 10.0] {
+        let g = rgnos::generate(RgnosParams::new(500, ccr, 3, 42));
+        let reps = 3;
+        let (base_s, base_m) = time_schedule(reps, &BsaBaseline, &g, &env);
+        let (new_s, new_m) = time_schedule(reps, bsa.as_ref(), &g, &env);
+        assert_eq!(
+            base_m, new_m,
+            "incremental BSA changed the makespan on ccr={ccr}"
+        );
+        // Byte-identical schedules: placements AND committed messages.
+        let a = BsaBaseline.schedule(&g, &env).unwrap();
+        let b = bsa.schedule(&g, &env).unwrap();
+        for n in g.tasks() {
+            assert_eq!(
+                a.schedule.placement(n),
+                b.schedule.placement(n),
+                "BSA placement diverged on ccr={ccr} task {n}"
+            );
+        }
+        let msgs = |o: &dagsched_core::Outcome| {
+            let mut m: Vec<_> = o.network.as_ref().unwrap().messages().cloned().collect();
+            m.sort_by_key(|m| (m.src_task, m.dst_task));
+            m
+        };
+        assert_eq!(msgs(&a), msgs(&b), "BSA messages diverged on ccr={ccr}");
+        let speedup = base_s / new_s;
+        if ccr == 0.1 {
+            headline = speedup;
+        }
+        println!(
+            "BSA v=500 ccr={ccr}: baseline {base_s:.4}s vs incremental {new_s:.4}s \
+             → {speedup:.1}x (makespan {new_m})"
+        );
+        rows.push(Json::obj([
+            ("nodes", Json::Int(500)),
+            ("ccr", Json::Num(ccr)),
+            ("seed", Json::Int(42)),
+            ("baseline_s", Json::Num(base_s)),
+            ("incremental_s", Json::Num(new_s)),
+            ("speedup", Json::Num(speedup)),
+            ("makespan", Json::Int(new_m as i64)),
+        ]));
+    }
+    assert!(
+        headline >= 5.0,
+        "acceptance bar: BSA must be ≥5x faster on the 500-node CCR=0.1 APN instance, got {headline:.1}x"
+    );
+    Json::obj([
+        ("headline_speedup_v500_ccr01", Json::Num(headline)),
         ("instances", Json::Arr(rows)),
     ])
 }
@@ -221,11 +287,13 @@ fn field(j: &Json, key: &str) -> Json {
 
 fn main() {
     let dsc = dsc_speedup_section();
+    let bsa = bsa_speedup_section();
     let runner = runner_scaling_section();
     let report = Json::obj([
-        ("schema", Json::Int(1)),
+        ("schema", Json::Int(2)),
         ("suite", Json::str("rgnos ccr=1.0 par=3")),
         ("dsc_speedup", dsc.clone()),
+        ("bsa_speedup", bsa.clone()),
         ("algo_runtimes", algo_runtimes_section()),
         ("runner_scaling", runner.clone()),
     ]);
@@ -237,10 +305,14 @@ fn main() {
     // Append the run's headline numbers to the trend file: one JSONL record
     // per run, keyed by commit and date, never overwritten.
     let record = Json::obj([
-        ("schema", Json::Int(1)),
+        ("schema", Json::Int(2)),
         ("sha", Json::str(git_sha())),
         ("date", Json::str(utc_date())),
         ("dsc_speedup_v1000", field(&dsc, "headline_speedup_v1000")),
+        (
+            "bsa_speedup_v500_ccr01",
+            field(&bsa, "headline_speedup_v500_ccr01"),
+        ),
         ("runner_speedup", field(&runner, "speedup")),
         ("runner_workers", field(&runner, "workers")),
         ("runner_cells", field(&runner, "cells")),

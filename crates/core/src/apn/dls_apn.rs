@@ -36,6 +36,7 @@ impl Scheduler for DlsApn {
         let mut st = ApnState::new(g, env)?;
         let sl = g.levels().static_levels();
         let mut ready = ReadySet::new(g);
+        let mut ests = Vec::new();
         while !ready.is_empty() {
             type Key = (
                 i64,
@@ -46,19 +47,18 @@ impl Scheduler for DlsApn {
             let mut best_key: Option<Key> = None;
             let mut chosen: Option<(TaskId, ProcId)> = None;
             for n in ready.iter() {
-                for pi in 0..st.s.num_procs() as u32 {
-                    let p = ProcId(pi);
-                    let est = st.probe_est(g, n, p);
+                st.probe_est_all(g, n, &mut ests);
+                for (pi, &est) in ests.iter().enumerate() {
                     let dl = sl[n.index()] as i64 - est as i64;
                     let key = (
                         dl,
                         std::cmp::Reverse(est),
                         std::cmp::Reverse(n.0),
-                        std::cmp::Reverse(pi),
+                        std::cmp::Reverse(pi as u32),
                     );
                     if best_key.is_none_or(|b| key > b) {
                         best_key = Some(key);
-                        chosen = Some((n, p));
+                        chosen = Some((n, ProcId(pi as u32)));
                     }
                 }
             }

@@ -37,15 +37,16 @@ impl Scheduler for Mh {
         let mut st = ApnState::new(g, env)?;
         let bl = g.levels().b_levels();
         let mut ready = ReadySet::new(g);
+        let mut ests = Vec::new();
         while !ready.is_empty() {
             let n = ready.argmax_by_key(|n| bl[n.index()]).expect("non-empty");
-            // Probe every processor; smallest EST wins, ties to smaller id.
+            // Batched probe of every processor; smallest EST wins, ties to
+            // smaller id (the ascending scan keeps the first minimum).
+            st.probe_est_all(g, n, &mut ests);
             let mut best = (ProcId(0), u64::MAX);
-            for pi in 0..st.s.num_procs() as u32 {
-                let p = ProcId(pi);
-                let est = st.probe_est(g, n, p);
+            for (pi, &est) in ests.iter().enumerate() {
                 if est < best.1 {
-                    best = (p, est);
+                    best = (ProcId(pi as u32), est);
                 }
             }
             st.commit_and_place(g, n, best.0);

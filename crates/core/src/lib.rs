@@ -33,7 +33,9 @@
 //! | DSC | O(v·r) partially-free scan + O(v) `Schedule` clone in DSRW | O(v) scan, clone-free | O(1) `ReadySet::contains` bitvec; place/estimate/unplace on the live schedule |
 //! | EZ | O(e) edge rescan | — | |
 //! | LC / MD / DCP | O(v + e) level recompute | — (input levels now cached per graph) | static level passes shared via `TaskGraph::levels` |
-//! | MH / DLS-APN / BU / BSA | O(r·p·route) | — | message routing dominates |
+//! | MH / DLS-APN | O(r·p·route) with a route `Vec` + `link_between` per hop per probe | — shape, but probes walk precomputed route slices and batch over processors | `Topology` CSR route tables; [`apn`]'s `probe_est_all` kernel |
+//! | BU | O(v·p) assignment + list pass | — | rides the same allocation-free probes |
+//! | BSA | full replay per tentative migration: O(v·deg·(v·p + e·hops)) + a topology clone and fresh allocations per candidate | O(v·deg·(v + e + suffix)) — journal diff, batched rollback, dominance bounds cut doomed trials early | [`apn`]'s `ReplayEngine`; measured ≥5× on the paper-scale APN instance (`perf_baseline` gate) |
 //!
 //! Substrate changes underneath all of them: adjacency is CSR (flat
 //! offsets + packed `(TaskId, cost)` entries — cache-line sweeps instead of

@@ -1,33 +1,56 @@
 //! The quantitative performance measures of §6.
+//!
+//! Degenerate inputs are defined explicitly instead of leaking NaN/∞ into
+//! report tables: a graph whose tasks all have zero weight has zero
+//! critical-path computation, zero total work, and (for a valid schedule)
+//! zero makespan. Each ratio measure treats the `0 / 0` case as the
+//! neutral value `1` (a zero-length schedule of zero-length work is
+//! exactly as long as it must be) and `x / 0` with `x > 0` as `+∞` (the
+//! schedule is infinitely worse than the degenerate lower bound) —
+//! `degradation_pct` analogously maps to `0%` and `+∞%`.
 
 use dagsched_graph::{levels, TaskGraph};
 use dagsched_platform::Schedule;
+
+/// `num / den` under the degenerate convention above: `0/0 = 1`,
+/// `x/0 = ∞` for `x > 0`.
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        if num == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        num as f64 / den as f64
+    }
+}
 
 /// Normalized Schedule Length: `L / Σ_{n∈CP} w(n)`.
 ///
 /// The denominator is the *computation* cost along the (deterministic)
 /// critical path — a lower bound on any schedule length, so `NSL ≥ 1`.
+/// All-zero-weight graphs: `0/0 = 1` (tight), `L/0 = ∞` for `L > 0`.
 pub fn nsl(g: &TaskGraph, s: &Schedule) -> f64 {
-    let denom = levels::cp_computation(g);
-    debug_assert!(denom > 0);
-    s.makespan() as f64 / denom as f64
+    nsl_of_length(g, s.makespan())
 }
 
 /// NSL from a raw length (for optimal lengths without a schedule object).
 pub fn nsl_of_length(g: &TaskGraph, length: u64) -> f64 {
-    length as f64 / levels::cp_computation(g) as f64
+    ratio(length, levels::cp_computation(g))
 }
 
 /// Percentage degradation from an optimal length:
 /// `100 · (L − L_opt) / L_opt` (0 when the heuristic is optimal).
+/// `L_opt = 0`: `0%` when `L = 0` too, `+∞%` otherwise.
 pub fn degradation_pct(length: u64, optimal: u64) -> f64 {
-    debug_assert!(optimal > 0);
-    100.0 * (length as f64 - optimal as f64) / optimal as f64
+    100.0 * (ratio(length, optimal) - 1.0)
 }
 
 /// Speedup: serial time (Σ computation costs) over the makespan.
+/// Zero makespan (all-zero-weight graphs): `0/0 = 1`, `w/0 = ∞`.
 pub fn speedup(g: &TaskGraph, s: &Schedule) -> f64 {
-    g.total_work() as f64 / s.makespan() as f64
+    ratio(g.total_work(), s.makespan())
 }
 
 /// Efficiency: speedup divided by the number of processors actually used.
@@ -83,6 +106,37 @@ mod tests {
         assert_eq!(degradation_pct(100, 100), 0.0);
         assert_eq!(degradation_pct(150, 100), 50.0);
         assert!((degradation_pct(103, 100) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_ratios_are_defined_never_nan() {
+        // Regression: zero denominators (zero-makespan schedules, a zero
+        // "optimal" reference) used to feed NaN (0/0) or unintended inf
+        // into report tables. The convention is explicit now: 0/0 = the
+        // neutral value, x/0 = +inf.
+        assert_eq!(ratio(0, 0), 1.0);
+        assert_eq!(ratio(7, 0), f64::INFINITY);
+        assert_eq!(degradation_pct(0, 0), 0.0);
+        assert_eq!(degradation_pct(7, 0), f64::INFINITY);
+
+        // An empty (nothing placed) schedule has makespan 0: speedup and
+        // efficiency against real work are +inf, not NaN, and a
+        // zero-length claim against a real critical path stays finite.
+        let g = chain2();
+        let empty = Schedule::new(g.num_tasks(), 2);
+        assert_eq!(empty.makespan(), 0);
+        assert_eq!(speedup(&g, &empty), f64::INFINITY);
+        assert_eq!(efficiency(&g, &empty), f64::INFINITY);
+        assert_eq!(nsl(&g, &empty), 0.0);
+        for v in [
+            speedup(&g, &empty),
+            efficiency(&g, &empty),
+            nsl(&g, &empty),
+            degradation_pct(0, 0),
+            degradation_pct(7, 0),
+        ] {
+            assert!(!v.is_nan());
+        }
     }
 
     #[test]

@@ -19,9 +19,20 @@
 //! without mutating anything, and [`Network::commit`] performs the identical
 //! computation while reserving link time. BSA additionally removes and
 //! re-commits messages when it migrates tasks.
+//!
+//! ## Storage
+//!
+//! Routes come precomputed from [`Topology::route`] (flat CSR slices), so a
+//! probe walks its hops with zero allocation and no per-hop neighbour
+//! lookups. Committed messages live in a **slab with a free list**: removal
+//! leaves a reusable hole instead of a tombstone, so migration-heavy
+//! algorithms (BSA removes and re-commits messages thousands of times) keep
+//! the store at its live size. A per-task **incidence index** maps each task
+//! to the messages entering or leaving it, making
+//! [`Network::remove_task_messages`] proportional to the task's degree
+//! instead of a scan over every message ever committed.
 
 use dagsched_graph::TaskId;
-use std::collections::HashMap;
 
 use crate::timeline::Track;
 use crate::topology::{LinkId, ProcId, Topology};
@@ -55,12 +66,29 @@ pub struct Message {
 }
 
 /// Link-occupancy state of one machine during APN scheduling.
+///
+/// Both secondary indices are plain vectors indexed by task id (grown
+/// lazily to the highest task seen): APN inner loops commit and roll back
+/// messages millions of times, and hashing task-pair keys dominated the
+/// profile before the journal-driven BSA rewrite.
 #[derive(Debug, Clone)]
 pub struct Network {
     topo: Topology,
     tracks: Vec<Track<MsgId>>,
+    /// Message slab: `None` entries are free slots threaded on `free`.
     messages: Vec<Option<Message>>,
-    by_edge: HashMap<(TaskId, TaskId), MsgId>,
+    /// LIFO free list of slab indices (holes left by removals).
+    free: Vec<u32>,
+    /// Edge index: `by_edge[src]` lists `(dst, id)` of src's live outgoing
+    /// messages (out-degree is small, so a scan beats hashing).
+    by_edge: Vec<Vec<(TaskId, MsgId)>>,
+    /// Incidence index: every live message entering or leaving a task.
+    by_task: Vec<Vec<MsgId>>,
+    /// Recycled hop buffers (see [`Network::remove_recycle`]): commit/remove
+    /// churn in migration loops stops hitting the allocator per message.
+    hop_pool: Vec<Vec<MessageHop>>,
+    /// Scratch for [`Network::remove_batch`]: which links need compaction.
+    dirty_links: Vec<bool>,
 }
 
 impl Network {
@@ -71,7 +99,11 @@ impl Network {
             topo,
             tracks: vec![Track::new(); links],
             messages: Vec::new(),
-            by_edge: HashMap::new(),
+            free: Vec::new(),
+            by_edge: Vec::new(),
+            by_task: Vec::new(),
+            hop_pool: Vec::new(),
+            dirty_links: Vec::new(),
         }
     }
 
@@ -90,10 +122,40 @@ impl Network {
         self.messages.iter().flatten()
     }
 
+    /// Slab capacity actually occupied (live messages + free holes) —
+    /// diagnostic for the store's memory behaviour under churn.
+    pub fn slab_len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Messages entering or leaving `task`, in no particular order.
+    pub fn task_messages(&self, task: TaskId) -> impl Iterator<Item = &Message> {
+        self.by_task
+            .get(task.index())
+            .into_iter()
+            .flatten()
+            .filter_map(|id| self.messages[id.0 as usize].as_ref())
+    }
+
     /// The live message carrying edge `src → dst`, if committed.
     pub fn message_for(&self, src: TaskId, dst: TaskId) -> Option<&Message> {
-        let id = self.by_edge.get(&(src, dst))?;
+        let id = self.edge_id(src, dst)?;
         self.messages[id.0 as usize].as_ref()
+    }
+
+    fn edge_id(&self, src: TaskId, dst: TaskId) -> Option<MsgId> {
+        self.by_edge
+            .get(src.index())?
+            .iter()
+            .find(|&&(d, _)| d == dst)
+            .map(|&(_, id)| id)
+    }
+
+    /// Grow a task-indexed vector so `task` is addressable.
+    fn ensure_task_slot<T: Default>(v: &mut Vec<T>, task: TaskId) {
+        if v.len() <= task.index() {
+            v.resize_with(task.index() + 1, T::default);
+        }
     }
 
     /// Earliest arrival at `to` of a message of size `size` that becomes
@@ -102,13 +164,17 @@ impl Network {
     ///
     /// `from == to` or `size == 0` ⇒ arrival = `ready` (local data).
     pub fn probe_arrival(&self, from: ProcId, to: ProcId, ready: u64, size: u64) -> u64 {
-        self.walk_route(from, to, ready, size, |_, _, _| {}).1
+        self.walk_route(from, to, ready, size)
     }
 
-    /// Reserve the route and record the message. Returns the id and arrival.
+    /// Reserve the route and record the message. Returns the id (`None` for
+    /// local or zero-size delivery, which needs no link time and leaves no
+    /// record) and the arrival time.
     ///
     /// Any previously committed message for the same `(src_task, dst_task)`
-    /// edge is removed first (re-commit semantics for migration algorithms).
+    /// edge is removed first (re-commit semantics for migration algorithms)
+    /// — including when the re-commit itself is local, so migrating a
+    /// consumer back onto its producer's processor retires the old message.
     pub fn commit(
         &mut self,
         src_task: TaskId,
@@ -117,23 +183,32 @@ impl Network {
         to: ProcId,
         ready: u64,
         size: u64,
-    ) -> (MsgId, u64) {
+    ) -> (Option<MsgId>, u64) {
         self.remove_edge(src_task, dst_task);
-        let id = MsgId(self.messages.len() as u32);
-        let mut hops = Vec::new();
-        let (_, arrival) = self.walk_route_mut(from, to, ready, size, |link, s, f| {
+        if from == to || size == 0 {
+            return (None, ready);
+        }
+        let id = match self.free.pop() {
+            Some(slot) => MsgId(slot),
+            None => {
+                self.messages.push(None);
+                MsgId(self.messages.len() as u32 - 1)
+            }
+        };
+        let mut hops = self.hop_pool.pop().unwrap_or_default();
+        // Same walk as `probe_arrival`, but each hop reserves its slot in
+        // the single pass that found it (`Track::reserve_earliest`).
+        let mut arrival = ready;
+        for &link in self.topo.route(from, to) {
+            let s = self.tracks[link.index()].reserve_earliest(arrival, size, id);
             hops.push(MessageHop {
                 link,
                 start: s,
-                finish: f,
+                finish: s + size,
             });
-        });
-        for hop in &hops {
-            self.tracks[hop.link.index()]
-                .insert(hop.start, hop.finish, id)
-                .expect("probe found a free slot; commit must succeed");
+            arrival = s + size;
         }
-        self.messages.push(Some(Message {
+        self.messages[id.0 as usize] = Some(Message {
             src_task,
             dst_task,
             from,
@@ -141,53 +216,131 @@ impl Network {
             hops,
             ready,
             arrival,
-        }));
-        self.by_edge.insert((src_task, dst_task), id);
-        (id, arrival)
+        });
+        Self::ensure_task_slot(&mut self.by_edge, src_task);
+        self.by_edge[src_task.index()].push((dst_task, id));
+        Self::ensure_task_slot(&mut self.by_task, src_task.max(dst_task));
+        self.by_task[src_task.index()].push(id);
+        self.by_task[dst_task.index()].push(id);
+        (Some(id), arrival)
     }
 
     /// Remove a committed message, freeing its link time.
     pub fn remove(&mut self, id: MsgId) -> Option<Message> {
         let msg = self.messages[id.0 as usize].take()?;
+        self.free.push(id.0);
         for hop in &msg.hops {
-            self.tracks[hop.link.index()].remove(id);
+            self.tracks[hop.link.index()].remove_at(hop.start, id);
         }
-        if self.by_edge.get(&(msg.src_task, msg.dst_task)) == Some(&id) {
-            self.by_edge.remove(&(msg.src_task, msg.dst_task));
+        if let Some(row) = self.by_edge.get_mut(msg.src_task.index()) {
+            if let Some(pos) = row.iter().position(|&(d, i)| d == msg.dst_task && i == id) {
+                row.swap_remove(pos);
+            }
         }
+        self.unindex(msg.src_task, id);
+        self.unindex(msg.dst_task, id);
         Some(msg)
+    }
+
+    /// Drop `id` from `task`'s incidence list.
+    fn unindex(&mut self, task: TaskId, id: MsgId) {
+        if let Some(ids) = self.by_task.get_mut(task.index()) {
+            if let Some(pos) = ids.iter().position(|&m| m == id) {
+                ids.swap_remove(pos);
+            }
+        }
+    }
+
+    /// Remove a batch of committed messages at once. Exactly equivalent to
+    /// removing each id in turn, but every affected link track is
+    /// compacted in a single pass: a migration rollback retiring dozens of
+    /// messages pays O(track) per link instead of O(track) per hop. Hop
+    /// buffers are recycled as in [`Network::remove_recycle`].
+    pub fn remove_batch(&mut self, ids: &[MsgId]) {
+        if self.dirty_links.len() < self.tracks.len() {
+            self.dirty_links.resize(self.tracks.len(), false);
+        }
+        let mut any = false;
+        for &id in ids {
+            let Some(mut msg) = self.messages[id.0 as usize].take() else {
+                continue;
+            };
+            self.free.push(id.0);
+            for hop in &msg.hops {
+                self.dirty_links[hop.link.index()] = true;
+            }
+            if let Some(row) = self.by_edge.get_mut(msg.src_task.index()) {
+                if let Some(pos) = row.iter().position(|&(d, i)| d == msg.dst_task && i == id) {
+                    row.swap_remove(pos);
+                }
+            }
+            self.unindex(msg.src_task, id);
+            self.unindex(msg.dst_task, id);
+            msg.hops.clear();
+            self.hop_pool.push(std::mem::take(&mut msg.hops));
+            any = true;
+        }
+        if !any {
+            return;
+        }
+        // A track slot is live iff its message still occupies the slab —
+        // the ids just removed are exactly the slab entries taken above.
+        let messages = &self.messages;
+        for (li, dirty) in self.dirty_links.iter_mut().enumerate() {
+            if std::mem::take(dirty) {
+                self.tracks[li].retain(|s| messages[s.tag.0 as usize].is_some());
+            }
+        }
+    }
+
+    /// [`Network::remove`] for callers that do not need the message back:
+    /// the hop buffer is recycled into an internal pool and handed to a
+    /// later [`Network::commit`]. Single-message counterpart of
+    /// [`Network::remove_batch`] (which migration rollback uses); removal
+    /// loops that go one message at a time — [`Network::remove_task_messages`]
+    /// — allocate nothing per message through it. Returns whether a message
+    /// was removed.
+    pub fn remove_recycle(&mut self, id: MsgId) -> bool {
+        match self.remove(id) {
+            Some(mut msg) => {
+                msg.hops.clear();
+                self.hop_pool.push(std::mem::take(&mut msg.hops));
+                true
+            }
+            None => false,
+        }
     }
 
     /// Remove the message (if any) carrying edge `src → dst`.
     pub fn remove_edge(&mut self, src: TaskId, dst: TaskId) -> Option<Message> {
-        let id = *self.by_edge.get(&(src, dst))?;
+        let id = self.edge_id(src, dst)?;
         self.remove(id)
     }
 
     /// Remove every message entering or leaving `task` (BSA migration).
+    /// O(deg(task)) via the incidence index.
     pub fn remove_task_messages(&mut self, task: TaskId) {
-        let ids: Vec<MsgId> = self
-            .messages
-            .iter()
-            .enumerate()
-            .filter_map(|(i, m)| {
-                m.as_ref()
-                    .filter(|m| m.src_task == task || m.dst_task == task)
-                    .map(|_| MsgId(i as u32))
-            })
-            .collect();
-        for id in ids {
-            self.remove(id);
+        if let Some(ids) = self.by_task.get_mut(task.index()) {
+            for id in std::mem::take(ids) {
+                self.remove_recycle(id);
+            }
         }
     }
 
-    /// Drop all messages and link reservations.
+    /// Drop all messages and link reservations. Keeps the slab, track and
+    /// index capacity, so a reused `Network` re-fills without reallocating.
     pub fn clear(&mut self) {
         for t in &mut self.tracks {
             t.clear();
         }
         self.messages.clear();
-        self.by_edge.clear();
+        self.free.clear();
+        for row in &mut self.by_edge {
+            row.clear();
+        }
+        for row in &mut self.by_task {
+            row.clear();
+        }
     }
 
     /// Total time-units of link occupation (diagnostic).
@@ -195,41 +348,18 @@ impl Network {
         self.tracks.iter().map(|t| t.busy_time()).sum()
     }
 
-    /// Shared probe/commit walk. Calls `visit(link, start, finish)` per hop
-    /// and returns `(hop_count, arrival)`.
-    fn walk_route(
-        &self,
-        from: ProcId,
-        to: ProcId,
-        ready: u64,
-        size: u64,
-        mut visit: impl FnMut(LinkId, u64, u64),
-    ) -> (usize, u64) {
+    /// Probe walk: the earliest arrival along the precomputed route against
+    /// the current link occupancy, reserving nothing. (`commit` runs the
+    /// same recurrence through `Track::reserve_earliest`.)
+    fn walk_route(&self, from: ProcId, to: ProcId, ready: u64, size: u64) -> u64 {
         if from == to || size == 0 {
-            return (0, ready);
+            return ready;
         }
-        let route = self.topo.route(from, to);
         let mut t = ready;
-        for &link in &route {
-            let s = self.tracks[link.index()].earliest_fit(t, size);
-            let f = s + size;
-            visit(link, s, f);
-            t = f;
+        for &link in self.topo.route(from, to) {
+            t = self.tracks[link.index()].earliest_fit(t, size) + size;
         }
-        (route.len(), t)
-    }
-
-    /// `walk_route` needs only `&self`; this wrapper exists so `commit` can
-    /// borrow immutably for the walk before mutating the tracks.
-    fn walk_route_mut(
-        &mut self,
-        from: ProcId,
-        to: ProcId,
-        ready: u64,
-        size: u64,
-        visit: impl FnMut(LinkId, u64, u64),
-    ) -> (usize, u64) {
-        self.walk_route(from, to, ready, size, visit)
+        t
     }
 }
 
@@ -293,10 +423,98 @@ mod tests {
         let mut net = chain3();
         let (id, _) = net.commit(TaskId(0), TaskId(1), ProcId(0), ProcId(1), 0, 10);
         assert_eq!(net.probe_arrival(ProcId(0), ProcId(1), 0, 10), 20);
-        let msg = net.remove(id).unwrap();
+        let msg = net.remove(id.unwrap()).unwrap();
         assert_eq!(msg.src_task, TaskId(0));
         assert_eq!(net.probe_arrival(ProcId(0), ProcId(1), 0, 10), 10);
         assert!(net.message_for(TaskId(0), TaskId(1)).is_none());
+    }
+
+    #[test]
+    fn local_and_zero_size_commits_leave_no_record() {
+        // Regression: `commit` used to push a phantom zero-hop message into
+        // the store (and the edge index) when `from == to` or `size == 0`.
+        let mut net = chain3();
+        let (id, arrival) = net.commit(TaskId(0), TaskId(1), ProcId(1), ProcId(1), 42, 10);
+        assert_eq!(id, None);
+        assert_eq!(arrival, 42);
+        let (id, arrival) = net.commit(TaskId(2), TaskId(3), ProcId(0), ProcId(2), 7, 0);
+        assert_eq!(id, None);
+        assert_eq!(arrival, 7);
+        assert_eq!(net.messages().count(), 0);
+        assert!(net.message_for(TaskId(0), TaskId(1)).is_none());
+        assert!(net.message_for(TaskId(2), TaskId(3)).is_none());
+        assert_eq!(net.total_link_busy(), 0);
+    }
+
+    #[test]
+    fn local_recommit_retires_the_previous_message() {
+        // A migration that lands the consumer back on the producer's
+        // processor must remove the now-obsolete cross-processor message.
+        let mut net = chain3();
+        net.commit(TaskId(0), TaskId(1), ProcId(0), ProcId(1), 0, 10);
+        assert_eq!(net.messages().count(), 1);
+        let (id, arrival) = net.commit(TaskId(0), TaskId(1), ProcId(0), ProcId(0), 0, 10);
+        assert_eq!(id, None);
+        assert_eq!(arrival, 0);
+        assert_eq!(net.messages().count(), 0);
+        assert_eq!(net.total_link_busy(), 0);
+    }
+
+    #[test]
+    fn remove_batch_matches_sequential_removes() {
+        let mk = || {
+            let mut net = Network::new(Topology::ring(5).unwrap());
+            let mut ids = Vec::new();
+            for i in 0..8u32 {
+                let (id, _) = net.commit(
+                    TaskId(i),
+                    TaskId(100 + i),
+                    ProcId(i % 5),
+                    ProcId((i + 2) % 5),
+                    (i as u64) * 3,
+                    4,
+                );
+                ids.push(id.unwrap());
+            }
+            (net, ids)
+        };
+        let (mut a, ids) = mk();
+        let (mut b, _) = mk();
+        let batch = [ids[1], ids[3], ids[4], ids[6]];
+        a.remove_batch(&batch);
+        for id in batch {
+            b.remove(id);
+        }
+        assert_eq!(a.messages().count(), b.messages().count());
+        assert_eq!(a.total_link_busy(), b.total_link_busy());
+        for l in 0..a.topology().num_links() {
+            assert_eq!(
+                a.link_track(LinkId(l as u32)).slots(),
+                b.link_track(LinkId(l as u32)).slots(),
+                "link {l} diverged"
+            );
+        }
+        // Removed edges are gone from the index; survivors remain.
+        assert!(a.message_for(TaskId(1), TaskId(101)).is_none());
+        assert!(a.message_for(TaskId(0), TaskId(100)).is_some());
+        // Double-removal in a later batch is a no-op.
+        a.remove_batch(&batch);
+        assert_eq!(a.messages().count(), 4);
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots() {
+        let mut net = chain3();
+        let (a, _) = net.commit(TaskId(0), TaskId(1), ProcId(0), ProcId(1), 0, 5);
+        let (b, _) = net.commit(TaskId(2), TaskId(3), ProcId(1), ProcId(2), 0, 5);
+        net.remove(a.unwrap());
+        // The freed slot is recycled for the next commit: the store never
+        // accumulates tombstones.
+        let (c, _) = net.commit(TaskId(4), TaskId(5), ProcId(0), ProcId(1), 20, 5);
+        assert_eq!(c, a);
+        assert_ne!(c, b);
+        assert_eq!(net.messages().count(), 2);
+        assert_eq!(net.slab_len(), 2);
     }
 
     #[test]

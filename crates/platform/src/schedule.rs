@@ -84,8 +84,42 @@ impl Schedule {
     /// such as BSA when migrating tasks between processors).
     pub fn unplace(&mut self, task: TaskId) -> Option<Placement> {
         let p = self.placements[task.index()].take()?;
-        self.timelines[p.proc.index()].remove(task);
+        self.timelines[p.proc.index()].remove_at(p.start, task);
         Some(p)
+    }
+
+    /// Remove a batch of placements at once — equivalent to calling
+    /// [`Schedule::unplace`] per task, but each affected timeline is
+    /// compacted in one pass (the APN migration journal rolls back dozens
+    /// of placements per trial).
+    pub fn unplace_batch(&mut self, tasks: impl IntoIterator<Item = TaskId>) {
+        let mut dirty = [false; 64];
+        let mut dirty_big = Vec::new();
+        let mut any = false;
+        for task in tasks {
+            if let Some(p) = self.placements[task.index()].take() {
+                let pi = p.proc.index();
+                if pi < dirty.len() {
+                    dirty[pi] = true;
+                } else if !dirty_big.contains(&pi) {
+                    dirty_big.push(pi);
+                }
+                any = true;
+            }
+        }
+        if !any {
+            return;
+        }
+        let placements = &self.placements;
+        let sweep = |t: &mut Track<TaskId>| t.retain(|s| placements[s.tag.index()].is_some());
+        for (pi, d) in dirty.iter().enumerate().take(self.timelines.len()) {
+            if *d {
+                sweep(&mut self.timelines[pi]);
+            }
+        }
+        for &pi in &dirty_big {
+            sweep(&mut self.timelines[pi]);
+        }
     }
 
     /// The placement of `task`, if placed.
@@ -404,6 +438,37 @@ mod tests {
         assert_eq!(p.finish, 5);
         assert!(!s.is_complete());
         s.place(TaskId(1), ProcId(0), 0, 3).unwrap(); // slot reusable
+    }
+
+    #[test]
+    fn unplace_batch_matches_sequential_unplace() {
+        let mk = || {
+            let mut s = Schedule::new(6, 3);
+            for i in 0..6u32 {
+                s.place(TaskId(i), ProcId(i % 3), (i as u64) * 4, 3)
+                    .unwrap();
+            }
+            s
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let batch = [TaskId(0), TaskId(2), TaskId(5)];
+        a.unplace_batch(batch);
+        for t in batch {
+            b.unplace(t);
+        }
+        for pi in 0..3u32 {
+            assert_eq!(
+                a.timeline(ProcId(pi)).slots(),
+                b.timeline(ProcId(pi)).slots()
+            );
+        }
+        for i in 0..6u32 {
+            assert_eq!(a.placement(TaskId(i)), b.placement(TaskId(i)));
+        }
+        // Unplacing already-absent tasks is a no-op.
+        a.unplace_batch(batch);
+        assert_eq!(a.makespan(), b.makespan());
     }
 
     #[test]

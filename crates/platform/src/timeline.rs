@@ -88,6 +88,39 @@ impl<T: Copy + PartialEq> Track<T> {
         candidate
     }
 
+    /// Fused [`Track::earliest_fit`] + insert: reserve the earliest
+    /// `duration`-long slot at or after `earliest` and return its start.
+    /// One scan finds both the start *and* the insertion index, where the
+    /// probe-then-insert pair would search the slot list twice — the link
+    /// reservation hot path of `Network::commit`.
+    ///
+    /// `duration` must be non-zero (a zero-length reservation is not an
+    /// occupation).
+    pub fn reserve_earliest(&mut self, earliest: u64, duration: u64, tag: T) -> u64 {
+        debug_assert!(duration > 0, "zero-length reservations are meaningless");
+        let mut candidate = earliest;
+        let first = self.slots.partition_point(|s| s.finish <= earliest);
+        let mut idx = first;
+        for s in &self.slots[first..] {
+            if s.start >= candidate && s.start - candidate >= duration {
+                break; // fits in the hole before `s`
+            }
+            if s.finish > candidate {
+                candidate = s.finish;
+            }
+            idx += 1;
+        }
+        self.slots.insert(
+            idx,
+            Slot {
+                start: candidate,
+                finish: candidate + duration,
+                tag,
+            },
+        );
+        candidate
+    }
+
     /// Insert an occupation; fails when it would overlap an existing one.
     ///
     /// The error carries no payload on purpose: the only failure mode is
@@ -96,6 +129,12 @@ impl<T: Copy + PartialEq> Track<T> {
     #[allow(clippy::result_unit_err)]
     pub fn insert(&mut self, start: u64, finish: u64, tag: T) -> Result<(), ()> {
         debug_assert!(start <= finish, "interval must be well-formed");
+        // Tail fast path: append-policy callers (every replayed placement)
+        // always extend the track.
+        if self.slots.last().is_none_or(|s| s.finish <= start) {
+            self.slots.push(Slot { start, finish, tag });
+            return Ok(());
+        }
         let idx = self.slots.partition_point(|s| s.start < start);
         // Must not overlap predecessor (finish > start) or successor.
         if idx > 0 && self.slots[idx - 1].finish > start {
@@ -109,10 +148,44 @@ impl<T: Copy + PartialEq> Track<T> {
     }
 
     /// Remove the occupation tagged `tag`; returns its interval if present.
+    ///
+    /// Linear scan — when the caller knows the interval's start time (every
+    /// placement and message hop records it), prefer [`Track::remove_at`].
     pub fn remove(&mut self, tag: T) -> Option<(u64, u64)> {
         let idx = self.slots.iter().position(|s| s.tag == tag)?;
         let s = self.slots.remove(idx);
         Some((s.start, s.finish))
+    }
+
+    /// Remove the occupation tagged `tag` known to start at `start`:
+    /// binary-search by start, then verify the tag among the (at most few,
+    /// only zero-length intervals can share a start) slots there. O(log n)
+    /// locate instead of [`Track::remove`]'s O(n) scan — the hot path of
+    /// rollback-heavy callers (BSA's migration journal removes one slot per
+    /// hop per rollback).
+    ///
+    /// Returns `None` when no slot with that `(start, tag)` exists.
+    pub fn remove_at(&mut self, start: u64, tag: T) -> Option<(u64, u64)> {
+        let mut idx = self.slots.partition_point(|s| s.start < start);
+        while let Some(s) = self.slots.get(idx) {
+            if s.start != start {
+                return None;
+            }
+            if s.tag == tag {
+                let s = self.slots.remove(idx);
+                return Some((s.start, s.finish));
+            }
+            idx += 1;
+        }
+        None
+    }
+
+    /// Keep only the occupations satisfying `f`, in one compaction pass.
+    /// Removing a *set* of slots this way costs O(n) total where repeated
+    /// [`Track::remove_at`] calls cost O(n) *each* — the batch-rollback
+    /// path of the APN migration journal.
+    pub fn retain(&mut self, f: impl FnMut(&Slot<T>) -> bool) {
+        self.slots.retain(f);
     }
 
     /// The occupation covering time `t`, if any.
@@ -174,6 +247,18 @@ mod tests {
     }
 
     #[test]
+    fn reserve_earliest_matches_fit_then_insert() {
+        for (earliest, dur) in [(0u64, 5u64), (0, 6), (6, 4), (6, 5), (3, 1), (20, 2)] {
+            let mut a = track_with(&[(0, 5), (10, 15)]);
+            let mut b = a.clone();
+            let at = a.earliest_fit(earliest, dur);
+            a.insert(at, at + dur, 99).unwrap();
+            assert_eq!(b.reserve_earliest(earliest, dur, 99), at);
+            assert_eq!(a.slots(), b.slots());
+        }
+    }
+
+    #[test]
     fn insertion_respects_earliest_bound() {
         let t = track_with(&[(10, 20)]);
         assert_eq!(t.earliest_fit(0, 10), 0);
@@ -218,6 +303,31 @@ mod tests {
         assert_eq!(t.remove(0), Some((0, 5)));
         assert_eq!(t.remove(0), None);
         assert!(t.insert(0, 5, 7).is_ok());
+    }
+
+    #[test]
+    fn remove_at_matches_remove() {
+        let mut a = track_with(&[(0, 5), (5, 10), (12, 20), (25, 30)]);
+        let mut b = a.clone();
+        assert_eq!(a.remove_at(12, 2), b.remove(2));
+        assert_eq!(a.slots(), b.slots());
+        assert_eq!(a.remove_at(25, 3), Some((25, 30)));
+        // Wrong start or wrong tag: untouched.
+        assert_eq!(a.remove_at(5, 0), None);
+        assert_eq!(a.remove_at(4, 1), None);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn remove_at_disambiguates_zero_length_slots() {
+        let mut t = Track::new();
+        t.insert(5, 10, 3u32).unwrap();
+        t.insert(5, 5, 1).unwrap();
+        t.insert(5, 5, 2).unwrap();
+        assert_eq!(t.remove_at(5, 3), Some((5, 10)));
+        assert_eq!(t.remove_at(5, 2), Some((5, 5)));
+        assert_eq!(t.remove_at(5, 1), Some((5, 5)));
+        assert!(t.is_empty());
     }
 
     #[test]

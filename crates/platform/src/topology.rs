@@ -71,6 +71,12 @@ pub enum TopologyKind {
 /// Routing is deterministic: among the shortest paths from `a` to `b`, the
 /// route always steps to the smallest-id neighbour that stays on a shortest
 /// path. Benchmarks therefore reproduce exactly across runs.
+///
+/// All `p²` routes are materialized once at construction into two flat CSR
+/// arrays (link sequences and processor sequences), so [`Topology::route`]
+/// and [`Topology::route_procs`] are O(1) slice views — the APN message
+/// layer walks routes on every probe and must not allocate or chase
+/// `next_hop`/`link_between` lookups per hop.
 #[derive(Debug, Clone)]
 pub struct Topology {
     kind: TopologyKind,
@@ -79,12 +85,17 @@ pub struct Topology {
     links: Vec<(ProcId, ProcId)>,
     /// Per processor: `(neighbour, connecting link)`, sorted by neighbour id.
     adj: Vec<Vec<(ProcId, LinkId)>>,
-    /// Flattened `p × p` next-hop matrix: `next_hop[src*p + dst]` is the
-    /// neighbour of `src` on the deterministic shortest route to `dst`
-    /// (`u32::MAX` on the diagonal).
-    next_hop: Vec<u32>,
     /// Flattened `p × p` hop distances.
     dist: Vec<u32>,
+    /// CSR offsets into `route_links`: the route `src → dst` occupies
+    /// `route_links[route_off[src*p + dst] .. route_off[src*p + dst + 1]]`.
+    route_off: Vec<u32>,
+    /// All `p²` deterministic shortest routes as link sequences, flattened.
+    route_links: Vec<LinkId>,
+    /// The same routes as processor sequences (each one hop longer than its
+    /// link sequence: both endpoints included), flattened. Offsets are
+    /// derived from `route_off` by adding one slot per (src, dst) pair.
+    route_procs: Vec<ProcId>,
 }
 
 impl Topology {
@@ -279,13 +290,42 @@ impl Topology {
             }
         }
 
+        // Flatten every route into CSR form: total link-hop count is
+        // Σ dist(src, dst), so sizes are exact and built in one pass by
+        // following `next_hop` (links found via the sorted adjacency rows).
+        let total_hops: usize = dist_sd.iter().map(|&d| d as usize).sum();
+        let mut route_off = Vec::with_capacity(p * p + 1);
+        let mut route_links = Vec::with_capacity(total_hops);
+        let mut route_procs = Vec::with_capacity(total_hops + p * p);
+        route_off.push(0u32);
+        for src in 0..p {
+            for dst in 0..p {
+                let mut cur = src;
+                route_procs.push(ProcId(cur as u32));
+                while cur != dst {
+                    let next = next_hop[cur * p + dst] as usize;
+                    let row = &adj[cur];
+                    let link = row[row
+                        .binary_search_by_key(&ProcId(next as u32), |&(n, _)| n)
+                        .expect("next hop must be adjacent")]
+                    .1;
+                    route_links.push(link);
+                    route_procs.push(ProcId(next as u32));
+                    cur = next;
+                }
+                route_off.push(route_links.len() as u32);
+            }
+        }
+
         Ok(Topology {
             kind,
             num_procs: p,
             links,
             adj,
-            next_hop,
             dist: dist_sd,
+            route_off,
+            route_links,
+            route_procs,
         })
     }
 
@@ -338,30 +378,20 @@ impl Topology {
     }
 
     /// The deterministic shortest route from `a` to `b` as a link sequence
-    /// (empty when `a == b`).
-    pub fn route(&self, a: ProcId, b: ProcId) -> Vec<LinkId> {
-        let mut out = Vec::new();
-        let mut cur = a;
-        while cur != b {
-            let next = ProcId(self.next_hop[cur.index() * self.num_procs + b.index()]);
-            out.push(
-                self.link_between(cur, next)
-                    .expect("next hop must be adjacent"),
-            );
-            cur = next;
-        }
-        out
+    /// (empty when `a == b`). A precomputed slice view: no allocation, no
+    /// per-hop lookups.
+    pub fn route(&self, a: ProcId, b: ProcId) -> &[LinkId] {
+        let k = a.index() * self.num_procs + b.index();
+        &self.route_links[self.route_off[k] as usize..self.route_off[k + 1] as usize]
     }
 
-    /// The processor sequence of [`Topology::route`], including both ends.
-    pub fn route_procs(&self, a: ProcId, b: ProcId) -> Vec<ProcId> {
-        let mut out = vec![a];
-        let mut cur = a;
-        while cur != b {
-            cur = ProcId(self.next_hop[cur.index() * self.num_procs + b.index()]);
-            out.push(cur);
-        }
-        out
+    /// The processor sequence of [`Topology::route`], including both ends —
+    /// also a precomputed slice view. Every route stores exactly one more
+    /// processor than it has links, so the CSR offsets are
+    /// `route_off[k] + k` for flat pair index `k`.
+    pub fn route_procs(&self, a: ProcId, b: ProcId) -> &[ProcId] {
+        let k = a.index() * self.num_procs + b.index();
+        &self.route_procs[self.route_off[k] as usize + k..self.route_off[k + 1] as usize + k + 1]
     }
 
     /// Breadth-first processor order from `start` (neighbours visited in

@@ -3,6 +3,7 @@
 //! are real link paths, links never double-book, and contention actually
 //! bites on narrow topologies.
 
+use proptest::prelude::*;
 use taskbench::prelude::*;
 use taskbench::suites::rgnos::{self, RgnosParams};
 
@@ -114,6 +115,54 @@ fn zero_comm_graphs_need_no_messages() {
             "{}: zero-cost edges need no messages",
             algo.name()
         );
+    }
+}
+
+/// One of the machine shapes the APN experiments run on, picked by index.
+fn topology_menu(which: usize) -> Topology {
+    match which % 6 {
+        0 => Topology::chain(5).unwrap(),
+        1 => Topology::ring(6).unwrap(),
+        2 => Topology::star(5).unwrap(),
+        3 => Topology::mesh(2, 3).unwrap(),
+        4 => Topology::hypercube(3).unwrap(),
+        _ => Topology::fully_connected(4).unwrap(),
+    }
+}
+
+// The probe/commit contract under arbitrary topologies and loads:
+// `probe_arrival` answers exactly what `commit` then reserves — probing
+// first and committing right after must agree, and the arrival never beats
+// the uncontended store-and-forward walk.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn probe_equals_committed_arrival_on_random_topologies_and_loads(
+        which in 0usize..6,
+        load in proptest::collection::vec((0u32..8, 0u32..8, 0u64..60, 1u64..25), 0..30),
+        query in (0u32..8, 0u32..8, 0u64..60, 1u64..25),
+    ) {
+        let topo = topology_menu(which);
+        let p = topo.num_procs() as u32;
+        let mut net = Network::new(topo);
+        for (i, &(from, to, ready, size)) in load.iter().enumerate() {
+            net.commit(
+                TaskId(1000 + i as u32),
+                TaskId(2000 + i as u32),
+                ProcId(from % p),
+                ProcId(to % p),
+                ready,
+                size,
+            );
+        }
+        let (from, to, ready, size) = (ProcId(query.0 % p), ProcId(query.1 % p), query.2, query.3);
+        let probed = net.probe_arrival(from, to, ready, size);
+        let (_, committed) = net.commit(TaskId(1), TaskId(2), from, to, ready, size);
+        prop_assert_eq!(probed, committed, "probe and commit disagree");
+        // Store-and-forward floor: never earlier than the uncontended walk.
+        let hops = net.topology().distance(from, to) as u64;
+        prop_assert!(committed >= ready + hops * size);
     }
 }
 

@@ -65,7 +65,15 @@ fn apn_algorithms_valid_on_every_family_and_topology() {
         for topo in &topologies {
             for algo in registry::apn() {
                 let out = algo.schedule(&g, &Env::apn(topo.clone())).unwrap();
-                out.validate(&g).unwrap_or_else(|e| {
+                // The link-contended model must hold explicitly: every APN
+                // outcome exposes its message schedule and passes
+                // `validate_apn` (routes are real link paths, store-and-
+                // forward timing, no link double-booking).
+                let net = out
+                    .network
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{} exposes no message schedule", algo.name()));
+                out.schedule.validate_apn(&g, net).unwrap_or_else(|e| {
                     panic!("{} on {} / {:?}: {e}", algo.name(), g.name(), topo.kind())
                 });
             }
