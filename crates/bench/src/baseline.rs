@@ -5,14 +5,23 @@
 //! [`DscBaseline`] is the DSC implementation as it stood before the
 //! hot-path overhaul: a full `Schedule::clone` per DSRW guard evaluation,
 //! an O(|ready|) membership scan inside the partially-free search (via
-//! [`LinearReadySet`]), and its own uncached b-level pass. The refactored
+//! `LinearReadySet`), and its own uncached b-level pass. The refactored
 //! `dagsched_core::unc::Dsc` must produce byte-identical schedules; the
 //! `algo_runtimes` bench and the `perf_baseline` binary check both the
 //! speedup and the equivalence.
 //!
+//! [`DscScanBaseline`] is DSC as it stood *after* that first overhaul but
+//! before the incremental priority-queue engine: clone-free DSRW and an
+//! O(1)-membership ready set, yet still an O(|ready|) scan to select the
+//! free node and — the dominant cost — a fresh O(v + e) whole-graph scan
+//! per step to find the highest-priority partially free node. The
+//! heap-driven `dagsched_core::unc::Dsc` must again produce byte-identical
+//! schedules; `perf_baseline`'s `dsc_incremental_speedup` section gates
+//! the speedup at paper scale.
+//!
 //! [`BsaBaseline`] is BSA as it stood before the APN message-layer
 //! overhaul, over a verbatim retention of the old message layer
-//! ([`OldNetwork`]/[`OldTrack`]): per-call route vectors with a
+//! (`OldNetwork`/`OldTrack`): per-call route vectors with a
 //! `link_between` lookup per hop, probe-then-insert double slot searches,
 //! O(n) tag-scan removals, a tombstone message store behind a hashed edge
 //! index — and, on top, the old algorithmic shape: every tentative
@@ -24,6 +33,7 @@
 //! placement- *and* message-identical schedules; `perf_baseline` gates
 //! the speedup.
 
+use dagsched_core::common::ReadySet;
 use dagsched_core::{AlgoClass, Env, Outcome, SchedError, Scheduler};
 use dagsched_graph::{levels, TaskGraph, TaskId};
 use dagsched_platform::{Message, MessageHop, Network, ProcId, Schedule, Topology};
@@ -201,6 +211,134 @@ fn partially_free_max(
     g: &TaskGraph,
     s: &Schedule,
     ready: &LinearReadySet,
+    tlevel: &[u64],
+    bl: &[u64],
+) -> Option<TaskId> {
+    g.tasks()
+        .filter(|&n| s.placement(n).is_none())
+        .filter(|&n| !ready.contains(n))
+        .filter(|&n| g.preds(n).iter().any(|&(q, _)| s.placement(q).is_some()))
+        .max_by_key(|&n| (priority(n, tlevel, bl), std::cmp::Reverse(n.0)))
+}
+
+/// The DSC of the PR-1 hot-path overhaul, retained verbatim: clone-free
+/// DSRW (place/estimate/unplace on the live schedule) and the O(1)
+/// membership `ReadySet`, but per step still an O(|ready|) `argmax` scan
+/// for the free node and a full O(v + e) graph scan for the partially free
+/// one. The incremental `dagsched_core::unc::Dsc` replaces both scans with
+/// rekeyable [`dagsched_core::common::IndexedHeap`]s and must stay
+/// placement-identical.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DscScanBaseline;
+
+impl Scheduler for DscScanBaseline {
+    fn name(&self) -> &'static str {
+        "DSC-scan-baseline"
+    }
+
+    fn class(&self) -> AlgoClass {
+        AlgoClass::Unc
+    }
+
+    fn schedule(&self, g: &TaskGraph, _env: &Env) -> Result<Outcome, SchedError> {
+        let v = g.num_tasks();
+        let bl = g.levels().b_levels(); // static b-levels, as in the original
+        let mut s = Schedule::new(v, v);
+        // tlevel[n] = current estimate of n's earliest start: for scheduled
+        // nodes their actual start; for unscheduled, max over scheduled
+        // parents of finish + c (full c: no cluster commitment yet).
+        let mut tlevel = vec![0u64; v];
+        let mut ready = ReadySet::new(g);
+        let mut next_fresh = 0u32; // clusters are allocated in id order
+        let mut scheduled_count = 0usize;
+
+        while scheduled_count < v {
+            let nf = ready
+                .argmax_by_key(|n| tlevel[n.index()] + bl[n.index()])
+                .expect("acyclic graph always has a free node");
+
+            // Highest-priority *partially free* node: unscheduled, not free,
+            // with at least one scheduled parent (its start estimate is
+            // meaningful).
+            let pfp = partially_free_max_scan(g, &s, &ready, &tlevel, bl);
+
+            // Candidate clusters: those of nf's parents, evaluated by the
+            // start time nf would get appended there (edges from parents in
+            // that cluster are zeroed).
+            let mut best: Option<(u64, ProcId)> = None;
+            let mut parent_procs: Vec<ProcId> = g
+                .preds(nf)
+                .iter()
+                .filter_map(|&(q, _)| s.proc_of(q))
+                .collect();
+            parent_procs.sort_unstable();
+            parent_procs.dedup();
+            for &p in &parent_procs {
+                let start = append_start(g, &s, nf, p);
+                if best.is_none_or(|(bs, bp)| start < bs || (start == bs && p < bp)) {
+                    best = Some((start, p));
+                }
+            }
+
+            // Accept the merge only if it strictly reduces nf's t-level and
+            // does not violate the DSRW guard.
+            let mut placed = false;
+            if let Some((start, p)) = best {
+                if start < tlevel[nf.index()] {
+                    let dsrw_ok = match pfp {
+                        Some(pf) if priority(pf, &tlevel, bl) > priority(nf, &tlevel, bl) => {
+                            // Estimate pf's start on that cluster before and
+                            // after the attachment; reject if it would grow.
+                            let before = append_start(g, &s, pf, p);
+                            s.place(nf, p, start, g.weight(nf))
+                                .expect("append start is free");
+                            let after = append_start(g, &s, pf, p);
+                            s.unplace(nf);
+                            after <= before
+                        }
+                        _ => true,
+                    };
+                    if dsrw_ok {
+                        s.place(nf, p, start, g.weight(nf))
+                            .expect("append start is free");
+                        tlevel[nf.index()] = start;
+                        placed = true;
+                    }
+                }
+            }
+            if !placed {
+                // Own (fresh) cluster at the plain t-level.
+                while !s.timeline(ProcId(next_fresh)).is_empty() {
+                    next_fresh += 1;
+                }
+                let p = ProcId(next_fresh);
+                let start = tlevel[nf.index()];
+                s.place(nf, p, start, g.weight(nf))
+                    .expect("fresh cluster is idle");
+            }
+            scheduled_count += 1;
+
+            // Propagate t-level estimates to children.
+            let fin = s.finish_of(nf).expect("just placed");
+            for &(c, cost) in g.succs(nf) {
+                tlevel[c.index()] = tlevel[c.index()].max(fin + cost);
+            }
+            ready.take(g, nf);
+        }
+
+        Ok(Outcome {
+            schedule: s,
+            network: None,
+        })
+    }
+}
+
+/// The O(v + e) whole-graph scan the heap engine replaced: every step,
+/// filter all tasks down to the partially free ones and max over them.
+fn partially_free_max_scan(
+    g: &TaskGraph,
+    s: &Schedule,
+    ready: &ReadySet,
     tlevel: &[u64],
     bl: &[u64],
 ) -> Option<TaskId> {
@@ -626,6 +764,53 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The incremental priority-queue DSC must be **placement-identical**
+    /// to the retained scan version across a multi-thousand-instance RGNOS
+    /// sweep — the same discipline that validated the PR-1 and PR-3
+    /// overhauls. Sizes × CCRs × parallelisms × seeds = 2250 instances,
+    /// plus a paper-scale spot check; any divergence in heap tie-breaking
+    /// or t-level bookkeeping would surface as a placement diff here.
+    #[test]
+    fn incremental_dsc_matches_scan_baseline_across_sweep() {
+        let dsc = registry::by_name("DSC").unwrap();
+        let env = Env::bnp(1); // UNC algorithms ignore the environment
+        let mut instances = 0usize;
+        for &v in &[12usize, 25, 40, 60, 90] {
+            for &ccr in &[0.1f64, 1.0, 10.0] {
+                for &par in &[1u32, 3, 5] {
+                    for seed in 0..50u64 {
+                        let g = rgnos::generate(RgnosParams::new(v, ccr, par, seed));
+                        let a = DscScanBaseline.schedule(&g, &env).unwrap();
+                        let b = dsc.schedule(&g, &env).unwrap();
+                        for n in g.tasks() {
+                            assert_eq!(
+                                a.schedule.placement(n),
+                                b.schedule.placement(n),
+                                "v={v} ccr={ccr} par={par} seed={seed} task {n}"
+                            );
+                        }
+                        instances += 1;
+                    }
+                }
+            }
+        }
+        // Paper-scale spot check on top of the small-instance sweep.
+        for &(v, ccr, seed) in &[(400usize, 1.0f64, 7u64), (400, 0.1, 8)] {
+            let g = rgnos::generate(RgnosParams::new(v, ccr, 3, seed));
+            let a = DscScanBaseline.schedule(&g, &env).unwrap();
+            let b = dsc.schedule(&g, &env).unwrap();
+            for n in g.tasks() {
+                assert_eq!(
+                    a.schedule.placement(n),
+                    b.schedule.placement(n),
+                    "v={v} ccr={ccr} seed={seed} task {n}"
+                );
+            }
+            instances += 1;
+        }
+        assert!(instances > 2000, "sweep must stay multi-thousand-instance");
     }
 
     /// The refactored DSC must match the baseline schedule exactly — same

@@ -1,23 +1,36 @@
 //! Records the workspace perf baseline into `BENCH_RESULTS.json`.
 //!
-//! Four sections, all deterministic given the seed:
+//! Six sections, all deterministic given the seed:
 //!
 //! 1. **dsc_speedup** — the refactored DSC against the retained
 //!    pre-refactor implementation ([`dagsched_bench::baseline`]) on
 //!    1000-node CCR=1.0 RGNOS graphs; asserts byte-identical placements
 //!    and a ≥5× speedup (PR 1's acceptance bar).
-//! 2. **bsa_speedup** — the journal-driven incremental BSA against the
+//! 2. **dsc_incremental_speedup** — the indexed-heap DSC engine against
+//!    the retained scan version
+//!    ([`dagsched_bench::baseline::DscScanBaseline`]: clone-free DSRW but
+//!    O(v + e) partially-free rescans per step) on paper-scale 5000-node
+//!    RGNOS graphs; asserts placement-identical schedules and a ≥2×
+//!    speedup on the headline v=5000 instance (PR 4's acceptance bar).
+//! 3. **bsa_speedup** — the journal-driven incremental BSA against the
 //!    retained replay-per-candidate baseline over the old message layer
 //!    ([`dagsched_bench::baseline::BsaBaseline`]) on the paper-scale APN
 //!    instance (500-node RGNOS on the 8-processor hypercube, §6.4);
 //!    asserts placement- and message-identical schedules and a ≥5×
-//!    speedup on the headline CCR=0.1 instance (this PR's acceptance
-//!    bar), with CCR 1.0 and 10.0 rows recorded alongside.
-//! 3. **algo_runtimes** — seconds per run for every registered algorithm
+//!    speedup on the headline CCR=0.1 instance (PR 3's acceptance bar),
+//!    with CCR 1.0 and 10.0 rows recorded alongside.
+//! 4. **algo_runtimes** — seconds per run for every registered algorithm
 //!    on RGNOS graphs of growing size (APN capped small: message routing
 //!    is still the slowest class per run). Timing is single-threaded.
-//! 4. **runner_scaling** — wall-clock of the same (algorithm × graph)
+//! 5. **runner_scaling** — wall-clock of the same (algorithm × graph)
 //!    sweep through the parallel runner with 1 worker vs all cores.
+//! 6. **paper_sweep_budget** — wall-clock of the full Table-6 replication
+//!    (all fifteen algorithms, serial, honest per-run timings) under an
+//!    asserted ceiling: the quick CI-sized sweep must stay under
+//!    [`QUICK_SWEEP_BUDGET_S`], and with `TASKBENCH_FULL=1` the
+//!    paper-scale sweep (10 sizes × 25 (CCR, parallelism) points) must
+//!    stay under [`FULL_SWEEP_BUDGET_S`] — the regression tripwire that
+//!    keeps the whole replication runnable.
 //!
 //! Output path: `TASKBENCH_BENCH_OUT` or `<workspace>/BENCH_RESULTS.json`.
 //! Additionally, one summary record per run is *appended* to
@@ -26,12 +39,17 @@
 //! overwrite of the full report. Run with `--release`; debug timings are
 //! not comparable.
 
-use dagsched_bench::baseline::{BsaBaseline, DscBaseline};
+use dagsched_bench::baseline::{BsaBaseline, DscBaseline, DscScanBaseline};
 use dagsched_bench::par;
 use dagsched_bench::report::Json;
 use dagsched_core::{registry, AlgoClass, Env, Scheduler};
 use dagsched_suites::rgnos::{self, RgnosParams};
 use std::time::Instant;
+
+/// Wall-clock ceiling for the quick (CI-sized) Table-6 replication sweep.
+const QUICK_SWEEP_BUDGET_S: f64 = 120.0;
+/// Wall-clock ceiling for the `TASKBENCH_FULL=1` paper-scale Table-6 sweep.
+const FULL_SWEEP_BUDGET_S: f64 = 900.0;
 
 /// Best-of-`reps` wall time of `f`, with the makespan it produced.
 fn time_schedule(
@@ -90,6 +108,59 @@ fn dsc_speedup_section() -> Json {
     );
     Json::obj([
         ("headline_speedup_v1000", Json::Num(headline)),
+        ("instances", Json::Arr(rows)),
+    ])
+}
+
+fn dsc_incremental_speedup_section() -> Json {
+    let dsc = registry::by_name("DSC").unwrap();
+    let env = Env::bnp(1); // UNC algorithms ignore the environment
+    let mut rows = Vec::new();
+    let mut headline = 0.0;
+    for &(v, seed) in &[(2000usize, 42u64), (5000, 42), (5000, 43)] {
+        let g = rgnos::generate(RgnosParams::new(v, 1.0, 3, seed));
+        let reps = 3;
+        let (base_s, base_m) = time_schedule(reps, &DscScanBaseline, &g, &env);
+        let (new_s, new_m) = time_schedule(reps, dsc.as_ref(), &g, &env);
+        assert_eq!(
+            base_m, new_m,
+            "incremental DSC changed the makespan on v={v} seed={seed}"
+        );
+        // Placement-identical schedules, not just equal makespans.
+        let a = DscScanBaseline.schedule(&g, &env).unwrap();
+        let b = dsc.schedule(&g, &env).unwrap();
+        for n in g.tasks() {
+            assert_eq!(
+                a.schedule.placement(n),
+                b.schedule.placement(n),
+                "incremental DSC placement diverged on v={v} seed={seed} task {n}"
+            );
+        }
+        let speedup = base_s / new_s;
+        if v == 5000 && seed == 42 {
+            headline = speedup;
+        }
+        println!(
+            "DSC-incremental v={v} seed={seed}: scan {base_s:.4}s vs heap {new_s:.4}s \
+             → {speedup:.1}x (makespan {new_m})"
+        );
+        rows.push(Json::obj([
+            ("nodes", Json::Int(v as i64)),
+            ("ccr", Json::Num(1.0)),
+            ("seed", Json::Int(seed as i64)),
+            ("scan_s", Json::Num(base_s)),
+            ("incremental_s", Json::Num(new_s)),
+            ("speedup", Json::Num(speedup)),
+            ("makespan", Json::Int(new_m as i64)),
+        ]));
+    }
+    assert!(
+        headline >= 2.0,
+        "acceptance bar: heap-engine DSC must be ≥2x faster than the scan \
+         version on the 5000-node RGNOS instance, got {headline:.1}x"
+    );
+    Json::obj([
+        ("headline_speedup_v5000", Json::Num(headline)),
         ("instances", Json::Arr(rows)),
     ])
 }
@@ -239,6 +310,34 @@ fn runner_scaling_section() -> Json {
     ])
 }
 
+fn paper_sweep_budget_section() -> Json {
+    let cfg = dagsched_bench::Config::from_env();
+    let budget = if cfg.full {
+        FULL_SWEEP_BUDGET_S
+    } else {
+        QUICK_SWEEP_BUDGET_S
+    };
+    let t0 = Instant::now();
+    let tables = dagsched_bench::experiments::table6::run(&cfg);
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(tables.len(), 1, "Table 6 renders as one table");
+    println!(
+        "paper sweep (Table 6, full={}): {elapsed:.1}s (budget {budget:.0}s)",
+        cfg.full
+    );
+    assert!(
+        elapsed <= budget,
+        "Table-6 replication blew its wall-clock budget: {elapsed:.1}s > {budget:.0}s \
+         (full={}) — a per-evaluation cost regression somewhere in the roster",
+        cfg.full
+    );
+    Json::obj([
+        ("full", Json::Bool(cfg.full)),
+        ("elapsed_s", Json::Num(elapsed)),
+        ("budget_s", Json::Num(budget)),
+    ])
+}
+
 /// The current git commit (short SHA), or `"unknown"` outside a checkout.
 fn git_sha() -> String {
     std::process::Command::new("git")
@@ -287,15 +386,19 @@ fn field(j: &Json, key: &str) -> Json {
 
 fn main() {
     let dsc = dsc_speedup_section();
+    let dsc_inc = dsc_incremental_speedup_section();
     let bsa = bsa_speedup_section();
     let runner = runner_scaling_section();
+    let sweep = paper_sweep_budget_section();
     let report = Json::obj([
-        ("schema", Json::Int(2)),
+        ("schema", Json::Int(3)),
         ("suite", Json::str("rgnos ccr=1.0 par=3")),
         ("dsc_speedup", dsc.clone()),
+        ("dsc_incremental_speedup", dsc_inc.clone()),
         ("bsa_speedup", bsa.clone()),
         ("algo_runtimes", algo_runtimes_section()),
         ("runner_scaling", runner.clone()),
+        ("paper_sweep_budget", sweep.clone()),
     ]);
     let path = std::env::var("TASKBENCH_BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_RESULTS.json", env!("CARGO_MANIFEST_DIR")));
@@ -305,10 +408,14 @@ fn main() {
     // Append the run's headline numbers to the trend file: one JSONL record
     // per run, keyed by commit and date, never overwritten.
     let record = Json::obj([
-        ("schema", Json::Int(2)),
+        ("schema", Json::Int(3)),
         ("sha", Json::str(git_sha())),
         ("date", Json::str(utc_date())),
         ("dsc_speedup_v1000", field(&dsc, "headline_speedup_v1000")),
+        (
+            "dsc_incremental_speedup_v5000",
+            field(&dsc_inc, "headline_speedup_v5000"),
+        ),
         (
             "bsa_speedup_v500_ccr01",
             field(&bsa, "headline_speedup_v500_ccr01"),
@@ -316,6 +423,8 @@ fn main() {
         ("runner_speedup", field(&runner, "speedup")),
         ("runner_workers", field(&runner, "workers")),
         ("runner_cells", field(&runner, "cells")),
+        ("paper_sweep_full", field(&sweep, "full")),
+        ("paper_sweep_s", field(&sweep, "elapsed_s")),
     ]);
     let history = std::env::var("TASKBENCH_BENCH_HISTORY")
         .unwrap_or_else(|_| format!("{}/../../BENCH_HISTORY.jsonl", env!("CARGO_MANIFEST_DIR")));

@@ -20,7 +20,7 @@
 //!    the overall makespan (strict start-time improvements are preferred;
 //!    equal-start migrations are allowed so later passes can keep bubbling
 //!    the task outward). Every tentative migration is evaluated through
-//!    the incremental [`super::ReplayEngine`]: the trial orders' commit
+//!    the incremental `super::ReplayEngine`: the trial orders' commit
 //!    sequence is diffed against the live journal, only the divergent
 //!    suffix is rolled back (batched) and recommitted, and the resulting
 //!    schedule is byte-identical to a from-scratch replay (locked by
@@ -32,7 +32,7 @@
 //! our acceptance rule is the explicit `(start, makespan)` dominance
 //! check described above (DESIGN.md §2). Three further mechanics keep
 //! decisions identical while skipping provably-doomed work (details on
-//! [`super::Cutoff`]): the dominance bounds are evaluated *inside* the
+//! `super::Cutoff`): the dominance bounds are evaluated *inside* the
 //! replay (probe-ahead start bounds, monotone-tail bounds, and the
 //! remaining-row-work makespan bound cut a trial early), the engine idles
 //! on a rejected trial's half-built state until the next candidate diffs

@@ -16,11 +16,11 @@
 //!
 //! Two hot-path kernels sit on top:
 //!
-//! * [`ApnState::probe_est_all`] — the batched probe: the data-ready time of
+//! * `ApnState::probe_est_all` — the batched probe: the data-ready time of
 //!   a node on *all* processors in one pass over its parents (one placement
 //!   lookup per parent instead of one per (parent, processor) pair). MH and
 //!   DLS-APN's exhaustive processor scans run on it.
-//! * [`ReplayEngine`] — incremental re-execution of [`replay`] with a
+//! * `ReplayEngine` — incremental re-execution of `replay` with a
 //!   trial-commit/rollback journal, the APN analogue of DSC's clone-free
 //!   DSRW guard. BSA evaluates every tentative migration through it. The
 //!   key fact making increments sound: the *order* in which `replay`

@@ -1,0 +1,319 @@
+//! A rekeyable indexed binary max-heap.
+//!
+//! The original DSC achieves its O((v+e)·log v) bound with priority queues
+//! whose entries can be *rekeyed in place* as edge zeroing changes t-levels
+//! — a capability [`std::collections::BinaryHeap`] lacks (its lazy-
+//! invalidation workaround in [`super::ReadyQueue`] only works when keys
+//! are fixed at insertion). [`IndexedHeap`] provides it directly:
+//!
+//! * every element is a small integer **handle** (a task id in practice);
+//! * a position index maps handle → heap slot, so membership and key
+//!   lookup are O(1);
+//! * [`IndexedHeap::increase_key`] / [`IndexedHeap::decrease_key`] /
+//!   [`IndexedHeap::rekey`] restore the heap property with a single sift
+//!   in O(log n);
+//! * [`IndexedHeap::remove`] deletes an arbitrary handle in O(log n).
+//!
+//! Ordering: maximum key wins; ties break toward the **smallest handle**,
+//! matching the selection rule of [`super::ReadySet::argmax_by_key`] and
+//! [`super::ReadyQueue::peek_max`] so algorithms can swap a scan for a heap
+//! without changing which node they pick.
+
+/// Sentinel in the position index: handle not in the heap.
+const ABSENT: u32 = u32::MAX;
+
+/// A binary max-heap over `u32` handles with O(1) handle→slot lookup and
+/// O(log n) rekeying. Handles must be `< capacity` (fixed at construction);
+/// each handle may be present at most once.
+#[derive(Debug, Clone)]
+pub struct IndexedHeap<K: Ord + Copy> {
+    /// `heap[slot]` = handle occupying that slot.
+    heap: Vec<u32>,
+    /// `pos[handle]` = slot of the handle, or [`ABSENT`].
+    pos: Vec<u32>,
+    /// `keys[handle]` = the handle's current key while present.
+    keys: Vec<Option<K>>,
+}
+
+impl<K: Ord + Copy> IndexedHeap<K> {
+    /// An empty heap accepting handles `0..capacity`.
+    pub fn new(capacity: usize) -> IndexedHeap<K> {
+        IndexedHeap {
+            heap: Vec::with_capacity(capacity),
+            pos: vec![ABSENT; capacity],
+            keys: vec![None; capacity],
+        }
+    }
+
+    /// Number of elements currently in the heap.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether `handle` is currently in the heap. O(1).
+    #[inline]
+    pub fn contains(&self, handle: u32) -> bool {
+        self.pos[handle as usize] != ABSENT
+    }
+
+    /// The current key of `handle`, or `None` if absent. O(1).
+    #[inline]
+    pub fn key_of(&self, handle: u32) -> Option<K> {
+        self.keys[handle as usize]
+    }
+
+    /// Insert `handle` with `key`. O(log n). Panics if already present.
+    pub fn insert(&mut self, handle: u32, key: K) {
+        assert!(
+            !self.contains(handle),
+            "insert: handle {handle} already in the heap"
+        );
+        self.keys[handle as usize] = Some(key);
+        let slot = self.heap.len();
+        self.heap.push(handle);
+        self.pos[handle as usize] = slot as u32;
+        self.sift_up(slot);
+    }
+
+    /// The max-key handle (ties: smallest handle) without removing it. O(1).
+    pub fn peek_max(&self) -> Option<u32> {
+        self.heap.first().copied()
+    }
+
+    /// Remove and return the max-key handle. O(log n).
+    pub fn pop_max(&mut self) -> Option<u32> {
+        let top = *self.heap.first()?;
+        self.remove(top);
+        Some(top)
+    }
+
+    /// Remove an arbitrary `handle`. O(log n). Panics if absent.
+    pub fn remove(&mut self, handle: u32) {
+        let slot = self.pos[handle as usize];
+        assert!(slot != ABSENT, "remove: handle {handle} not in the heap");
+        let slot = slot as usize;
+        let last = self.heap.len() - 1;
+        self.heap.swap(slot, last);
+        self.pos[self.heap[slot] as usize] = slot as u32;
+        self.heap.pop();
+        self.pos[handle as usize] = ABSENT;
+        self.keys[handle as usize] = None;
+        if slot < self.heap.len() {
+            // The swapped-in element may need to move either way.
+            let moved = slot;
+            if !self.sift_up(moved) {
+                self.sift_down(moved);
+            }
+        }
+    }
+
+    /// Change `handle`'s key in place, sifting whichever way the change
+    /// requires. O(log n). Panics if absent.
+    pub fn rekey(&mut self, handle: u32, key: K) {
+        let slot = self.pos[handle as usize];
+        assert!(slot != ABSENT, "rekey: handle {handle} not in the heap");
+        self.keys[handle as usize] = Some(key);
+        if !self.sift_up(slot as usize) {
+            self.sift_down(slot as usize);
+        }
+    }
+
+    /// [`IndexedHeap::rekey`] for a key known not to decrease — the DSC
+    /// direction (t-levels only grow as more parents get scheduled).
+    /// O(log n).
+    pub fn increase_key(&mut self, handle: u32, key: K) {
+        debug_assert!(
+            self.key_of(handle).is_some_and(|old| key >= old),
+            "increase_key: key must not decrease"
+        );
+        self.keys[handle as usize] = Some(key);
+        self.sift_up(self.pos[handle as usize] as usize);
+    }
+
+    /// [`IndexedHeap::rekey`] for a key known not to increase. The current
+    /// DSC engine only grows keys, but clustering variants that re-estimate
+    /// starts downward after a merge need this direction too. O(log n).
+    pub fn decrease_key(&mut self, handle: u32, key: K) {
+        debug_assert!(
+            self.key_of(handle).is_some_and(|old| key <= old),
+            "decrease_key: key must not increase"
+        );
+        self.keys[handle as usize] = Some(key);
+        self.sift_down(self.pos[handle as usize] as usize);
+    }
+
+    /// `a` outranks `b`: larger key, ties toward the smaller handle.
+    #[inline]
+    fn outranks(&self, a: u32, b: u32) -> bool {
+        let (ka, kb) = (self.keys[a as usize], self.keys[b as usize]);
+        debug_assert!(ka.is_some() && kb.is_some());
+        match ka.cmp(&kb) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => a < b,
+        }
+    }
+
+    /// Sift the element at `slot` toward the root; returns whether it
+    /// moved.
+    fn sift_up(&mut self, mut slot: usize) -> bool {
+        let mut moved = false;
+        while slot > 0 {
+            let parent = (slot - 1) / 2;
+            if !self.outranks(self.heap[slot], self.heap[parent]) {
+                break;
+            }
+            self.heap.swap(slot, parent);
+            self.pos[self.heap[slot] as usize] = slot as u32;
+            self.pos[self.heap[parent] as usize] = parent as u32;
+            slot = parent;
+            moved = true;
+        }
+        moved
+    }
+
+    /// Sift the element at `slot` toward the leaves.
+    fn sift_down(&mut self, mut slot: usize) {
+        loop {
+            let (l, r) = (2 * slot + 1, 2 * slot + 2);
+            let mut best = slot;
+            if l < self.heap.len() && self.outranks(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.outranks(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == slot {
+                break;
+            }
+            self.heap.swap(slot, best);
+            self.pos[self.heap[slot] as usize] = slot as u32;
+            self.pos[self.heap[best] as usize] = best as u32;
+            slot = best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drain the heap by `pop_max`, returning the handle order.
+    fn drain<K: Ord + Copy>(h: &mut IndexedHeap<K>) -> Vec<u32> {
+        let mut out = Vec::new();
+        while let Some(x) = h.pop_max() {
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_key_order_with_small_handle_ties() {
+        let mut h = IndexedHeap::new(6);
+        for (handle, key) in [(0u32, 5u64), (1, 9), (2, 5), (3, 1), (4, 9)] {
+            h.insert(handle, key);
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.peek_max(), Some(1), "9 ties break toward handle 1");
+        assert_eq!(drain(&mut h), vec![1, 4, 0, 2, 3]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn key_lookup_and_membership_are_consistent() {
+        let mut h = IndexedHeap::new(4);
+        h.insert(2, 7u64);
+        assert!(h.contains(2) && !h.contains(0));
+        assert_eq!(h.key_of(2), Some(7));
+        assert_eq!(h.key_of(0), None);
+        h.remove(2);
+        assert!(!h.contains(2));
+        assert_eq!(h.key_of(2), None);
+    }
+
+    #[test]
+    fn increase_key_promotes_to_the_top() {
+        let mut h = IndexedHeap::new(5);
+        for (handle, key) in [(0u32, 10u64), (1, 8), (2, 6), (3, 4)] {
+            h.insert(handle, key);
+        }
+        // Handle 3's t-level grows as parents get scheduled.
+        h.increase_key(3, 9);
+        assert_eq!(h.peek_max(), Some(0));
+        h.increase_key(3, 11);
+        assert_eq!(h.peek_max(), Some(3));
+        assert_eq!(drain(&mut h), vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn decrease_key_under_a_cluster_merge() {
+        // DSC-flavoured scenario: three pending nodes keyed by estimated
+        // start + b-level. A cluster merge zeroes the dominant incoming
+        // edge of node 1, lowering its estimated start from 20 to 5 — the
+        // rekey must demote it below both others in one O(log n) step.
+        let mut h = IndexedHeap::new(3);
+        h.insert(0, 12u64);
+        h.insert(1, 20);
+        h.insert(2, 9);
+        assert_eq!(h.peek_max(), Some(1));
+        h.decrease_key(1, 5);
+        assert_eq!(h.peek_max(), Some(0));
+        assert_eq!(drain(&mut h), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn rekey_moves_either_direction() {
+        let mut h = IndexedHeap::new(4);
+        for (handle, key) in [(0u32, 4u64), (1, 3), (2, 2), (3, 1)] {
+            h.insert(handle, key);
+        }
+        h.rekey(3, 10); // up
+        assert_eq!(h.peek_max(), Some(3));
+        h.rekey(3, 0); // down
+        assert_eq!(h.peek_max(), Some(0));
+        h.rekey(0, 4); // no-op rekey keeps the heap valid
+        assert_eq!(drain(&mut h), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn remove_from_the_middle_keeps_order() {
+        let mut h = IndexedHeap::new(8);
+        for handle in 0..8u32 {
+            h.insert(handle, (handle as u64 * 13) % 7);
+        }
+        h.remove(5);
+        h.remove(0);
+        let order = drain(&mut h);
+        assert_eq!(order.len(), 6);
+        assert!(!order.contains(&5) && !order.contains(&0));
+        // Keys (h*13)%7: 1→6, 2→5, 3→4, 4→3, 6→1, 7→0.
+        assert_eq!(order, vec![1, 2, 3, 4, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the heap")]
+    fn double_insert_panics() {
+        let mut h = IndexedHeap::new(2);
+        h.insert(0, 1u64);
+        h.insert(0, 2u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the heap")]
+    fn remove_absent_panics() {
+        let mut h: IndexedHeap<u64> = IndexedHeap::new(2);
+        h.remove(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the heap")]
+    fn rekey_absent_panics() {
+        let mut h: IndexedHeap<u64> = IndexedHeap::new(2);
+        h.rekey(0, 3);
+    }
+}

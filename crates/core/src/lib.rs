@@ -30,7 +30,7 @@
 //! | MCP | O(v log v) static sort, O(p·len) slot search | — , binary-search start in `Track::earliest_fit` | slot search skips slots ending before the DRT |
 //! | ETF / DLS | O(r·p) pair scan | — | the (node, processor) min pair is recomputed by definition |
 //! | LAST | O(r·e_local) | — | dynamic edge-locality priority |
-//! | DSC | O(v·r) partially-free scan + O(v) `Schedule` clone in DSRW | O(v) scan, clone-free | O(1) `ReadySet::contains` bitvec; place/estimate/unplace on the live schedule |
+//! | DSC | O(v·r) partially-free scan + O(v) `Schedule` clone in DSRW; then (PR 1) clone-free but still an O(v + e) rescan per step | O(log v) free-node pop + O(1) partially-free peek; each edge relaxation is one O(log v) rekey — whole pass O((v+e)·log v), the original's bound | two rekeyable [`common::IndexedHeap`]s (free + partially free), incremental t-levels under merges; clone-free DSRW retained; both scan stages kept verbatim in `bench::baseline` and gated ≥2× at v=5000 (measured ~24×) |
 //! | EZ | O(e) edge rescan | — | |
 //! | LC / MD / DCP | O(v + e) level recompute | — (input levels now cached per graph) | static level passes shared via `TaskGraph::levels` |
 //! | MH / DLS-APN | O(r·p·route) with a route `Vec` + `link_between` per hop per probe | — shape, but probes walk precomputed route slices and batch over processors | `Topology` CSR route tables; [`apn`]'s `probe_est_all` kernel |
@@ -42,7 +42,11 @@
 //! per-node heap allocations), and the five level attributes are computed
 //! in two topological passes and cached on the graph, so `cp_length` /
 //! `alap_times` / per-algorithm priority setup no longer re-run b-level
-//! passes.
+//! passes. Priority selection has three tiers in [`common`]: `ReadySet`
+//! (O(1) membership, for algorithms that rescan by definition),
+//! `ReadyQueue` (lazy max-heap for static priorities), and `IndexedHeap`
+//! (rekeyable, for dynamic priorities that change while a node waits —
+//! DSC's engine).
 //!
 //! ## Using an algorithm
 //!

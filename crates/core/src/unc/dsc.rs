@@ -14,24 +14,42 @@
 //! current node to a cluster would delay the estimated start of that node,
 //! the merge is rejected and the current node opens its own cluster.
 //!
-//! Simplification vs. the original (recorded in DESIGN.md): the original
-//! achieves O((v+e)·log v) with incremental priority queues; we recompute
-//! t-levels incrementally but scan candidates linearly, and the DSRW is
+//! ## The incremental priority-queue engine
+//!
+//! This implementation hits the original's **O((v+e)·log v)** bound with
+//! two rekeyable [`IndexedHeap`]s, replacing the per-step scans of the
+//! previous revision (retained verbatim as `bench::baseline`'s
+//! `DscScanBaseline`):
+//!
+//! * **free heap** — free nodes keyed by `t-level + b-level`. A node's
+//!   t-level is final by the time its last parent is scheduled, so entries
+//!   are inserted once with their final key and never rekeyed: selection
+//!   is a plain `pop_max`.
+//! * **partial heap** — *partially free* nodes (unscheduled, ≥1 scheduled
+//!   parent, not yet free) under the same key. T-levels of waiting nodes
+//!   only grow as more parents get placed, so each edge relaxation is an
+//!   [`IndexedHeap::increase_key`]; when the last parent is placed the node
+//!   moves from the partial heap to the free heap. The DSRW guard's
+//!   protected node is then an O(1) `peek_max` instead of an O(v + e)
+//!   whole-graph rescan per step.
+//!
+//! Every task enters and leaves each heap at most once (O(v·log v)) and
+//! every edge triggers at most one rekey (O(e·log v)); the DSRW estimate
+//! stays O(e_local) via clone-free place/estimate/unplace on the live
+//! schedule. Selection order is bit-for-bit the order of the scan version:
+//! both heaps break key ties toward the smallest task id, exactly like
+//! `ReadySet::argmax_by_key` and the old `max_by_key` scan, which the
+//! multi-thousand-instance equivalence sweep in `bench::baseline` locks in.
+//!
+//! Simplification vs. the original (recorded in DESIGN.md): the DSRW is
 //! enforced via an explicit re-estimation of the protected node's start
 //! time rather than the original's reservation bookkeeping. Schedule
 //! quality characteristics (dynamic CP focus, edge zeroing) are preserved.
-//!
-//! Hot-path notes: the DSRW guard evaluates the protected node's start
-//! *after* a tentative merge by placing the candidate on the live schedule,
-//! estimating, and unplacing — the previous implementation cloned the whole
-//! `Schedule` per guard check (O(v) copy × O(v) steps). Combined with the
-//! O(1) `ReadySet::contains` inside the partially-free scan this takes the
-//! per-step cost from O(v·|ready|) to O(v + e_local).
 
 use dagsched_graph::{TaskGraph, TaskId};
 use dagsched_platform::{ProcId, Schedule};
 
-use crate::common::ReadySet;
+use crate::common::IndexedHeap;
 use crate::{AlgoClass, Env, Outcome, SchedError, Scheduler};
 
 /// The DSC scheduler.
@@ -55,19 +73,23 @@ impl Scheduler for Dsc {
         // nodes their actual start; for unscheduled, max over scheduled
         // parents of finish + c (full c: no cluster commitment yet).
         let mut tlevel = vec![0u64; v];
-        let mut ready = ReadySet::new(g);
+        let mut missing: Vec<u32> = g.tasks().map(|n| g.in_degree(n) as u32).collect();
+        // Free nodes by final priority; entry nodes start free at t-level 0.
+        let mut free: IndexedHeap<u64> = IndexedHeap::new(v);
+        for n in g.entries() {
+            free.insert(n.0, bl[n.index()]);
+        }
+        // Partially free nodes by current priority, rekeyed as t-levels grow.
+        let mut partial: IndexedHeap<u64> = IndexedHeap::new(v);
         let mut next_fresh = 0u32; // clusters are allocated in id order
-        let mut scheduled_count = 0usize;
 
-        while scheduled_count < v {
-            let nf = ready
-                .argmax_by_key(|n| tlevel[n.index()] + bl[n.index()])
-                .expect("acyclic graph always has a free node");
+        while let Some(h) = free.pop_max() {
+            let nf = TaskId(h);
 
             // Highest-priority *partially free* node: unscheduled, not free,
             // with at least one scheduled parent (its start estimate is
-            // meaningful).
-            let pfp = partially_free_max(g, &s, &ready, &tlevel, bl);
+            // meaningful). O(1) on the incrementally maintained heap.
+            let pfp = partial.peek_max().map(TaskId);
 
             // Candidate clusters: those of nf's parents, evaluated by the
             // start time nf would get appended there (edges from parents in
@@ -127,14 +149,33 @@ impl Scheduler for Dsc {
                 s.place(nf, p, start, g.weight(nf))
                     .expect("fresh cluster is idle");
             }
-            scheduled_count += 1;
 
-            // Propagate t-level estimates to children.
+            // Relax each out-edge once: grow the child's t-level estimate
+            // (rekeying it if it is waiting in the partial heap) and move it
+            // between heaps as its last scheduled parent arrives.
             let fin = s.finish_of(nf).expect("just placed");
             for &(c, cost) in g.succs(nf) {
-                tlevel[c.index()] = tlevel[c.index()].max(fin + cost);
+                let ci = c.index();
+                if fin + cost > tlevel[ci] {
+                    tlevel[ci] = fin + cost;
+                    if partial.contains(c.0) {
+                        partial.increase_key(c.0, tlevel[ci] + bl[ci]);
+                    }
+                }
+                missing[ci] -= 1;
+                if missing[ci] == 0 {
+                    // Last parent scheduled: the node's t-level is final —
+                    // it graduates from partially free to free.
+                    if partial.contains(c.0) {
+                        partial.remove(c.0);
+                    }
+                    free.insert(c.0, tlevel[ci] + bl[ci]);
+                } else if !partial.contains(c.0) {
+                    // First scheduled parent: the node becomes partially
+                    // free (its start estimate is now meaningful).
+                    partial.insert(c.0, tlevel[ci] + bl[ci]);
+                }
             }
-            ready.take(g, nf);
         }
 
         Ok(Outcome {
@@ -160,22 +201,6 @@ fn append_start(g: &TaskGraph, s: &Schedule, n: TaskId, p: ProcId) -> u64 {
         }
     }
     s.timeline(p).earliest_append(drt)
-}
-
-/// The highest-priority unscheduled node that is *not* free but has at
-/// least one scheduled parent.
-fn partially_free_max(
-    g: &TaskGraph,
-    s: &Schedule,
-    ready: &ReadySet,
-    tlevel: &[u64],
-    bl: &[u64],
-) -> Option<TaskId> {
-    g.tasks()
-        .filter(|&n| s.placement(n).is_none())
-        .filter(|&n| !ready.contains(n))
-        .filter(|&n| g.preds(n).iter().any(|&(q, _)| s.placement(q).is_some()))
-        .max_by_key(|&n| (priority(n, tlevel, bl), std::cmp::Reverse(n.0)))
 }
 
 /// Estimated start of a partially free node on cluster `p`: only its
@@ -272,5 +297,29 @@ mod tests {
             out.schedule.procs_used()
         );
         assert!(out.schedule.makespan() <= 1 + 1 + 10);
+    }
+
+    #[test]
+    fn partial_heap_tracks_the_dsrw_candidate_exactly() {
+        // A join whose head becomes partially free the moment its first
+        // parent is placed, then free once the second lands: the DSRW
+        // candidate the heap engine reports must match a hand computation.
+        // a(1) →(5) j(2) ←(5) b(8); plus a →(1) k(1) so the DSRW guard has
+        // a lower-priority node to evaluate while j is still waiting on b.
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(1);
+        let b = gb.add_task(8);
+        let j = gb.add_task(2);
+        let k = gb.add_task(1);
+        gb.add_edge(a, j, 5).unwrap();
+        gb.add_edge(b, j, 5).unwrap();
+        gb.add_edge(a, k, 1).unwrap();
+        let g = gb.build().unwrap();
+        let out = testutil::run(&Dsc, &g);
+        out.validate(&g).unwrap();
+        // j's dominant parent is b (arrival 8+5=13 vs 1+5=6): zeroing b's
+        // edge starts j at max(8, 6) = 8 on b's cluster.
+        assert_eq!(out.schedule.proc_of(j), out.schedule.proc_of(b));
+        assert_eq!(out.schedule.start_of(j), Some(8));
     }
 }

@@ -1,0 +1,138 @@
+//! Property tests for [`dagsched_core::common::IndexedHeap`]: arbitrary
+//! interleavings of insert / rekey / remove / pop are checked against a
+//! naive O(n) rescan oracle (a plain `Vec` of `(handle, key)` pairs). The
+//! heap backs DSC's free and partially-free selection, where every edge of
+//! the graph triggers a rekey — the oracle must agree on the maximum (and
+//! its tie-breaking) after **every** operation, not just at drain time.
+
+use dagsched_core::common::IndexedHeap;
+use proptest::prelude::*;
+
+/// The oracle: unordered pairs, O(n) max scan with the heap's tie rule
+/// (largest key, then smallest handle).
+#[derive(Default)]
+struct Naive {
+    items: Vec<(u32, u64)>,
+}
+
+impl Naive {
+    fn contains(&self, h: u32) -> bool {
+        self.items.iter().any(|&(x, _)| x == h)
+    }
+
+    fn key_of(&self, h: u32) -> Option<u64> {
+        self.items.iter().find(|&&(x, _)| x == h).map(|&(_, k)| k)
+    }
+
+    fn insert(&mut self, h: u32, k: u64) {
+        self.items.push((h, k));
+    }
+
+    fn remove(&mut self, h: u32) {
+        self.items.retain(|&(x, _)| x != h);
+    }
+
+    fn rekey(&mut self, h: u32, k: u64) {
+        for it in &mut self.items {
+            if it.0 == h {
+                it.1 = k;
+            }
+        }
+    }
+
+    fn peek_max(&self) -> Option<u32> {
+        self.items
+            .iter()
+            .copied()
+            .max_by(|&(ha, ka), &(hb, kb)| ka.cmp(&kb).then(hb.cmp(&ha)))
+            .map(|(h, _)| h)
+    }
+}
+
+/// One scripted operation over handle space `0..n`, encoded as
+/// `(kind % 4, handle, key)`: 0 = insert, 1 = rekey, 2 = remove, 3 = pop.
+/// Keys are drawn from a small range so ties abound.
+type Op = (u8, u32, u64);
+
+fn arb_ops(n: u32) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..4, 0..n, 0u64..8), 1..=120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // After every operation the heap's peek_max, membership, key lookup
+    // and size must agree with the naive rescan oracle.
+    #[test]
+    fn matches_naive_oracle_under_arbitrary_op_sequences(ops in arb_ops(24)) {
+        let mut heap = IndexedHeap::new(24);
+        let mut naive = Naive::default();
+        for (kind, h, k) in ops {
+            match kind {
+                0 => {
+                    // Scripts may name occupied handles; skip those (the
+                    // heap's contract is to panic there, tested separately).
+                    if !naive.contains(h) {
+                        heap.insert(h, k);
+                        naive.insert(h, k);
+                    }
+                }
+                1 => {
+                    if naive.contains(h) {
+                        heap.rekey(h, k);
+                        naive.rekey(h, k);
+                    }
+                }
+                2 => {
+                    if naive.contains(h) {
+                        heap.remove(h);
+                        naive.remove(h);
+                    }
+                }
+                _ => {
+                    let expected = naive.peek_max();
+                    prop_assert_eq!(heap.pop_max(), expected);
+                    if let Some(h) = expected {
+                        naive.remove(h);
+                    }
+                }
+            }
+            prop_assert_eq!(heap.peek_max(), naive.peek_max());
+            prop_assert_eq!(heap.len(), naive.items.len());
+            for h in 0..24u32 {
+                prop_assert_eq!(heap.contains(h), naive.contains(h));
+                prop_assert_eq!(heap.key_of(h), naive.key_of(h));
+            }
+        }
+    }
+
+    // Monotone rekey sequences — the DSC pattern: keys only grow while a
+    // node waits (increase_key), and a drain interleaved with growth still
+    // pops a maximum consistent with the oracle every time.
+    #[test]
+    fn increase_key_drain_matches_oracle(
+        keys in proptest::collection::vec(0u64..16, 1..=20),
+        bumps in proptest::collection::vec((0usize..20, 1u64..8), 0..=40),
+    ) {
+        let n = keys.len();
+        let mut heap = IndexedHeap::new(n);
+        let mut naive = Naive::default();
+        for (h, &k) in keys.iter().enumerate() {
+            heap.insert(h as u32, k);
+            naive.insert(h as u32, k);
+        }
+        for &(h, delta) in &bumps {
+            let h = (h % n) as u32;
+            if let Some(old) = naive.key_of(h) {
+                heap.increase_key(h, old + delta);
+                naive.rekey(h, old + delta);
+                prop_assert_eq!(heap.peek_max(), naive.peek_max());
+            }
+        }
+        while let Some(expected) = naive.peek_max() {
+            prop_assert_eq!(heap.pop_max(), Some(expected));
+            naive.remove(expected);
+        }
+        prop_assert!(heap.is_empty());
+    }
+}
