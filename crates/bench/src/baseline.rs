@@ -19,6 +19,17 @@
 //! schedules; `perf_baseline`'s `dsc_incremental_speedup` section gates
 //! the speedup at paper scale.
 //!
+//! [`DynScanBaseline`] is the dynamic-levels computation as MD and DCP
+//! consumed it before the incremental engine: a full rebuild of the
+//! scheduled-graph view — combined adjacency vectors, Kahn order, forward
+//! and backward passes — after **every** placement. [`MdScan`] and
+//! [`DcpScan`] are MD and DCP over that rescan, decision-identical to the
+//! engine-driven `dagsched_core::unc::{Md, Dcp}` (including the repaired
+//! look-ahead probe, which changed decisions and is pinned by its own
+//! regression test + the golden table); `perf_baseline` gates
+//! `md_incremental_speedup` / `dcp_incremental_speedup` and the sweep
+//! below proves placement identity.
+//!
 //! [`BsaBaseline`] is BSA as it stood before the APN message-layer
 //! overhaul, over a verbatim retention of the old message layer
 //! (`OldNetwork`/`OldTrack`): per-call route vectors with a
@@ -33,7 +44,7 @@
 //! placement- *and* message-identical schedules; `perf_baseline` gates
 //! the speedup.
 
-use dagsched_core::common::ReadySet;
+use dagsched_core::common::{drt, ReadySet};
 use dagsched_core::{AlgoClass, Env, Outcome, SchedError, Scheduler};
 use dagsched_graph::{levels, TaskGraph, TaskId};
 use dagsched_platform::{Message, MessageHop, Network, ProcId, Schedule, Topology};
@@ -347,6 +358,270 @@ fn partially_free_max_scan(
         .filter(|&n| !ready.contains(n))
         .filter(|&n| g.preds(n).iter().any(|&(q, _)| s.placement(q).is_some()))
         .max_by_key(|&n| (priority(n, tlevel, bl), std::cmp::Reverse(n.0)))
+}
+
+/// The dynamic-levels rescan as MD and DCP consumed it before the
+/// incremental engine, retained verbatim (modulo the acyclicity hard
+/// error and recorded-finish reads, correctness fixes that must hold on
+/// both sides of the equivalence sweep): every placement pays a full
+/// O(v + e) rebuild of the scheduled-graph view.
+///
+/// This is a deliberate frozen copy even though
+/// `dagsched_core::common::DynLevels::compute` still exists upstream: the
+/// original now serves only as the property-test oracle and is free to be
+/// optimized, while this retention must keep the *old cost profile* so
+/// the `md_incremental_speedup` / `dcp_incremental_speedup` gates compare
+/// against the real former code (the same discipline as
+/// [`DscScanBaseline`]). Semantic fixes to the scheduled-graph view must
+/// be mirrored here or the placement-identity sweep below will flag the
+/// divergence. The incremental `dagsched_core::common::DynLevelsEngine`
+/// must stay value-identical; [`MdScan`] / [`DcpScan`] drive
+/// whole-schedule comparisons.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DynScanBaseline;
+
+impl DynScanBaseline {
+    /// Compute levels for graph `g` under partial schedule `s`, from
+    /// scratch.
+    pub fn compute(g: &TaskGraph, s: &Schedule) -> dagsched_core::common::DynLevels {
+        let v = g.num_tasks();
+        // Combined adjacency = original edges (possibly zeroed) + sequence
+        // edges. Build successor lists once per call.
+        let mut succs: Vec<Vec<(TaskId, u64)>> = vec![Vec::new(); v];
+        let mut indeg: Vec<u32> = vec![0; v];
+        for e in g.edges() {
+            let cost = match (s.placement(e.src), s.placement(e.dst)) {
+                (Some(a), Some(b)) if a.proc == b.proc => 0,
+                _ => e.cost,
+            };
+            succs[e.src.index()].push((e.dst, cost));
+            indeg[e.dst.index()] += 1;
+        }
+        for pi in 0..s.num_procs() as u32 {
+            let slots = s.timeline(ProcId(pi)).slots();
+            for w in slots.windows(2) {
+                succs[w[0].tag.index()].push((w[1].tag, 0));
+                indeg[w[1].tag.index()] += 1;
+            }
+        }
+
+        // Kahn order over the combined DAG.
+        let mut queue: std::collections::VecDeque<TaskId> = (0..v as u32)
+            .map(TaskId)
+            .filter(|n| indeg[n.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(v);
+        {
+            let mut indeg = indeg.clone();
+            while let Some(n) = queue.pop_front() {
+                order.push(n);
+                for &(m, _) in &succs[n.index()] {
+                    indeg[m.index()] -= 1;
+                    if indeg[m.index()] == 0 {
+                        queue.push_back(m);
+                    }
+                }
+            }
+        }
+        assert_eq!(order.len(), v, "combined scheduled graph must stay acyclic");
+
+        // Forward pass: t-levels (placed tasks pinned at their start,
+        // propagating their recorded finish).
+        let mut tl = vec![0u64; v];
+        for &n in &order {
+            let finish = match s.placement(n) {
+                Some(p) => {
+                    tl[n.index()] = p.start;
+                    p.finish
+                }
+                None => tl[n.index()] + g.weight(n),
+            };
+            for &(m, c) in &succs[n.index()] {
+                if s.placement(m).is_none() {
+                    let cand = finish + c;
+                    if cand > tl[m.index()] {
+                        tl[m.index()] = cand;
+                    }
+                }
+            }
+        }
+
+        // Backward pass: b-levels.
+        let mut bl = vec![0u64; v];
+        for &n in order.iter().rev() {
+            let mut best = 0u64;
+            for &(m, c) in &succs[n.index()] {
+                best = best.max(c + bl[m.index()]);
+            }
+            bl[n.index()] = g.weight(n) + best;
+        }
+
+        let cp = (0..v).map(|i| tl[i] + bl[i]).max().unwrap_or(0);
+        dagsched_core::common::DynLevels { tl, bl, cp }
+    }
+}
+
+/// DCP's candidate processor set, as shared by the scan-era schedulers:
+/// processors holding a parent or child of `n`, plus the first idle one.
+fn neighbourhood_procs_scan(g: &TaskGraph, s: &Schedule, n: TaskId) -> Vec<ProcId> {
+    let mut out: Vec<ProcId> = Vec::new();
+    for &(q, _) in g.preds(n).iter().chain(g.succs(n).iter()) {
+        if let Some(p) = s.proc_of(q) {
+            out.push(p);
+        }
+    }
+    for pi in 0..s.num_procs() as u32 {
+        if s.timeline(ProcId(pi)).is_empty() {
+            out.push(ProcId(pi));
+            break;
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// MD over the per-placement [`DynScanBaseline`] rescan — the pre-engine
+/// implementation, decision-identical to `dagsched_core::unc::Md`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MdScan;
+
+impl Scheduler for MdScan {
+    fn name(&self) -> &'static str {
+        "MD-scan-baseline"
+    }
+
+    fn class(&self) -> AlgoClass {
+        AlgoClass::Unc
+    }
+
+    fn schedule(&self, g: &TaskGraph, _env: &Env) -> Result<Outcome, SchedError> {
+        let v = g.num_tasks();
+        let mut s = Schedule::new(v, v);
+        let mut ready = ReadySet::new(g);
+        let mut used = 0u32; // processors 0..used have been opened
+
+        while !ready.is_empty() {
+            let d = DynScanBaseline::compute(g, &s);
+            // Minimum relative mobility; exact comparison via
+            // cross-multiplication: M(a) < M(b) ⇔ slack_a·w_b < slack_b·w_a.
+            let n = ready
+                .iter()
+                .min_by(|&a, &b| {
+                    let (sa, sb) = (d.mobility(a) as u128, d.mobility(b) as u128);
+                    let (wa, wb) = (g.weight(a) as u128, g.weight(b) as u128);
+                    (sa * wb)
+                        .cmp(&(sb * wa))
+                        .then(d.aest(a).cmp(&d.aest(b)))
+                        .then(a.0.cmp(&b.0))
+                })
+                .expect("ready set non-empty");
+
+            let alst = d.alst(n);
+            let w = g.weight(n);
+            // First used processor with an insertion slot that keeps the CP.
+            let mut placed_at: Option<(ProcId, u64)> = None;
+            for pi in 0..used {
+                let p = ProcId(pi);
+                let start = s.timeline(p).earliest_fit(drt(g, &s, n, p), w);
+                if start <= alst {
+                    placed_at = Some((p, start));
+                    break;
+                }
+            }
+            let (p, start) = placed_at.unwrap_or_else(|| {
+                // Fresh processor: starts exactly at the t-level.
+                let p = ProcId(used);
+                (p, d.aest(n))
+            });
+            if p.0 == used {
+                used += 1;
+            }
+            s.place(n, p, start, w).expect("chosen slot is free");
+            ready.take(g, n);
+        }
+
+        Ok(Outcome {
+            schedule: s,
+            network: None,
+        })
+    }
+}
+
+/// DCP over the per-placement [`DynScanBaseline`] rescan — the pre-engine
+/// implementation, decision-identical to `dagsched_core::unc::Dcp` with
+/// the look-ahead enabled (including the repaired insertion-policy child
+/// probe, so the only difference is how levels are obtained).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DcpScan;
+
+impl Scheduler for DcpScan {
+    fn name(&self) -> &'static str {
+        "DCP-scan-baseline"
+    }
+
+    fn class(&self) -> AlgoClass {
+        AlgoClass::Unc
+    }
+
+    fn schedule(&self, g: &TaskGraph, _env: &Env) -> Result<Outcome, SchedError> {
+        let v = g.num_tasks();
+        let mut s = Schedule::new(v, v);
+        let mut ready = ReadySet::new(g);
+
+        while !ready.is_empty() {
+            let d = DynScanBaseline::compute(g, &s);
+            // Smallest mobility (ALST − AEST), then smallest AEST, then id.
+            let n = ready
+                .iter()
+                .min_by_key(|&n| (d.mobility(n), d.aest(n), n.0))
+                .expect("ready set non-empty");
+            let w = g.weight(n);
+
+            // Critical child: unscheduled child with the smallest ALST.
+            let crit_child: Option<TaskId> = g
+                .succs(n)
+                .iter()
+                .map(|&(c, _)| c)
+                .filter(|&c| s.placement(c).is_none())
+                .min_by_key(|&c| (d.alst(c), c.0));
+
+            let mut best: Option<(u64, u64, ProcId)> = None; // (score, start, proc)
+            for p in neighbourhood_procs_scan(g, &s, n) {
+                let start = s.timeline(p).earliest_fit(drt(g, &s, n, p), w);
+                let score = match crit_child {
+                    Some(cc) => {
+                        let mut child_drt = start + w; // n → cc zeroed on p
+                        for &(q, c) in g.preds(cc) {
+                            if q == n {
+                                continue;
+                            }
+                            if let Some(pl) = s.placement(q) {
+                                let cost = if pl.proc == p { 0 } else { c };
+                                child_drt = child_drt.max(pl.finish + cost);
+                            }
+                        }
+                        s.place(n, p, start, w).expect("probed slot is free");
+                        let child_est = s.timeline(p).earliest_fit(child_drt, g.weight(cc));
+                        s.unplace(n);
+                        start + child_est
+                    }
+                    None => start,
+                };
+                if best.is_none_or(|(bs, bst, bp)| (score, start, p.0) < (bs, bst, bp.0)) {
+                    best = Some((score, start, p));
+                }
+            }
+            let (_, start, p) = best.expect("neighbourhood always has a fresh candidate");
+            s.place(n, p, start, w).expect("insertion slot is free");
+            ready.take(g, n);
+        }
+
+        Ok(Outcome {
+            schedule: s,
+            network: None,
+        })
+    }
 }
 
 /// The link-occupancy track as it stood before the overhaul: insert
@@ -811,6 +1086,86 @@ mod tests {
             instances += 1;
         }
         assert!(instances > 2000, "sweep must stay multi-thousand-instance");
+    }
+
+    /// Shared driver for the MD/DCP placement-identity sweeps: the
+    /// engine-driven scheduler must match its retained rescan baseline on
+    /// every placement across a multi-thousand-instance RGNOS sweep
+    /// (sizes × CCRs × parallelisms × seeds + paper-scale spot checks) —
+    /// the discipline that validated the PR-1/PR-3/PR-4 overhauls. Any
+    /// divergence in the incremental level repair (a missed dirty node, a
+    /// wrong sequence-edge rewire) surfaces as a placement diff here.
+    fn dyn_levels_sweep(new: &dyn Scheduler, old: &dyn Scheduler) {
+        let env = Env::bnp(1); // UNC algorithms ignore the environment
+        let mut instances = 0usize;
+        for &v in &[12usize, 25, 40, 60, 90] {
+            for &ccr in &[0.1f64, 1.0, 10.0] {
+                for &par in &[1u32, 3, 5] {
+                    for seed in 0..45u64 {
+                        let g = rgnos::generate(RgnosParams::new(v, ccr, par, seed));
+                        let a = old.schedule(&g, &env).unwrap();
+                        let b = new.schedule(&g, &env).unwrap();
+                        for n in g.tasks() {
+                            assert_eq!(
+                                a.schedule.placement(n),
+                                b.schedule.placement(n),
+                                "{}: v={v} ccr={ccr} par={par} seed={seed} task {n}",
+                                new.name(),
+                            );
+                        }
+                        instances += 1;
+                    }
+                }
+            }
+        }
+        // Paper-scale spot checks on top of the small-instance sweep.
+        for &(v, ccr, seed) in &[(300usize, 1.0f64, 7u64), (300, 0.1, 8)] {
+            let g = rgnos::generate(RgnosParams::new(v, ccr, 3, seed));
+            let a = old.schedule(&g, &env).unwrap();
+            let b = new.schedule(&g, &env).unwrap();
+            for n in g.tasks() {
+                assert_eq!(
+                    a.schedule.placement(n),
+                    b.schedule.placement(n),
+                    "{}: v={v} ccr={ccr} seed={seed} task {n}",
+                    new.name(),
+                );
+            }
+            instances += 1;
+        }
+        assert!(instances > 2000, "sweep must stay multi-thousand-instance");
+    }
+
+    /// The engine-driven MD must be **placement-identical** to the
+    /// retained per-placement-rescan version across the RGNOS sweep.
+    #[test]
+    fn incremental_md_matches_scan_baseline_across_sweep() {
+        let md = registry::by_name("MD").unwrap();
+        dyn_levels_sweep(md.as_ref(), &MdScan);
+    }
+
+    /// The engine-driven DCP must be **placement-identical** to the
+    /// retained per-placement-rescan version across the RGNOS sweep.
+    #[test]
+    fn incremental_dcp_matches_scan_baseline_across_sweep() {
+        let dcp = registry::by_name("DCP").unwrap();
+        dyn_levels_sweep(dcp.as_ref(), &DcpScan);
+    }
+
+    /// The retained rescan must carry the same acyclicity hard error as
+    /// the engine (correctness fixes hold on both sides of the sweep).
+    #[test]
+    #[should_panic(expected = "stay acyclic")]
+    fn dyn_scan_baseline_rejects_corrupt_schedules() {
+        let mut gb = dagsched_graph::GraphBuilder::new();
+        let a = gb.add_task(2);
+        let b = gb.add_task(3);
+        gb.add_edge(a, b, 5).unwrap();
+        let g = gb.build().unwrap();
+        let mut s = Schedule::new(g.num_tasks(), 1);
+        s.place(b, ProcId(0), 0, 3).unwrap();
+        s.place(a, ProcId(0), 3, 2).unwrap(); // a after its child: cycle
+        let _ = DynScanBaseline::compute(&g, &s);
     }
 
     /// The refactored DSC must match the baseline schedule exactly — same

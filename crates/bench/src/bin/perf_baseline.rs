@@ -1,6 +1,6 @@
 //! Records the workspace perf baseline into `BENCH_RESULTS.json`.
 //!
-//! Six sections, all deterministic given the seed:
+//! Seven sections, all deterministic given the seed:
 //!
 //! 1. **dsc_speedup** — the refactored DSC against the retained
 //!    pre-refactor implementation ([`dagsched_bench::baseline`]) on
@@ -12,19 +12,26 @@
 //!    O(v + e) partially-free rescans per step) on paper-scale 5000-node
 //!    RGNOS graphs; asserts placement-identical schedules and a ≥2×
 //!    speedup on the headline v=5000 instance (PR 4's acceptance bar).
-//! 3. **bsa_speedup** — the journal-driven incremental BSA against the
+//! 3. **md_incremental_speedup** / **dcp_incremental_speedup** — the
+//!    [`DynLevelsEngine`](dagsched_core::common::DynLevelsEngine)-driven
+//!    MD and DCP against the retained per-placement-rescan versions
+//!    ([`dagsched_bench::baseline::MdScan`] /
+//!    [`dagsched_bench::baseline::DcpScan`]) on paper-scale 2000-node
+//!    RGNOS graphs; asserts placement-identical schedules and a ≥3×
+//!    speedup on each headline v=2000 instance (PR 5's acceptance bar).
+//! 4. **bsa_speedup** — the journal-driven incremental BSA against the
 //!    retained replay-per-candidate baseline over the old message layer
 //!    ([`dagsched_bench::baseline::BsaBaseline`]) on the paper-scale APN
 //!    instance (500-node RGNOS on the 8-processor hypercube, §6.4);
 //!    asserts placement- and message-identical schedules and a ≥5×
 //!    speedup on the headline CCR=0.1 instance (PR 3's acceptance bar),
 //!    with CCR 1.0 and 10.0 rows recorded alongside.
-//! 4. **algo_runtimes** — seconds per run for every registered algorithm
+//! 5. **algo_runtimes** — seconds per run for every registered algorithm
 //!    on RGNOS graphs of growing size (APN capped small: message routing
 //!    is still the slowest class per run). Timing is single-threaded.
-//! 5. **runner_scaling** — wall-clock of the same (algorithm × graph)
+//! 6. **runner_scaling** — wall-clock of the same (algorithm × graph)
 //!    sweep through the parallel runner with 1 worker vs all cores.
-//! 6. **paper_sweep_budget** — wall-clock of the full Table-6 replication
+//! 7. **paper_sweep_budget** — wall-clock of the full Table-6 replication
 //!    (all fifteen algorithms, serial, honest per-run timings) under an
 //!    asserted ceiling: the quick CI-sized sweep must stay under
 //!    [`QUICK_SWEEP_BUDGET_S`], and with `TASKBENCH_FULL=1` the
@@ -39,7 +46,7 @@
 //! overwrite of the full report. Run with `--release`; debug timings are
 //! not comparable.
 
-use dagsched_bench::baseline::{BsaBaseline, DscBaseline, DscScanBaseline};
+use dagsched_bench::baseline::{BsaBaseline, DcpScan, DscBaseline, DscScanBaseline, MdScan};
 use dagsched_bench::par;
 use dagsched_bench::report::Json;
 use dagsched_core::{registry, AlgoClass, Env, Scheduler};
@@ -51,23 +58,24 @@ const QUICK_SWEEP_BUDGET_S: f64 = 120.0;
 /// Wall-clock ceiling for the `TASKBENCH_FULL=1` paper-scale Table-6 sweep.
 const FULL_SWEEP_BUDGET_S: f64 = 900.0;
 
-/// Best-of-`reps` wall time of `f`, with the makespan it produced.
+/// Best-of-`reps` wall time of `algo`, with the outcome of the last rep
+/// (so equivalence checks can reuse a timed run instead of paying an
+/// extra one).
 fn time_schedule(
     reps: usize,
     algo: &dyn Scheduler,
     g: &dagsched_graph::TaskGraph,
     env: &Env,
-) -> (f64, u64) {
+) -> (f64, dagsched_core::Outcome) {
     let mut best = f64::INFINITY;
-    let mut makespan = 0;
+    let mut outcome = None;
     for _ in 0..reps {
         let t0 = Instant::now();
         let out = algo.schedule(g, env).expect("schedules");
-        let dt = t0.elapsed().as_secs_f64();
-        makespan = out.schedule.makespan();
-        best = best.min(dt);
+        best = best.min(t0.elapsed().as_secs_f64());
+        outcome = Some(out);
     }
-    (best, makespan)
+    (best, outcome.expect("reps >= 1"))
 }
 
 fn dsc_speedup_section() -> Json {
@@ -78,8 +86,9 @@ fn dsc_speedup_section() -> Json {
     for &(v, seed) in &[(500usize, 42u64), (1000, 42), (1000, 43)] {
         let g = rgnos::generate(RgnosParams::new(v, 1.0, 3, seed));
         let reps = 3;
-        let (base_s, base_m) = time_schedule(reps, &DscBaseline, &g, &env);
-        let (new_s, new_m) = time_schedule(reps, dsc.as_ref(), &g, &env);
+        let (base_s, base_out) = time_schedule(reps, &DscBaseline, &g, &env);
+        let (new_s, new_out) = time_schedule(reps, dsc.as_ref(), &g, &env);
+        let (base_m, new_m) = (base_out.schedule.makespan(), new_out.schedule.makespan());
         assert_eq!(
             base_m, new_m,
             "refactored DSC changed the makespan on v={v} seed={seed}"
@@ -112,56 +121,66 @@ fn dsc_speedup_section() -> Json {
     ])
 }
 
-fn dsc_incremental_speedup_section() -> Json {
-    let dsc = registry::by_name("DSC").unwrap();
+/// Shared driver for the incremental-vs-rescan speedup sections (DSC's
+/// heap engine, MD/DCP's dynamic-levels engine): time the engine-driven
+/// scheduler against its retained rescan baseline, assert
+/// placement-identical schedules (reusing the timed outcomes — no extra
+/// runs), and gate the speedup on the `(headline_v, 42)` instance.
+fn incremental_speedup_section(
+    name: &str,
+    scan: &dyn Scheduler,
+    instances: &[(usize, u64)],
+    headline_v: usize,
+    bar: f64,
+) -> Json {
+    let algo = registry::by_name(name).unwrap();
     let env = Env::bnp(1); // UNC algorithms ignore the environment
     let mut rows = Vec::new();
     let mut headline = 0.0;
-    for &(v, seed) in &[(2000usize, 42u64), (5000, 42), (5000, 43)] {
+    for &(v, seed) in instances {
         let g = rgnos::generate(RgnosParams::new(v, 1.0, 3, seed));
         let reps = 3;
-        let (base_s, base_m) = time_schedule(reps, &DscScanBaseline, &g, &env);
-        let (new_s, new_m) = time_schedule(reps, dsc.as_ref(), &g, &env);
-        assert_eq!(
-            base_m, new_m,
-            "incremental DSC changed the makespan on v={v} seed={seed}"
-        );
+        let (base_s, base_out) = time_schedule(reps, scan, &g, &env);
+        let (new_s, new_out) = time_schedule(reps, algo.as_ref(), &g, &env);
         // Placement-identical schedules, not just equal makespans.
-        let a = DscScanBaseline.schedule(&g, &env).unwrap();
-        let b = dsc.schedule(&g, &env).unwrap();
         for n in g.tasks() {
             assert_eq!(
-                a.schedule.placement(n),
-                b.schedule.placement(n),
-                "incremental DSC placement diverged on v={v} seed={seed} task {n}"
+                base_out.schedule.placement(n),
+                new_out.schedule.placement(n),
+                "incremental {name} placement diverged on v={v} seed={seed} task {n}"
             );
         }
+        let makespan = new_out.schedule.makespan();
         let speedup = base_s / new_s;
-        if v == 5000 && seed == 42 {
+        if v == headline_v && seed == 42 {
             headline = speedup;
         }
         println!(
-            "DSC-incremental v={v} seed={seed}: scan {base_s:.4}s vs heap {new_s:.4}s \
-             → {speedup:.1}x (makespan {new_m})"
+            "{name}-incremental v={v} seed={seed}: rescan {base_s:.4}s vs engine {new_s:.4}s \
+             → {speedup:.1}x (makespan {makespan})"
         );
         rows.push(Json::obj([
             ("nodes", Json::Int(v as i64)),
             ("ccr", Json::Num(1.0)),
             ("seed", Json::Int(seed as i64)),
-            ("scan_s", Json::Num(base_s)),
+            ("rescan_s", Json::Num(base_s)),
             ("incremental_s", Json::Num(new_s)),
             ("speedup", Json::Num(speedup)),
-            ("makespan", Json::Int(new_m as i64)),
+            ("makespan", Json::Int(makespan as i64)),
         ]));
     }
     assert!(
-        headline >= 2.0,
-        "acceptance bar: heap-engine DSC must be ≥2x faster than the scan \
-         version on the 5000-node RGNOS instance, got {headline:.1}x"
+        headline >= bar,
+        "acceptance bar: incremental {name} must be ≥{bar}x faster than the \
+         retained rescan baseline on the {headline_v}-node RGNOS instance, \
+         got {headline:.1}x"
     );
-    Json::obj([
-        ("headline_speedup_v5000", Json::Num(headline)),
-        ("instances", Json::Arr(rows)),
+    Json::Obj(vec![
+        (
+            format!("headline_speedup_v{headline_v}"),
+            Json::Num(headline),
+        ),
+        ("instances".to_string(), Json::Arr(rows)),
     ])
 }
 
@@ -174,15 +193,11 @@ fn bsa_speedup_section() -> Json {
     for &ccr in &[0.1f64, 1.0, 10.0] {
         let g = rgnos::generate(RgnosParams::new(500, ccr, 3, 42));
         let reps = 3;
-        let (base_s, base_m) = time_schedule(reps, &BsaBaseline, &g, &env);
-        let (new_s, new_m) = time_schedule(reps, bsa.as_ref(), &g, &env);
-        assert_eq!(
-            base_m, new_m,
-            "incremental BSA changed the makespan on ccr={ccr}"
-        );
-        // Byte-identical schedules: placements AND committed messages.
-        let a = BsaBaseline.schedule(&g, &env).unwrap();
-        let b = bsa.schedule(&g, &env).unwrap();
+        let (base_s, a) = time_schedule(reps, &BsaBaseline, &g, &env);
+        let (new_s, b) = time_schedule(reps, bsa.as_ref(), &g, &env);
+        let new_m = b.schedule.makespan();
+        // Byte-identical schedules: placements AND committed messages
+        // (reusing the timed outcomes — no extra runs).
         for n in g.tasks() {
             assert_eq!(
                 a.schedule.placement(n),
@@ -240,7 +255,8 @@ fn algo_runtimes_section() -> Json {
                 _ => Env::bnp(v.min(32)),
             };
             for algo in registry::by_class(class) {
-                let (secs, makespan) = time_schedule(3, algo.as_ref(), &g, &env);
+                let (secs, out) = time_schedule(3, algo.as_ref(), &g, &env);
+                let makespan = out.schedule.makespan();
                 println!("{:>8} v={v}: {secs:.5}s (makespan {makespan})", algo.name());
                 rows.push(Json::obj([
                     ("algo", Json::str(algo.name())),
@@ -386,15 +402,37 @@ fn field(j: &Json, key: &str) -> Json {
 
 fn main() {
     let dsc = dsc_speedup_section();
-    let dsc_inc = dsc_incremental_speedup_section();
+    let dsc_inc = incremental_speedup_section(
+        "DSC",
+        &DscScanBaseline,
+        &[(2000, 42), (5000, 42), (5000, 43)],
+        5000,
+        2.0,
+    );
+    let md_inc = incremental_speedup_section(
+        "MD",
+        &MdScan,
+        &[(1000, 42), (2000, 42), (2000, 43)],
+        2000,
+        3.0,
+    );
+    let dcp_inc = incremental_speedup_section(
+        "DCP",
+        &DcpScan,
+        &[(1000, 42), (2000, 42), (2000, 43)],
+        2000,
+        3.0,
+    );
     let bsa = bsa_speedup_section();
     let runner = runner_scaling_section();
     let sweep = paper_sweep_budget_section();
     let report = Json::obj([
-        ("schema", Json::Int(3)),
+        ("schema", Json::Int(4)),
         ("suite", Json::str("rgnos ccr=1.0 par=3")),
         ("dsc_speedup", dsc.clone()),
         ("dsc_incremental_speedup", dsc_inc.clone()),
+        ("md_incremental_speedup", md_inc.clone()),
+        ("dcp_incremental_speedup", dcp_inc.clone()),
         ("bsa_speedup", bsa.clone()),
         ("algo_runtimes", algo_runtimes_section()),
         ("runner_scaling", runner.clone()),
@@ -408,13 +446,21 @@ fn main() {
     // Append the run's headline numbers to the trend file: one JSONL record
     // per run, keyed by commit and date, never overwritten.
     let record = Json::obj([
-        ("schema", Json::Int(3)),
+        ("schema", Json::Int(4)),
         ("sha", Json::str(git_sha())),
         ("date", Json::str(utc_date())),
         ("dsc_speedup_v1000", field(&dsc, "headline_speedup_v1000")),
         (
             "dsc_incremental_speedup_v5000",
             field(&dsc_inc, "headline_speedup_v5000"),
+        ),
+        (
+            "md_incremental_speedup_v2000",
+            field(&md_inc, "headline_speedup_v2000"),
+        ),
+        (
+            "dcp_incremental_speedup_v2000",
+            field(&dcp_inc, "headline_speedup_v2000"),
         ),
         (
             "bsa_speedup_v500_ccr01",

@@ -2,7 +2,7 @@
 //!
 //! §3 of the paper: "the t-level of a node is a dynamic attribute because
 //! the weight of an edge may be zeroed when the two incident nodes are
-//! scheduled to the same processor". The MD and DCP algorithms recompute
+//! scheduled to the same processor". The MD and DCP algorithms need these
 //! levels after every placement on the **scheduled-graph view**:
 //!
 //! * original edges, with cost 0 when both endpoints currently share a
@@ -13,6 +13,12 @@
 //!
 //! `AEST`/`ALST` of the DCP paper are exactly `tl` and `cp − bl` on this
 //! view.
+//!
+//! [`DynLevels::compute`] is the full O(v + e) rescan — the reference
+//! implementation the property tests check against. The schedulers
+//! themselves maintain the same values incrementally through
+//! [`super::DynLevelsEngine`], which repairs only the cone a single
+//! placement can affect.
 
 use dagsched_graph::{TaskGraph, TaskId};
 use dagsched_platform::Schedule;
@@ -70,22 +76,25 @@ impl DynLevels {
                 }
             }
         }
-        debug_assert_eq!(order.len(), v, "combined scheduled graph must stay acyclic");
+        // A truncated Kahn order means the schedule corrupted the combined
+        // view into a cycle (e.g. a task seated on a timeline before one of
+        // its ancestors); levels over a truncated order would be silent
+        // garbage, so this is a hard error even in release builds.
+        assert_eq!(order.len(), v, "combined scheduled graph must stay acyclic");
 
-        // Forward pass: t-levels (placed tasks pinned at their start).
+        // Forward pass: t-levels. Placed tasks are pinned at their actual
+        // start and propagate their *recorded* finish (not `start + weight`,
+        // so levels stay honest if slot durations ever diverge from
+        // weights); unplaced children take the max over their parents.
         let mut tl = vec![0u64; v];
         for &n in &order {
-            if let Some(p) = s.placement(n) {
-                tl[n.index()] = p.start;
-                continue;
-            }
-            // recurrence over combined predecessors is easier via a second
-            // pass: accumulate into children instead.
-        }
-        // Accumulate forward (children take max over parents), honouring pins.
-        for &n in &order {
-            let base = tl[n.index()];
-            let finish = base + g.weight(n);
+            let finish = match s.placement(n) {
+                Some(p) => {
+                    tl[n.index()] = p.start;
+                    p.finish
+                }
+                None => tl[n.index()] + g.weight(n),
+            };
             for &(m, c) in &succs[n.index()] {
                 if s.placement(m).is_none() {
                     let cand = finish + c;
@@ -195,6 +204,20 @@ mod tests {
         let d = DynLevels::compute(&g, &s);
         assert_eq!(d.tl[0], 50);
         assert_eq!(d.tl[1], 50 + 2 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "stay acyclic")]
+    fn corrupt_schedule_is_a_hard_error() {
+        // b seated *before* its parent a on the same processor: the
+        // sequence edge b → a closes a cycle with the original a → b, and
+        // the truncated Kahn order must abort instead of yielding garbage
+        // levels silently.
+        let g = fixture();
+        let mut s = Schedule::new(g.num_tasks(), 1);
+        s.place(TaskId(1), ProcId(0), 0, 3).unwrap();
+        s.place(TaskId(0), ProcId(0), 3, 2).unwrap();
+        let _ = DynLevels::compute(&g, &s);
     }
 
     #[test]

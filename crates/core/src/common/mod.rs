@@ -2,11 +2,13 @@
 //! under the contention-free model, ready-set tracking, rekeyable priority
 //! queues, and dynamic level computation on partially scheduled graphs.
 
+pub mod dynengine;
 pub mod dynlevels;
 pub mod estimate;
 pub mod indexed_heap;
 pub mod ready;
 
+pub use dynengine::DynLevelsEngine;
 pub use dynlevels::DynLevels;
 pub use estimate::{best_proc, drt, est_on, SlotPolicy};
 pub use indexed_heap::IndexedHeap;

@@ -32,7 +32,8 @@
 //! | LAST | O(r·e_local) | — | dynamic edge-locality priority |
 //! | DSC | O(v·r) partially-free scan + O(v) `Schedule` clone in DSRW; then (PR 1) clone-free but still an O(v + e) rescan per step | O(log v) free-node pop + O(1) partially-free peek; each edge relaxation is one O(log v) rekey — whole pass O((v+e)·log v), the original's bound | two rekeyable [`common::IndexedHeap`]s (free + partially free), incremental t-levels under merges; clone-free DSRW retained; both scan stages kept verbatim in `bench::baseline` and gated ≥2× at v=5000 (measured ~24×) |
 //! | EZ | O(e) edge rescan | — | |
-//! | LC / MD / DCP | O(v + e) level recompute | — (input levels now cached per graph) | static level passes shared via `TaskGraph::levels` |
+//! | LC | O(v + e) level recompute | — (input levels now cached per graph) | static level passes shared via `TaskGraph::levels` |
+//! | MD / DCP | full `DynLevels` rescan per placement — combined adjacency rebuild, Kahn order, two passes, O(v·(v + e)) per run | cone-bounded incremental repair: pinning `tl[n]` dirties only the forward cone over original edges, the new sequence edges and zeroed costs dirty the backward cone on the combined view, `cp` is a `peek_max`; O((v+e)·log v) worst case, small neighbourhoods in practice | [`common::DynLevelsEngine`] over three [`common::IndexedHeap`]s (forward/backward dirty order + `tl+bl` tracker); rescan versions kept verbatim in `bench::baseline` (`MdScan`/`DcpScan`) and gated ≥3× at v=2000 (measured ~50× / ~42×) |
 //! | MH / DLS-APN | O(r·p·route) with a route `Vec` + `link_between` per hop per probe | — shape, but probes walk precomputed route slices and batch over processors | `Topology` CSR route tables; [`apn`]'s `probe_est_all` kernel |
 //! | BU | O(v·p) assignment + list pass | — | rides the same allocation-free probes |
 //! | BSA | full replay per tentative migration: O(v·deg·(v·p + e·hops)) + a topology clone and fresh allocations per candidate | O(v·deg·(v + e + suffix)) — journal diff, batched rollback, dominance bounds cut doomed trials early | [`apn`]'s `ReplayEngine`; measured ≥5× on the paper-scale APN instance (`perf_baseline` gate) |
@@ -46,7 +47,8 @@
 //! (O(1) membership, for algorithms that rescan by definition),
 //! `ReadyQueue` (lazy max-heap for static priorities), and `IndexedHeap`
 //! (rekeyable, for dynamic priorities that change while a node waits —
-//! DSC's engine).
+//! the substrate of both DSC's t-level engine and the MD/DCP
+//! dynamic-levels engine).
 //!
 //! ## Using an algorithm
 //!

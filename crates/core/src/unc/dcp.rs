@@ -7,7 +7,8 @@
 //! Ingredients, per the original publication:
 //!
 //! * **AEST/ALST** — absolute earliest/latest start times on the partially
-//!   scheduled graph ([`crate::common::DynLevels`]); the node with the
+//!   scheduled graph ([`crate::common::DynLevelsEngine`], value-identical
+//!   to the [`crate::common::DynLevels`] rescan); the node with the
 //!   smallest `ALST − AEST` (0 ⇒ on the *dynamic* critical path) is
 //!   scheduled next, ties to the smaller AEST.
 //! * **Restricted processor candidates** — only processors holding a parent
@@ -20,16 +21,25 @@
 //! * **Insertion** slot policy.
 //!
 //! Simplification vs. the original (DESIGN.md §2): candidates are the
-//! *ready* nodes, and the look-ahead estimates the child's start with the
-//! append policy after `n`'s tentative finish rather than re-running a full
-//! insertion scan.
+//! *ready* nodes. The look-ahead seats `n` tentatively (place → probe →
+//! unplace, the clone-free DSRW technique) and estimates the critical
+//! child with the same **insertion** policy DCP will actually use for it,
+//! so insert-into-hole and append candidates are scored consistently — an
+//! earlier revision floored the child's estimate at the processor's
+//! current tail, which overcharged exactly the hole candidates that leave
+//! the most room.
 //!
-//! Complexity: O(v · (v + e)) level recomputations, like MD.
+//! Complexity: levels are maintained by [`crate::common::DynLevelsEngine`]
+//! — each placement repairs only the affected cone instead of the former
+//! O(v + e) whole-graph rescan, leaving the O(|ready|) selection scan and
+//! the neighbourhood probes as the per-step cost. The rescan version is
+//! retained verbatim as `bench::baseline::DcpScan` and proven
+//! placement-identical.
 
 use dagsched_graph::{TaskGraph, TaskId};
 use dagsched_platform::{ProcId, Schedule};
 
-use crate::common::{drt, DynLevels, ReadySet};
+use crate::common::{drt, DynLevelsEngine, ReadySet};
 use crate::{AlgoClass, Env, Outcome, SchedError, Scheduler};
 
 /// The DCP scheduler.
@@ -62,9 +72,9 @@ impl Scheduler for Dcp {
         let v = g.num_tasks();
         let mut s = Schedule::new(v, v);
         let mut ready = ReadySet::new(g);
+        let mut d = DynLevelsEngine::new(g);
 
         while !ready.is_empty() {
-            let d = DynLevels::compute(g, &s);
             // Smallest mobility (ALST − AEST), then smallest AEST, then id.
             let n = ready
                 .iter()
@@ -100,8 +110,13 @@ impl Scheduler for Dcp {
                                 child_drt = child_drt.max(pl.finish + cost);
                             }
                         }
-                        let child_est =
-                            child_drt.max(s.timeline(p).earliest_append(0).max(start + w));
+                        // Seat n tentatively and probe the child's start
+                        // under the real insertion policy, so candidates
+                        // that tuck n into a hole are not overcharged with
+                        // the processor's tail.
+                        s.place(n, p, start, w).expect("probed slot is free");
+                        let child_est = s.timeline(p).earliest_fit(child_drt, g.weight(cc));
+                        s.unplace(n);
                         start + child_est
                     }
                     None => start,
@@ -112,6 +127,7 @@ impl Scheduler for Dcp {
             }
             let (_, start, p) = best.expect("neighbourhood always has a fresh candidate");
             s.place(n, p, start, w).expect("insertion slot is free");
+            d.placed(g, &s, n);
             ready.take(g, n);
         }
 
@@ -190,6 +206,57 @@ mod tests {
             out.schedule.procs_used(),
             lc.schedule.procs_used()
         );
+    }
+
+    #[test]
+    fn lookahead_scores_hole_candidates_by_real_insertion_est() {
+        // Regression for the old tail floor: the child estimate used to be
+        // floored at `earliest_append(0)` — the processor's *current* tail
+        // — even when n itself was tucked into a hole before that tail, so
+        // hole candidates were overcharged against append candidates. The
+        // probe now seats n tentatively and runs the same insertion-policy
+        // `earliest_fit` the child will get.
+        //
+        // The run unfolds as: a → P0 [0,2); b → P1 [0,8); z (dynamic CP,
+        // mobility 0) waits for b's message and seats on P0 at [15,17),
+        // opening the hole [2,15). Then n (ready at 8 on P0 via its local
+        // parent a and the free b → n message) scores its candidates with
+        // critical child cc: P0 = 8 + 10 (n [8,10) in the hole, cc right
+        // behind at 10), P1 = 11 + 13, fresh = 11 + 13. The old floor
+        // charged P0 with the tail instead (8 + 17 = 25 > 24) and diverted
+        // n + cc to P1 at [11,13) + [13,15); the real probe keeps both in
+        // the hole. This pins the fixed behavior. (The two golden-makespan
+        // instances happen to score identically under both probes — no
+        // hole is open when a look-ahead decision is close — so the golden
+        // table did not move.)
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_task(2);
+        let b = gb.add_task(8);
+        let z = gb.add_task(2);
+        let n = gb.add_task(2);
+        let cc = gb.add_task(2);
+        gb.add_edge(a, z, 30).unwrap();
+        gb.add_edge(b, z, 7).unwrap();
+        gb.add_edge(a, n, 9).unwrap();
+        gb.add_edge(b, n, 0).unwrap();
+        gb.add_edge(n, cc, 3).unwrap();
+        let g = gb.build().unwrap();
+        let out = testutil::run(&Dcp::default(), &g);
+        let s = &out.schedule;
+        let pa = s.proc_of(a).unwrap();
+        assert_eq!(s.placement(z).map(|p| (p.proc, p.start)), Some((pa, 15)));
+        assert_eq!(
+            s.placement(n).map(|p| (p.proc, p.start)),
+            Some((pa, 8)),
+            "n belongs in the hole before z, not after b"
+        );
+        assert_eq!(
+            s.placement(cc).map(|p| (p.proc, p.start)),
+            Some((pa, 10)),
+            "cc follows n inside the hole"
+        );
+        assert_eq!(s.makespan(), 17);
+        assert_eq!(s.procs_used(), 2);
     }
 
     #[test]
