@@ -78,10 +78,14 @@ impl Reference<'_> {
                 if g.num_tasks() > 64 {
                     return None;
                 }
+                // Serial: adversarial cells already run in parallel at the
+                // matrix level, and deterministic node counts keep the
+                // search budget reproducible.
                 let params = OptimalParams {
                     procs: None,
                     node_limit: *node_limit,
                     heuristic_incumbent: true,
+                    threads: Some(1),
                 };
                 Some(solve(g, &params).length)
             }

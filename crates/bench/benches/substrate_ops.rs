@@ -85,6 +85,7 @@ fn bnb(c: &mut Criterion) {
                     procs: Some(4),
                     node_limit: 500_000,
                     heuristic_incumbent: true,
+                    threads: Some(1), // honest single-thread timing
                 },
             ))
         })

@@ -54,6 +54,9 @@ pub fn run(cfg: &Config, class: AlgoClass) -> Vec<Table> {
                 procs: None,
                 node_limit: cfg.bnb_node_limit(),
                 heuristic_incumbent: true,
+                // The grid is already parallel across cells; within-cell
+                // serial search keeps the machine exactly subscribed.
+                threads: Some(1),
             },
         );
         let env = Env::bnp(cfg.bnp_unlimited_procs(v));
@@ -126,6 +129,7 @@ mod tests {
                 procs: None,
                 node_limit: 2_000_000,
                 heuristic_incumbent: true,
+                threads: Some(1),
             },
         );
         let env = Env::bnp(cfg.bnp_unlimited_procs(12));

@@ -30,6 +30,7 @@ pub mod experiments;
 pub mod par;
 pub mod report;
 pub mod runner;
+pub mod ws;
 
 pub use config::Config;
 pub use runner::{run_timed, RunRecord};

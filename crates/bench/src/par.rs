@@ -3,11 +3,15 @@
 //! The experiment sweeps are embarrassingly parallel across (algorithm ×
 //! graph) cells: every cell derives its graph from its own seed and shares
 //! nothing but immutable algorithm objects ([`dagsched_core::Scheduler`] is
-//! `Sync` by trait bound). `rayon` would be the natural executor, but the
-//! build environment has no registry access, so this module provides the
-//! one primitive the harness needs — an order-preserving [`parallel_map`] —
-//! on `std::thread::scope` with an atomic work index. Swap the body for
-//! `rayon::par_iter` when building online; the call sites won't change.
+//! `Sync` by trait bound). The executor is the workspace's work-stealing
+//! runtime ([`crate::ws`], i.e. `dagsched-ws`): items are dealt into
+//! per-worker deques up front and idle workers steal, so one slow cell (a
+//! 32-processor DLS run, a branch-and-bound reference solve) no longer
+//! pins its static share of the sweep behind it — and the per-item
+//! `Mutex<Option<T>>` slot handshake of the old static-split runner is
+//! gone from the hot loop entirely. Results still come back in input
+//! order, so every fold downstream is byte-deterministic across runs and
+//! thread counts.
 //!
 //! **Timing honesty:** per-run wall-clock measurements (Table 6, the
 //! criterion benches, `perf_baseline`) stay on a single thread — only
@@ -15,72 +19,18 @@
 //! parallel sweeps, so the paper's runtime tables are never polluted by
 //! scheduler contention.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+/// Worker count: `TASKBENCH_THREADS` when set (`0` or `1` = explicit
+/// serial), otherwise all available cores. Re-exported from
+/// [`dagsched_ws::worker_count`]; panics on unparsable values.
+pub use dagsched_ws::worker_count;
 
-/// Worker count: `TASKBENCH_THREADS` when set to a positive number,
-/// otherwise all available cores. `TASKBENCH_THREADS=1` forces the serial
-/// path (useful for debugging and for timing comparisons).
-pub fn worker_count() -> usize {
-    match std::env::var("TASKBENCH_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-    }
-}
-
-/// Apply `f` to every item on `workers` scoped threads, returning results
-/// in input order. A panic in any worker propagates after the scope joins.
-pub fn parallel_map_with<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    let workers = workers.min(n);
-    if workers <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i]
-                    .lock()
-                    .unwrap()
-                    .take()
-                    .expect("each index taken once");
-                let r = f(item);
-                *results[i].lock().unwrap() = Some(r);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
-        .collect()
-}
+/// Apply `f` to every item on `workers` work-stealing threads, returning
+/// results in input order. A panic in any worker propagates after the pool
+/// joins. See [`dagsched_ws::parallel_map_with`].
+pub use dagsched_ws::parallel_map_with;
 
 /// [`parallel_map_with`] using [`worker_count`] workers.
-pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    parallel_map_with(worker_count(), items, f)
-}
+pub use dagsched_ws::parallel_map;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,16 @@
+//! The work-stealing execution substrate, re-exported from
+//! [`dagsched_ws`].
+//!
+//! The runtime lives in its own bottom-of-the-stack crate so that both
+//! this harness (every sweep funnels through [`crate::par::parallel_map`])
+//! and `dagsched-optimal`'s parallel branch-and-bound (which `dagsched-
+//! bench` depends on, so it cannot depend back on the harness) share one
+//! substrate: per-worker [`WsDeque`]s with LIFO owner pop and FIFO steal,
+//! randomized-victim stealing with exponential backoff parking, atomic
+//! pending-job termination detection, and panic propagation after the
+//! scope joins. See the [`dagsched_ws`] crate docs for the design notes
+//! (including why the deque is a lock-guarded buffer with an atomic length
+//! hint rather than an unsafe Chase–Lev ring) and the determinism
+//! contract.
+
+pub use dagsched_ws::{parallel_map, parallel_map_with, run_jobs, worker_count, Ctx, WsDeque};

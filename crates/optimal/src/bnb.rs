@@ -1,9 +1,48 @@
-//! Depth-first branch-and-bound over earliest-start list schedules.
+//! Depth-first branch-and-bound over earliest-start list schedules —
+//! serial, or parallel over the work-stealing substrate (`dagsched-ws`).
+//!
+//! ## Parallel search
+//!
+//! With more than one worker ([`OptimalParams::threads`]), the DFS is run
+//! as a pool of **prefix jobs** on per-worker work-stealing deques: a job
+//! is a sequence of (task, processor) decisions from the root. Executing a
+//! job replays its prefix onto a scratch search state (earliest-start timing
+//! makes the replay deterministic), performs the standard node work
+//! (expansion counting, bound test, duplicate detection), and then either
+//! **splits** — spawning one child job per branch, newest-first so the
+//! owner continues in serial branch order while idle workers steal the
+//! oldest, coarsest branches — or, once the pool is saturated or the
+//! prefix is deep, runs the whole subtree inline with the serial DFS.
+//!
+//! Cross-worker coordination is deliberately thin:
+//!
+//! * the **incumbent length** is an `AtomicU64`, tightened by CAS on every
+//!   improving completion and read (possibly stale) at every prune point —
+//!   sound, because a stale incumbent only *weakens* the bound;
+//! * the **incumbent schedule** lives behind a mutex touched only on
+//!   completions (rare), with ties broken by a canonical placement key
+//!   (processors relabelled in first-task order, placements compared
+//!   lexicographically), not by arrival order;
+//! * **node/prune counters** are relaxed atomics.
+//!
+//! The optimal *length* is exactly the serial search's whenever the search
+//! completes (`proven`). The returned *placements* may be any equal-length
+//! optimum: which equal-length completions are discovered (rather than
+//! pruned by `≥`-incumbent tests) depends on timing, and the canonical key
+//! picks deterministically among the discovered ones. Duplicate-state
+//! detection is per-worker in the parallel search (sound — a duplicate's
+//! subtree is covered by the first visit's spawned jobs), so
+//! `nodes_expanded` may exceed the serial count. `threads = 0 | 1` (or
+//! `TASKBENCH_THREADS=1`) bypasses all of this and runs exactly the serial
+//! search.
 
 use dagsched_core::{registry, Env};
 use dagsched_graph::{levels, TaskGraph, TaskId};
 use dagsched_platform::{ProcId, Schedule};
+use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Search configuration.
 #[derive(Debug, Clone)]
@@ -16,6 +55,12 @@ pub struct OptimalParams {
     pub node_limit: u64,
     /// Seed the incumbent with the best heuristic schedule first.
     pub heuristic_incumbent: bool,
+    /// Search worker threads: `Some(0)` / `Some(1)` = the serial search,
+    /// `Some(n)` = n work-stealing workers, `None` = the workspace policy
+    /// ([`dagsched_ws::worker_count`]: `TASKBENCH_THREADS`, else all
+    /// cores). Callers that already parallelize *across* solves (the RGBOS
+    /// table grids, the adversary matrix) pin this to `Some(1)`.
+    pub threads: Option<usize>,
 }
 
 impl Default for OptimalParams {
@@ -24,6 +69,7 @@ impl Default for OptimalParams {
             procs: None,
             node_limit: 4_000_000,
             heuristic_incumbent: true,
+            threads: None,
         }
     }
 }
@@ -37,22 +83,35 @@ pub struct OptimalResult {
     pub schedule: Schedule,
     /// Whether the search space was exhausted (the length is optimal).
     pub proven: bool,
-    /// Search nodes expanded.
-    pub nodes: u64,
+    /// Search nodes expanded. Deterministic for the serial search; the
+    /// parallel search may expand more (per-worker duplicate detection)
+    /// and varies with steal timing.
+    pub nodes_expanded: u64,
+    /// States cut by a lower-bound test or duplicate-state detection.
+    pub pruned: u64,
 }
 
-struct Search<'g> {
+/// How deep a prefix may still split into child jobs (beyond this, the
+/// subtree runs inline — replay cost and job bookkeeping would outweigh
+/// the balancing benefit on ≤64-task instances).
+const MAX_SPLIT_DEPTH: usize = 8;
+/// Stop splitting while this many jobs per worker are already pending;
+/// splitting resumes automatically as the pool drains.
+const SPLIT_SATURATION: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Search state (shared by the serial and parallel drivers)
+// ---------------------------------------------------------------------------
+
+/// The undo-based DFS state: one partial schedule plus the derived arrays
+/// needed for earliest-start timing, bounding and duplicate detection.
+#[derive(Clone)]
+struct State<'g> {
     g: &'g TaskGraph,
     procs: usize,
     weights: Vec<u64>,
     /// Computation-only b-levels (admissible tail bound).
     slc: Vec<u64>,
-    node_limit: u64,
-    nodes: u64,
-    capped: bool,
-    best_len: u64,
-    best: Vec<(ProcId, u64)>, // (proc, start) per task of the incumbent
-    // Mutable state (undo-based DFS).
     proc_ready: Vec<u64>,
     finish: Vec<u64>,
     proc_of: Vec<u8>,
@@ -62,114 +121,56 @@ struct Search<'g> {
     n_scheduled: usize,
     makespan: u64,
     total_remaining: u64,
-    seen: HashSet<u128>,
-    current: Vec<(ProcId, u64)>,
+    current: Vec<(ProcId, u64)>, // (proc, start) per task of this partial
 }
 
-/// Find an optimal (or best-within-limits) schedule of `g`.
-///
-/// Panics if the graph has more than 64 tasks — the RGBOS family tops out
-/// at 32 and the state signature uses a 64-bit task mask.
-pub fn solve(g: &TaskGraph, params: &OptimalParams) -> OptimalResult {
-    let v = g.num_tasks();
-    assert!(
-        v <= 64,
-        "branch-and-bound supports at most 64 tasks (got {v})"
-    );
-    let procs = params.procs.unwrap_or(v).min(v).max(1);
-
-    // Incumbent from the heuristic roster.
-    let mut best_len = u64::MAX;
-    let mut best: Vec<(ProcId, u64)> = vec![(ProcId(0), 0); v];
-    if params.heuristic_incumbent {
-        let env = Env::bnp(procs);
-        for algo in registry::bnp().into_iter().chain(registry::unc()) {
-            if let Ok(out) = algo.schedule(g, &env) {
-                debug_assert!(out.validate(g).is_ok());
-                // UNC algorithms may use more than `procs` processors; only
-                // accept schedules that fit the machine.
-                if out.schedule.procs_used() <= procs {
-                    let m = out.schedule.makespan();
-                    if m < best_len {
-                        best_len = m;
-                        let compact = out.schedule.compact_procs();
-                        for n in g.tasks() {
-                            let pl = compact.placement(n).expect("complete");
-                            best[n.index()] = (pl.proc, pl.start);
-                        }
-                    }
-                }
-            }
+impl<'g> State<'g> {
+    fn new(g: &'g TaskGraph, procs: usize) -> State<'g> {
+        let v = g.num_tasks();
+        State {
+            g,
+            procs,
+            weights: g.weights().to_vec(),
+            slc: levels::static_levels(g),
+            proc_ready: vec![0; procs],
+            finish: vec![0; v],
+            proc_of: vec![u8::MAX; v],
+            scheduled: vec![false; v],
+            missing: g.tasks().map(|n| g.in_degree(n) as u32).collect(),
+            ready: g.entries().collect(),
+            n_scheduled: 0,
+            makespan: 0,
+            total_remaining: g.total_work(),
+            current: vec![(ProcId(0), 0); v],
         }
     }
 
-    let mut search = Search {
-        g,
-        procs,
-        weights: g.weights().to_vec(),
-        slc: levels::static_levels(g),
-        node_limit: params.node_limit,
-        nodes: 0,
-        capped: false,
-        best_len,
-        best,
-        proc_ready: vec![0; procs],
-        finish: vec![0; v],
-        proc_of: vec![u8::MAX; v],
-        scheduled: vec![false; v],
-        missing: g.tasks().map(|n| g.in_degree(n) as u32).collect(),
-        ready: g.entries().collect(),
-        n_scheduled: 0,
-        makespan: 0,
-        total_remaining: g.total_work(),
-        seen: HashSet::new(),
-        current: vec![(ProcId(0), 0); v],
-    };
-    search.dfs();
-
-    let mut schedule = Schedule::new(v, procs);
-    for n in g.tasks() {
-        let (p, st) = search.best[n.index()];
-        schedule
-            .place(n, p, st, g.weight(n))
-            .expect("incumbent is feasible");
+    fn complete(&self) -> bool {
+        self.n_scheduled == self.g.num_tasks()
     }
-    debug_assert!(schedule.validate(g).is_ok());
-    OptimalResult {
-        length: search.best_len,
-        schedule,
-        proven: !search.capped,
-        nodes: search.nodes,
+
+    fn est(&self, n: TaskId, p: ProcId) -> u64 {
+        let mut drt = 0u64;
+        for &(q, c) in self.g.preds(n) {
+            let arrive = if self.proc_of[q.index()] as u32 == p.0 {
+                self.finish[q.index()]
+            } else {
+                self.finish[q.index()] + c
+            };
+            drt = drt.max(arrive);
+        }
+        drt.max(self.proc_ready[p.index()])
     }
-}
 
-impl Search<'_> {
-    fn dfs(&mut self) {
-        if self.nodes >= self.node_limit {
-            self.capped = true;
-            return;
-        }
-        self.nodes += 1;
-
-        if self.n_scheduled == self.g.num_tasks() {
-            if self.makespan < self.best_len {
-                self.best_len = self.makespan;
-                self.best.copy_from_slice(&self.current);
-            }
-            return;
-        }
-        if self.lower_bound() >= self.best_len {
-            return;
-        }
-        if !self.seen.insert(self.signature()) {
-            return;
-        }
-
-        // Branch order: tasks by descending computation b-level (critical
-        // work first), processors by ascending start time — good moves
-        // first tightens the incumbent early.
+    /// Every branch from this state in canonical order: tasks by
+    /// descending computation b-level (critical work first, ties by id),
+    /// processors by ascending start time — good moves first tightens the
+    /// incumbent early. Identical processors: only one empty processor may
+    /// be opened (symmetry).
+    fn ordered_moves(&self) -> Vec<(TaskId, u64, u32)> {
         let mut tasks: Vec<TaskId> = self.ready.clone();
         tasks.sort_unstable_by_key(|&n| (std::cmp::Reverse(self.slc[n.index()]), n.0));
+        let mut all = Vec::with_capacity(tasks.len() * self.procs);
         for n in tasks {
             let mut opened_empty = false;
             let mut moves: Vec<(u64, u32)> = Vec::with_capacity(self.procs);
@@ -187,27 +188,10 @@ impl Search<'_> {
             }
             moves.sort_unstable();
             for (start, pi) in moves {
-                self.apply(n, ProcId(pi), start);
-                self.dfs();
-                self.undo(n, ProcId(pi), start);
-                if self.capped {
-                    return;
-                }
+                all.push((n, start, pi));
             }
         }
-    }
-
-    fn est(&self, n: TaskId, p: ProcId) -> u64 {
-        let mut drt = 0u64;
-        for &(q, c) in self.g.preds(n) {
-            let arrive = if self.proc_of[q.index()] as u32 == p.0 {
-                self.finish[q.index()]
-            } else {
-                self.finish[q.index()] + c
-            };
-            drt = drt.max(arrive);
-        }
-        drt.max(self.proc_ready[p.index()])
+        all
     }
 
     fn apply(&mut self, n: TaskId, p: ProcId, start: u64) {
@@ -337,6 +321,401 @@ impl Search<'_> {
     }
 }
 
+/// Canonical placement key of a complete schedule: processors relabelled
+/// in order of their first (lowest-id) hosted task, then one
+/// `(processor rank, start)` pair per task. Lexicographic comparison of
+/// these keys is the deterministic tie-break among equal-length optima.
+fn canon_key(placements: &[(ProcId, u64)], procs: usize) -> Vec<(u8, u64)> {
+    let mut rank = vec![u8::MAX; procs];
+    let mut next = 0u8;
+    let mut key = Vec::with_capacity(placements.len());
+    for &(p, start) in placements {
+        let r = &mut rank[p.index()];
+        if *r == u8::MAX {
+            *r = next;
+            next += 1;
+        }
+        key.push((*r, start));
+    }
+    key
+}
+
+// ---------------------------------------------------------------------------
+// Search control: incumbent + counters, one thread vs shared
+// ---------------------------------------------------------------------------
+
+/// What the DFS needs from its surroundings: the incumbent bound, a sink
+/// for completions, and expansion/prune accounting. One implementation is
+/// thread-local (serial search), one is shared atomics (parallel search).
+trait Ctl {
+    /// Current incumbent length (parallel: possibly stale — only ever
+    /// *larger* than the true incumbent, which weakens pruning soundly).
+    fn bound(&self) -> u64;
+    /// Report a complete schedule; keeps it if it improves the incumbent
+    /// (shorter, or equal with a smaller canonical placement key).
+    fn offer(&self, len: u64, placements: &[(ProcId, u64)], procs: usize);
+    /// Count one expansion. `false` = node budget exhausted; the search is
+    /// capped and must stop.
+    fn note_expanded(&self) -> bool;
+    fn note_pruned(&self);
+    /// Whether the search has been capped (checked between branches).
+    fn stopped(&self) -> bool;
+}
+
+struct SerialCtl {
+    best_len: Cell<u64>,
+    best: RefCell<Vec<(ProcId, u64)>>,
+    /// `None` = the incumbent's key is unknown/absent (treated as +∞).
+    best_key: RefCell<Option<Vec<(u8, u64)>>>,
+    nodes: Cell<u64>,
+    pruned: Cell<u64>,
+    node_limit: u64,
+    capped: Cell<bool>,
+}
+
+impl Ctl for SerialCtl {
+    fn bound(&self) -> u64 {
+        self.best_len.get()
+    }
+
+    fn offer(&self, len: u64, placements: &[(ProcId, u64)], procs: usize) {
+        let cur = self.best_len.get();
+        if len > cur {
+            return;
+        }
+        let key = canon_key(placements, procs);
+        let better = len < cur
+            || match &*self.best_key.borrow() {
+                None => true,
+                Some(k) => key < *k,
+            };
+        if better {
+            self.best_len.set(len);
+            self.best.borrow_mut().copy_from_slice(placements);
+            *self.best_key.borrow_mut() = Some(key);
+        }
+    }
+
+    fn note_expanded(&self) -> bool {
+        if self.nodes.get() >= self.node_limit {
+            self.capped.set(true);
+            return false;
+        }
+        self.nodes.set(self.nodes.get() + 1);
+        true
+    }
+
+    fn note_pruned(&self) {
+        self.pruned.set(self.pruned.get() + 1);
+    }
+
+    fn stopped(&self) -> bool {
+        self.capped.get()
+    }
+}
+
+struct BestSlot {
+    len: u64,
+    key: Option<Vec<(u8, u64)>>,
+    placements: Vec<(ProcId, u64)>,
+}
+
+struct SharedCtl {
+    /// The prune bound. The mutexed [`BestSlot`] is the authority for the
+    /// returned schedule; this atomic is its monotone length mirror.
+    best_len: AtomicU64,
+    best: Mutex<BestSlot>,
+    nodes: AtomicU64,
+    pruned: AtomicU64,
+    node_limit: u64,
+    capped: AtomicBool,
+}
+
+impl Ctl for SharedCtl {
+    fn bound(&self) -> u64 {
+        self.best_len.load(Ordering::Acquire)
+    }
+
+    fn offer(&self, len: u64, placements: &[(ProcId, u64)], procs: usize) {
+        // CAS-tighten the bound first so other workers prune ASAP.
+        let mut cur = self.best_len.load(Ordering::Acquire);
+        while len < cur {
+            match self
+                .best_len
+                .compare_exchange_weak(cur, len, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        if len > self.best_len.load(Ordering::Acquire) {
+            return;
+        }
+        let key = canon_key(placements, procs);
+        let mut slot = self.best.lock().unwrap();
+        let better = len < slot.len
+            || (len == slot.len
+                && match &slot.key {
+                    None => true,
+                    Some(k) => key < *k,
+                });
+        if better {
+            slot.len = len;
+            slot.placements.copy_from_slice(placements);
+            slot.key = Some(key);
+        }
+    }
+
+    fn note_expanded(&self) -> bool {
+        if self.capped.load(Ordering::Relaxed) {
+            return false;
+        }
+        let prev = self.nodes.fetch_add(1, Ordering::Relaxed);
+        if prev >= self.node_limit {
+            self.nodes.fetch_sub(1, Ordering::Relaxed);
+            self.capped.store(true, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    fn note_pruned(&self) {
+        self.pruned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stopped(&self) -> bool {
+        self.capped.load(Ordering::Relaxed)
+    }
+}
+
+/// The depth-first search, generic over serial/shared control. Expansion
+/// order, bound tests and duplicate detection are byte-for-byte the
+/// pre-parallel algorithm; only the incumbent plumbing is abstracted.
+fn dfs<C: Ctl>(state: &mut State<'_>, seen: &mut HashSet<u128>, ctl: &C) {
+    if !ctl.note_expanded() {
+        return;
+    }
+    if state.complete() {
+        ctl.offer(state.makespan, &state.current, state.procs);
+        return;
+    }
+    if state.lower_bound() >= ctl.bound() {
+        ctl.note_pruned();
+        return;
+    }
+    if !seen.insert(state.signature()) {
+        ctl.note_pruned();
+        return;
+    }
+    for (n, start, pi) in state.ordered_moves() {
+        state.apply(n, ProcId(pi), start);
+        dfs(state, seen, ctl);
+        state.undo(n, ProcId(pi), start);
+        if ctl.stopped() {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+/// A stealable subproblem: the decision prefix from the root. Replaying it
+/// with earliest-start timing reconstructs the node deterministically.
+struct Job {
+    prefix: Vec<(TaskId, u32)>,
+}
+
+fn parallel_search(
+    g: &TaskGraph,
+    procs: usize,
+    node_limit: u64,
+    workers: usize,
+    incumbent_len: u64,
+    incumbent: Vec<(ProcId, u64)>,
+) -> (u64, Vec<(ProcId, u64)>, bool, u64, u64) {
+    let base = State::new(g, procs);
+    let shared = SharedCtl {
+        best_len: AtomicU64::new(incumbent_len),
+        best: Mutex::new(BestSlot {
+            len: incumbent_len,
+            key: (incumbent_len != u64::MAX).then(|| canon_key(&incumbent, procs)),
+            placements: incumbent,
+        }),
+        nodes: AtomicU64::new(0),
+        pruned: AtomicU64::new(0),
+        node_limit,
+        capped: AtomicBool::new(false),
+    };
+
+    struct WorkerAcc<'g> {
+        state: State<'g>,
+        seen: HashSet<u128>,
+    }
+
+    let shared_ref = &shared;
+    let base_ref = &base;
+    dagsched_ws::run_jobs(
+        workers,
+        vec![Job { prefix: Vec::new() }],
+        |_| WorkerAcc {
+            state: base_ref.clone(),
+            seen: HashSet::new(),
+        },
+        |acc: &mut WorkerAcc<'_>, job: Job, ctx| {
+            if shared_ref.stopped() {
+                return; // capped: drain remaining jobs without searching
+            }
+            // Replay the prefix onto the scratch state.
+            acc.state.clone_from(base_ref);
+            for &(n, pi) in &job.prefix {
+                let start = acc.state.est(n, ProcId(pi));
+                acc.state.apply(n, ProcId(pi), start);
+            }
+            // Standard node work, in the serial order of checks.
+            if !shared_ref.note_expanded() {
+                return;
+            }
+            if acc.state.complete() {
+                shared_ref.offer(acc.state.makespan, &acc.state.current, procs);
+                return;
+            }
+            if acc.state.lower_bound() >= shared_ref.bound() {
+                shared_ref.note_pruned();
+                return;
+            }
+            if !acc.seen.insert(acc.state.signature()) {
+                shared_ref.note_pruned();
+                return;
+            }
+            let split =
+                job.prefix.len() < MAX_SPLIT_DEPTH && ctx.pending() < SPLIT_SATURATION * workers;
+            if split {
+                // Spawn newest-first: the owner's LIFO pop walks branches in
+                // serial order while thieves steal the oldest (first) branch.
+                for (n, _start, pi) in acc.state.ordered_moves().into_iter().rev() {
+                    let mut prefix = Vec::with_capacity(job.prefix.len() + 1);
+                    prefix.extend_from_slice(&job.prefix);
+                    prefix.push((n, pi));
+                    ctx.spawn(Job { prefix });
+                }
+            } else {
+                // Saturated: run the whole subtree inline.
+                for (n, start, pi) in acc.state.ordered_moves() {
+                    acc.state.apply(n, ProcId(pi), start);
+                    dfs(&mut acc.state, &mut acc.seen, shared_ref);
+                    acc.state.undo(n, ProcId(pi), start);
+                    if shared_ref.stopped() {
+                        return;
+                    }
+                }
+            }
+        },
+    );
+
+    let slot = shared.best.into_inner().unwrap();
+    (
+        slot.len,
+        slot.placements,
+        !shared.capped.into_inner(),
+        shared.nodes.into_inner(),
+        shared.pruned.into_inner(),
+    )
+}
+
+fn serial_search(
+    g: &TaskGraph,
+    procs: usize,
+    node_limit: u64,
+    incumbent_len: u64,
+    incumbent: Vec<(ProcId, u64)>,
+) -> (u64, Vec<(ProcId, u64)>, bool, u64, u64) {
+    let ctl = SerialCtl {
+        best_len: Cell::new(incumbent_len),
+        best_key: RefCell::new((incumbent_len != u64::MAX).then(|| canon_key(&incumbent, procs))),
+        best: RefCell::new(incumbent),
+        nodes: Cell::new(0),
+        pruned: Cell::new(0),
+        node_limit,
+        capped: Cell::new(false),
+    };
+    let mut state = State::new(g, procs);
+    let mut seen = HashSet::new();
+    dfs(&mut state, &mut seen, &ctl);
+    (
+        ctl.best_len.get(),
+        ctl.best.into_inner(),
+        !ctl.capped.get(),
+        ctl.nodes.get(),
+        ctl.pruned.get(),
+    )
+}
+
+/// Find an optimal (or best-within-limits) schedule of `g`.
+///
+/// Panics if the graph has more than 64 tasks — the RGBOS family tops out
+/// at 32 and the state signature uses a 64-bit task mask.
+pub fn solve(g: &TaskGraph, params: &OptimalParams) -> OptimalResult {
+    let v = g.num_tasks();
+    assert!(
+        v <= 64,
+        "branch-and-bound supports at most 64 tasks (got {v})"
+    );
+    let procs = params.procs.unwrap_or(v).min(v).max(1);
+
+    // Incumbent from the heuristic roster.
+    let mut best_len = u64::MAX;
+    let mut best: Vec<(ProcId, u64)> = vec![(ProcId(0), 0); v];
+    if params.heuristic_incumbent {
+        let env = Env::bnp(procs);
+        for algo in registry::bnp().into_iter().chain(registry::unc()) {
+            if let Ok(out) = algo.schedule(g, &env) {
+                debug_assert!(out.validate(g).is_ok());
+                // UNC algorithms may use more than `procs` processors; only
+                // accept schedules that fit the machine.
+                if out.schedule.procs_used() <= procs {
+                    let m = out.schedule.makespan();
+                    if m < best_len {
+                        best_len = m;
+                        let compact = out.schedule.compact_procs();
+                        for n in g.tasks() {
+                            let pl = compact.placement(n).expect("complete");
+                            best[n.index()] = (pl.proc, pl.start);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let workers = match params.threads {
+        Some(n) => n.max(1),
+        None => dagsched_ws::worker_count(),
+    };
+    let (length, placements, proven, nodes_expanded, pruned) = if workers <= 1 {
+        serial_search(g, procs, params.node_limit, best_len, best)
+    } else {
+        parallel_search(g, procs, params.node_limit, workers, best_len, best)
+    };
+
+    let mut schedule = Schedule::new(v, procs);
+    for n in g.tasks() {
+        let (p, st) = placements[n.index()];
+        schedule
+            .place(n, p, st, g.weight(n))
+            .expect("incumbent is feasible");
+    }
+    debug_assert!(schedule.validate(g).is_ok());
+    OptimalResult {
+        length,
+        schedule,
+        proven,
+        nodes_expanded,
+        pruned,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +724,7 @@ mod tests {
     fn params(procs: usize) -> OptimalParams {
         OptimalParams {
             procs: Some(procs),
+            threads: Some(1),
             ..OptimalParams::default()
         }
     }
@@ -432,6 +812,7 @@ mod tests {
             procs: Some(4),
             node_limit: 10,
             heuristic_incumbent: true,
+            threads: Some(1),
         };
         let r = solve(&g, &p);
         assert!(!r.proven);
@@ -446,8 +827,65 @@ mod tests {
             b.add_task(3);
         }
         let g = b.build().unwrap();
-        let r = solve(&g, &OptimalParams::default());
+        let r = solve(
+            &g,
+            &OptimalParams {
+                threads: Some(1),
+                ..OptimalParams::default()
+            },
+        );
         assert!(r.proven);
         assert_eq!(r.length, 3);
+    }
+
+    #[test]
+    fn serial_counters_are_deterministic() {
+        let g = crate::exhaustive::tests::random_small(11, 9);
+        let a = solve(&g, &params(3));
+        let b = solve(&g, &params(3));
+        assert!(a.proven && b.proven);
+        assert_eq!(a.length, b.length);
+        assert_eq!(a.nodes_expanded, b.nodes_expanded);
+        assert_eq!(a.pruned, b.pruned);
+        assert!(a.nodes_expanded > 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_optimum() {
+        for seed in [3u64, 9, 42] {
+            let g = crate::exhaustive::tests::random_small(12, seed);
+            let serial = solve(&g, &params(3));
+            let par = solve(
+                &g,
+                &OptimalParams {
+                    procs: Some(3),
+                    threads: Some(4),
+                    ..OptimalParams::default()
+                },
+            );
+            assert!(serial.proven && par.proven);
+            assert_eq!(serial.length, par.length, "seed {seed}");
+            assert!(par.schedule.validate(&g).is_ok());
+            assert!(par.nodes_expanded > 0);
+        }
+    }
+
+    #[test]
+    fn threads_zero_is_explicit_serial() {
+        // Some(0) and Some(1) both take the serial path — byte-identical
+        // counters prove it.
+        let g = crate::exhaustive::tests::random_small(10, 5);
+        let one = solve(&g, &params(3));
+        let zero = solve(
+            &g,
+            &OptimalParams {
+                procs: Some(3),
+                threads: Some(0),
+                ..OptimalParams::default()
+            },
+        );
+        assert_eq!(one.length, zero.length);
+        assert_eq!(one.nodes_expanded, zero.nodes_expanded);
+        assert_eq!(one.pruned, zero.pruned);
     }
 }

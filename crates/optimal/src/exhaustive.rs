@@ -131,6 +131,7 @@ pub mod tests {
                         procs: Some(procs),
                         node_limit: 50_000_000,
                         heuristic_incumbent: true,
+                        threads: Some(1),
                     },
                 );
                 assert!(r.proven, "seed {seed} procs {procs} not proven");

@@ -3,8 +3,10 @@
 //! The RGBOS benchmark family (§5.2 of the paper) measures each heuristic's
 //! *percentage degradation from the optimal solution*; the authors obtained
 //! the optima with a (parallel) A* search \[23\]. This crate provides the
-//! sequential equivalent: a depth-first branch-and-bound over the space of
-//! list schedules.
+//! equivalent: a depth-first branch-and-bound over the space of list
+//! schedules, run serially or — like the paper's reference solver — in
+//! parallel across work-stealing workers (see [`bnb`]'s module docs for
+//! the split/steal design and its determinism contract).
 //!
 //! ## Search space and completeness
 //!
@@ -32,9 +34,26 @@
 //!   realistic search) are the only source of unsoundness and are treated
 //!   as impossible.
 //!
+//! ## Cost model and parallel split
+//!
+//! The search tree is exponential in the worst case; per node the work is
+//! O(p) for the earliest-start probe plus O(v + e) amortized for bound
+//! maintenance. The parallel path ([`OptimalParams::threads`] ≠ 1) splits
+//! shallow DFS prefixes (depth ≤ 8) into stealable jobs on the
+//! work-stealing runtime (`dagsched-ws`, re-exported as `bench::ws`);
+//! replaying a stolen prefix costs O(v·p + e), negligible against its
+//! subtree. The incumbent *length* crosses workers through a single
+//! CAS-min `AtomicU64` — a stale read only weakens a prune bound, never
+//! soundness — so the proven optimum is thread-count independent, and the
+//! returned placements are tie-broken by a canonical placement key rather
+//! than discovery order. `TASKBENCH_THREADS=1` (or `threads: Some(1)`) is
+//! byte-identical to the pre-parallel serial search, node counters
+//! included.
+//!
 //! Searches are capped by node count; [`OptimalResult::proven`] reports
-//! whether the space was exhausted. EXPERIMENTS.md records the proven flag
-//! for every RGBOS instance.
+//! whether the space was exhausted, [`OptimalResult::nodes_expanded`] and
+//! [`OptimalResult::pruned`] how the budget was spent. EXPERIMENTS.md
+//! records the proven flag for every RGBOS instance.
 
 pub mod bnb;
 pub mod exhaustive;

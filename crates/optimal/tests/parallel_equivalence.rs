@@ -1,0 +1,95 @@
+//! Parallel ≡ serial branch-and-bound: makespan equality across a seeded
+//! RGNOS sweep of ≤24-node instances.
+//!
+//! The parallel search explores a different tree fringe (steal timing
+//! decides which equal-length completions are discovered, duplicate
+//! detection is per-worker) but proves the same optimum whenever the
+//! serial search proves one — that is the contract this sweep pins. The
+//! instance list mixes graph sizes (10–24), CCRs (0.1–10), graph
+//! parallelisms and machine widths, and was curated so every entry
+//! *proves* within the node budget (serial search effort spans ~200 to
+//! ~165k expanded nodes) — a capped search's best-found length is
+//! timing-dependent in parallel, so unproven instances would have to be
+//! skipped, and silent skips would hollow the sweep out.
+
+use dagsched_optimal::{solve, OptimalParams};
+use dagsched_suites::rgnos::{self, RgnosParams};
+
+fn params(procs: usize, threads: usize) -> OptimalParams {
+    OptimalParams {
+        procs: Some(procs),
+        node_limit: 1_000_000,
+        heuristic_incumbent: true,
+        threads: Some(threads),
+    }
+}
+
+/// (v, ccr, parallelism, seed, procs) — all proven ≤ 1M nodes serially.
+const SWEEP: &[(usize, f64, u32, u64, usize)] = &[
+    (10, 1.0, 3, 7, 4),
+    (10, 1.0, 3, 42, 2),
+    (10, 1.0, 4, 7, 4),
+    (12, 0.1, 3, 42, 2),
+    (12, 1.0, 4, 7, 2),
+    (12, 10.0, 3, 7, 2),
+    (14, 0.1, 2, 42, 2),
+    (14, 1.0, 3, 42, 2),
+    (14, 0.1, 2, 7, 2),
+    (14, 1.0, 2, 7, 2),
+    (14, 1.0, 4, 7, 4),
+    (16, 0.1, 2, 7, 2),
+    (16, 0.1, 3, 7, 2),
+    (16, 1.0, 2, 7, 2),
+    (16, 1.0, 4, 42, 2),
+    (18, 0.1, 4, 7, 2),
+    (18, 1.0, 3, 7, 2),
+    (20, 1.0, 4, 42, 2),
+    (20, 0.1, 2, 7, 2),
+    (22, 0.1, 3, 7, 4),
+    (22, 10.0, 4, 7, 4),
+    (24, 0.1, 2, 42, 2),
+    (24, 1.0, 3, 7, 4),
+    (24, 1.0, 3, 42, 4),
+    (24, 10.0, 4, 42, 4),
+];
+
+#[test]
+fn parallel_bnb_matches_serial_makespans_on_rgnos_sweep() {
+    for &(v, ccr, par, seed, procs) in SWEEP {
+        let g = rgnos::generate(RgnosParams::new(v, ccr, par, seed));
+        let serial = solve(&g, &params(procs, 1));
+        assert!(
+            serial.proven,
+            "curated instance no longer proves serially: v={v} ccr={ccr} par={par} seed={seed} procs={procs}"
+        );
+        let par4 = solve(&g, &params(procs, 4));
+        assert!(
+            par4.proven,
+            "parallel search capped where serial proved: v={v} ccr={ccr} par={par} seed={seed} procs={procs}"
+        );
+        assert_eq!(
+            serial.length, par4.length,
+            "parallel optimum diverged: v={v} ccr={ccr} par={par} seed={seed} procs={procs}"
+        );
+        par4.schedule
+            .validate(&g)
+            .expect("parallel schedule is feasible");
+        assert!(par4.nodes_expanded > 0 && serial.nodes_expanded > 0);
+    }
+}
+
+#[test]
+fn serial_counters_consistent_across_runs() {
+    // The TASKBENCH_THREADS=1 path is exactly the serial search: two runs
+    // agree on length, nodes_expanded and pruned to the last unit.
+    let g = rgnos::generate(RgnosParams::new(16, 1.0, 3, 11));
+    let a = solve(&g, &params(3, 1));
+    let b = solve(&g, &params(3, 1));
+    assert_eq!(a.length, b.length);
+    assert_eq!(a.nodes_expanded, b.nodes_expanded);
+    assert_eq!(a.pruned, b.pruned);
+    // threads: Some(0) is the same explicit-serial path.
+    let c = solve(&g, &params(3, 0));
+    assert_eq!(a.nodes_expanded, c.nodes_expanded);
+    assert_eq!(a.pruned, c.pruned);
+}

@@ -1,0 +1,521 @@
+//! # dagsched-ws — the work-stealing execution substrate
+//!
+//! One runtime, two consumers: the experiment harness's order-preserving
+//! [`parallel_map_with`] (every sweep in `dagsched-bench` funnels through
+//! it) and the parallel branch-and-bound in `dagsched-optimal` (workers own
+//! subproblem deques and split DFS-frontier prefixes into stealable jobs).
+//!
+//! ## Design
+//!
+//! The runtime is the classic work-stealing shape — per-worker deques with
+//! LIFO owner pop and FIFO steal (Chase–Lev discipline: the owner works
+//! depth-first on its freshest jobs while thieves take the oldest, coarsest
+//! ones) — built on `std` only:
+//!
+//! * [`WsDeque`] — one double-ended job queue per worker. The owner pushes
+//!   and pops at the bottom; thieves steal from the top. Rather than the
+//!   unsafe atomic bottom/top ring buffer of the original Chase–Lev
+//!   structure, the buffer is lock-guarded with an **atomic length hint**:
+//!   thieves scan victims and skip empty deques without touching any lock,
+//!   so the only contended path is a genuine steal — rare by construction,
+//!   and the jobs both consumers enqueue are orders of magnitude coarser
+//!   than a lock handoff. The safe fallback is deliberate: this workspace
+//!   carries no `unsafe`, and nothing here is hot enough to warrant it.
+//! * [`run_jobs`] — spawns a scoped worker pool over a set of seed jobs.
+//!   Jobs may spawn further jobs onto the executing worker's own deque
+//!   ([`Ctx::spawn`]); an atomic count of unfinished jobs provides
+//!   termination detection. Idle workers steal from **randomized victims**
+//!   (per-worker xorshift, no global coordination) and back off
+//!   exponentially — spin, then yield, then parking naps capped at ~1 ms —
+//!   when the whole system looks empty. A panic in any job aborts the pool
+//!   promptly (poison flag checked between jobs) and propagates after the
+//!   scope joins, exactly like `std::thread::scope`.
+//!
+//! ## Determinism contract
+//!
+//! Work stealing makes *who computes what* nondeterministic; both consumers
+//! recover determinism at the edges. [`parallel_map_with`] tags every item
+//! with its input index and scatters worker-local results back into input
+//! order, so the fold order observed by callers is byte-identical across
+//! runs and thread counts. The branch-and-bound reduces through
+//! order-insensitive monotone operations (CAS-min incumbent, canonical-key
+//! tie-break). Nothing in this crate ever reorders caller-visible results.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Worker-count policy
+// ---------------------------------------------------------------------------
+
+/// Parse a `TASKBENCH_THREADS` value. `None` / blank means "no explicit
+/// choice" (`Ok(None)` — caller falls back to all cores); `0` and `1` both
+/// mean explicit serial (`Ok(Some(1))` — `0` used to fall through to all
+/// cores silently, the opposite of what anyone setting it wants); anything
+/// unparsable is rejected with a message rather than ignored.
+pub fn parse_workers(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    let s = raw.trim();
+    if s.is_empty() {
+        return Ok(None);
+    }
+    match s.parse::<usize>() {
+        Ok(0) | Ok(1) => Ok(Some(1)),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "TASKBENCH_THREADS must be a non-negative integer (0 or 1 = serial), got {raw:?}"
+        )),
+    }
+}
+
+/// Worker count: `TASKBENCH_THREADS` when set (`0` or `1` = explicit
+/// serial), otherwise all available cores. Panics with a clear message on
+/// an unparsable value — a thread-count knob that silently ignores its
+/// input is worse than no knob.
+pub fn worker_count() -> usize {
+    let var = std::env::var("TASKBENCH_THREADS").ok();
+    match parse_workers(var.as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Err(msg) => panic!("{msg}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The deque
+// ---------------------------------------------------------------------------
+
+/// A work-stealing double-ended job queue: LIFO [`pop`](WsDeque::pop) for
+/// the owning worker, FIFO [`steal`](WsDeque::steal) for thieves.
+///
+/// The buffer is a lock-guarded `VecDeque` with an atomic length mirror so
+/// thieves can dismiss empty victims lock-free; see the crate docs for why
+/// the lock-guarded fallback is preferred over an unsafe atomic ring here.
+/// All three operations are safe to call from any thread — "owner" and
+/// "thief" are roles, not enforced identities (the property tests exploit
+/// this to drive arbitrary interleavings).
+#[derive(Debug, Default)]
+pub struct WsDeque<T> {
+    buf: Mutex<VecDeque<T>>,
+    len: AtomicUsize,
+}
+
+impl<T> WsDeque<T> {
+    pub fn new() -> WsDeque<T> {
+        WsDeque {
+            buf: Mutex::new(VecDeque::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of queued jobs (a racy snapshot under concurrency).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the deque currently looks empty (racy snapshot; used by
+    /// thieves to skip victims without locking).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Owner push: enqueue at the bottom.
+    pub fn push(&self, item: T) {
+        let mut buf = self.buf.lock().unwrap();
+        buf.push_back(item);
+        self.len.store(buf.len(), Ordering::Release);
+    }
+
+    /// Owner pop: newest job first (LIFO — depth-first on own work).
+    pub fn pop(&self) -> Option<T> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut buf = self.buf.lock().unwrap();
+        let item = buf.pop_back();
+        self.len.store(buf.len(), Ordering::Release);
+        item
+    }
+
+    /// Thief steal: oldest job first (FIFO — coarsest work migrates).
+    pub fn steal(&self) -> Option<T> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut buf = self.buf.lock().unwrap();
+        let item = buf.pop_front();
+        self.len.store(buf.len(), Ordering::Release);
+        item
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+struct Shared<J> {
+    deques: Vec<WsDeque<J>>,
+    /// Jobs enqueued or currently executing. A job counts until its handler
+    /// returns, so children it spawns are visible before it stops counting —
+    /// `pending == 0` therefore really means "nothing left anywhere".
+    pending: AtomicUsize,
+    /// Poison flag: set when a job panics so idle workers stop waiting for
+    /// a `pending` that will never drain.
+    poisoned: AtomicBool,
+}
+
+/// Handle through which an executing job interacts with the pool.
+pub struct Ctx<'a, J> {
+    shared: &'a Shared<J>,
+    worker: usize,
+}
+
+impl<J> Ctx<'_, J> {
+    /// Index of the worker executing the current job (`0..workers`).
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Enqueue a child job on the executing worker's own deque. The owner
+    /// will pop spawned jobs LIFO; idle workers may steal them FIFO.
+    pub fn spawn(&self, job: J) {
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.shared.deques[self.worker].push(job);
+    }
+
+    /// Racy count of jobs enqueued or executing pool-wide. Lets splitting
+    /// consumers stop subdividing once the system is saturated.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+}
+
+/// Disarmable guard: if a handler panics (unwinds past the guard), poison
+/// the pool so every worker bails out instead of spinning forever.
+struct PanicGuard<'a> {
+    poisoned: &'a AtomicBool,
+    armed: bool,
+}
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.poisoned.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Cheap per-worker xorshift for randomized victim selection; seeded from
+/// the worker index so runs are reproducible in the aggregate (the *result*
+/// never depends on who steals what — see the crate docs).
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Execute `seed_jobs` (and everything they [`spawn`](Ctx::spawn)) on
+/// `workers` scoped threads, each folding into its own accumulator.
+///
+/// * `init(w)` builds worker `w`'s accumulator (scratch state, local
+///   results, dedup caches — whatever the consumer folds into);
+/// * `handler(acc, job, ctx)` executes one job;
+/// * the return value is every worker's accumulator, indexed by worker.
+///
+/// Seed jobs are dealt round-robin across the worker deques. Each worker
+/// drains its own deque LIFO and turns thief when empty, stealing FIFO from
+/// randomized victims with exponential backoff parking between failed
+/// sweeps. The pool returns when every job (including spawned descendants)
+/// has executed. A panic in any handler propagates to the caller after all
+/// workers have stopped; every job is executed at most once, and exactly
+/// once when no panic occurs.
+///
+/// `workers == 1` degenerates to an inline serial drain on the calling
+/// thread — no threads are spawned, so single-threaded callers pay nothing.
+pub fn run_jobs<J, A, I, F>(workers: usize, seed_jobs: Vec<J>, init: I, handler: F) -> Vec<A>
+where
+    J: Send,
+    A: Send,
+    I: Fn(usize) -> A + Sync,
+    F: Fn(&mut A, J, &Ctx<J>) + Sync,
+{
+    let workers = workers.max(1);
+    let shared = Shared {
+        deques: (0..workers).map(|_| WsDeque::new()).collect(),
+        pending: AtomicUsize::new(seed_jobs.len()),
+        poisoned: AtomicBool::new(false),
+    };
+    for (i, job) in seed_jobs.into_iter().enumerate() {
+        shared.deques[i % workers].push(job);
+    }
+
+    if workers == 1 {
+        // Serial drain, no threads: identical job order to a lone worker.
+        let mut acc = init(0);
+        let ctx = Ctx {
+            shared: &shared,
+            worker: 0,
+        };
+        while let Some(job) = shared.deques[0].pop() {
+            handler(&mut acc, job, &ctx);
+            shared.pending.fetch_sub(1, Ordering::AcqRel);
+        }
+        return vec![acc];
+    }
+
+    let shared = &shared;
+    let init = &init;
+    let handler = &handler;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut acc = init(w);
+                    let ctx = Ctx { shared, worker: w };
+                    let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ ((w as u64 + 1) << 17);
+                    let mut idle_sweeps = 0u32;
+                    loop {
+                        if shared.poisoned.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let job = shared.deques[w].pop().or_else(|| {
+                            // One randomized sweep over the other deques.
+                            let start = (xorshift(&mut rng) as usize) % workers;
+                            (0..workers)
+                                .map(|i| (start + i) % workers)
+                                .filter(|&v| v != w)
+                                .find_map(|v| shared.deques[v].steal())
+                        });
+                        match job {
+                            Some(job) => {
+                                idle_sweeps = 0;
+                                let mut guard = PanicGuard {
+                                    poisoned: &shared.poisoned,
+                                    armed: true,
+                                };
+                                handler(&mut acc, job, &ctx);
+                                guard.armed = false;
+                                drop(guard);
+                                shared.pending.fetch_sub(1, Ordering::AcqRel);
+                            }
+                            None => {
+                                if shared.pending.load(Ordering::Acquire) == 0 {
+                                    break;
+                                }
+                                // Exponential backoff: spin briefly (work may
+                                // appear any instant), then yield, then park in
+                                // growing naps capped at ~1 ms so a straggler
+                                // holding the last job doesn't burn the CPU.
+                                idle_sweeps += 1;
+                                if idle_sweeps <= 4 {
+                                    std::hint::spin_loop();
+                                } else if idle_sweeps <= 8 {
+                                    std::thread::yield_now();
+                                } else {
+                                    let exp = (idle_sweeps - 8).min(10);
+                                    std::thread::sleep(Duration::from_micros(1 << exp));
+                                }
+                            }
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        // Join everyone before propagating, so a panic can't leave workers
+        // racing the unwinding stack frame.
+        let mut accs = Vec::with_capacity(workers);
+        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+        for h in handles {
+            match h.join() {
+                Ok(acc) => accs.push(acc),
+                Err(p) => panic_payload = Some(p),
+            }
+        }
+        if let Some(p) = panic_payload {
+            std::panic::resume_unwind(p);
+        }
+        accs
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Order-preserving map
+// ---------------------------------------------------------------------------
+
+/// Apply `f` to every item on `workers` work-stealing threads, returning
+/// results in **input order**. Items are moved into the worker deques up
+/// front (no per-item locking handshake on the hot loop); each worker
+/// accumulates `(index, result)` pairs locally, and the pairs are scattered
+/// back into input positions after the pool joins — so the fold order any
+/// caller observes is byte-identical across runs and thread counts. A panic
+/// in `f` propagates after the pool stops.
+pub fn parallel_map_with<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let jobs: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let per_worker = run_jobs(
+        workers,
+        jobs,
+        |_| Vec::new(),
+        |acc: &mut Vec<(usize, R)>, (i, item), _ctx| acc.push((i, f(item))),
+    );
+    let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        debug_assert!(out[i].is_none(), "index {i} computed twice");
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// [`parallel_map_with`] using [`worker_count`] workers.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    parallel_map_with(worker_count(), items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parse_workers_policy() {
+        assert_eq!(parse_workers(None), Ok(None));
+        assert_eq!(parse_workers(Some("")), Ok(None));
+        assert_eq!(parse_workers(Some("  ")), Ok(None));
+        assert_eq!(parse_workers(Some("0")), Ok(Some(1)), "0 = explicit serial");
+        assert_eq!(parse_workers(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_workers(Some("4")), Ok(Some(4)));
+        assert_eq!(parse_workers(Some(" 3 ")), Ok(Some(3)), "whitespace ok");
+        assert!(parse_workers(Some("two")).is_err());
+        assert!(parse_workers(Some("-1")).is_err());
+        assert!(parse_workers(Some("1.5")).is_err());
+    }
+
+    #[test]
+    fn deque_is_lifo_for_owner_fifo_for_thief() {
+        let d = WsDeque::new();
+        for i in 0..4 {
+            d.push(i);
+        }
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.pop(), Some(3), "owner pops newest");
+        assert_eq!(d.steal(), Some(0), "thief steals oldest");
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.steal(), Some(1));
+        assert!(d.is_empty());
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let out = parallel_map_with(4, (0..100u64).collect(), |x| x * 2);
+        assert_eq!(out, (0..100u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..57).collect();
+        assert_eq!(
+            parallel_map_with(1, items.clone(), |x| x * x),
+            parallel_map_with(8, items, |x| x * x)
+        );
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        assert_eq!(
+            parallel_map_with(4, Vec::<u32>::new(), |x| x),
+            Vec::<u32>::new()
+        );
+        assert_eq!(parallel_map_with(4, vec![9u32], |x| x), vec![9]);
+    }
+
+    #[test]
+    fn spawned_jobs_all_execute() {
+        // Each seed job k spawns children k-1, k-2, ..., 0; total executed
+        // jobs must be the full recursion count, on 1 and 4 workers alike.
+        let count = |workers: usize| {
+            let executed = AtomicU64::new(0);
+            run_jobs(
+                workers,
+                vec![6u32, 5, 4],
+                |_| (),
+                |_, job, ctx| {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    for child in 0..job {
+                        ctx.spawn(child);
+                    }
+                },
+            );
+            executed.load(Ordering::Relaxed)
+        };
+        let serial = count(1);
+        assert_eq!(serial, count(4));
+        // 6,5,4 with f(k) = 1 + sum f(0..k): f(0)=1 f(1)=2 f(2)=4 f(3)=8 → 2^k
+        assert_eq!(serial, (1u64 << 6) + (1 << 5) + (1 << 4));
+    }
+
+    #[test]
+    fn accumulators_come_back_per_worker() {
+        let accs = run_jobs(
+            3,
+            (0..30u32).collect(),
+            |w| (w, 0u32),
+            |acc: &mut (usize, u32), job, _| acc.1 += job,
+        );
+        assert_eq!(accs.len(), 3);
+        let total: u32 = accs.iter().map(|(_, s)| s).sum();
+        assert_eq!(total, (0..30).sum::<u32>());
+        for (i, (w, _)) in accs.iter().enumerate() {
+            assert_eq!(i, *w, "accumulators indexed by worker");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "job 13 exploded")]
+    fn panics_propagate_without_hanging() {
+        run_jobs(
+            4,
+            (0..64u32).collect(),
+            |_| (),
+            |_, job, _| {
+                if job == 13 {
+                    panic!("job 13 exploded");
+                }
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "TASKBENCH_THREADS must be")]
+    fn unparsable_thread_count_is_rejected() {
+        match parse_workers(Some("garbage")) {
+            Err(msg) => panic!("{msg}"),
+            Ok(_) => unreachable!(),
+        }
+    }
+}

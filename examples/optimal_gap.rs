@@ -35,6 +35,7 @@ fn main() {
             procs: None,
             node_limit: 10_000_000,
             heuristic_incumbent: true,
+            threads: Some(1),
         },
     );
     println!(
@@ -45,7 +46,7 @@ fn main() {
         } else {
             "best found, node-capped"
         },
-        opt.nodes,
+        opt.nodes_expanded,
         t0.elapsed()
     );
 

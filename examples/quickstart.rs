@@ -65,6 +65,6 @@ fn main() {
         "\nbranch-and-bound optimum: {} ({}, {} nodes expanded)",
         opt.length,
         if opt.proven { "proven" } else { "node-capped" },
-        opt.nodes
+        opt.nodes_expanded
     );
 }

@@ -18,6 +18,7 @@ fn bnb_lower_bounds_every_heuristic_on_rgbos() {
                 procs: None,
                 node_limit: 50_000_000,
                 heuristic_incumbent: true,
+                threads: Some(1),
             },
         );
         assert!(
@@ -52,6 +53,7 @@ fn bnb_respects_ccr_difficulty() {
             procs: None,
             node_limit: 3_000_000,
             heuristic_incumbent: true,
+            threads: Some(1),
         },
     );
     assert!(opt_light.proven);
@@ -111,6 +113,7 @@ fn bnb_on_rgpos_small_instance_confirms_construction() {
             procs: Some(inst.procs),
             node_limit: 5_000_000,
             heuristic_incumbent: true,
+            threads: Some(1),
         },
     );
     assert!(opt.proven);

@@ -33,6 +33,7 @@ proptest! {
             procs: Some(3),
             node_limit: 200_000,
             heuristic_incumbent: true,
+            threads: Some(1),
         });
         prop_assert!(r.schedule.validate(&g).is_ok());
         if r.proven {
@@ -67,6 +68,7 @@ proptest! {
                 procs: Some(p),
                 node_limit: 150_000,
                 heuristic_incumbent: true,
+                threads: Some(1),
             })
         };
         let r2 = solve_p(2);
