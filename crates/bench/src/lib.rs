@@ -28,6 +28,7 @@ pub mod baseline;
 pub mod config;
 pub mod experiments;
 pub mod par;
+pub mod preobs;
 pub mod report;
 pub mod runner;
 pub mod ws;

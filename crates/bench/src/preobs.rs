@@ -1,0 +1,671 @@
+//! Retained **pre-instrumentation** copies of the observability PR's hot
+//! paths, frozen at the revision immediately before `dagsched-obs` landed.
+//!
+//! The zero-cost claim — disabled tracing and hot-path counters cost ≤2% —
+//! cannot be checked against the instrumented code itself: with the
+//! [`dagsched_obs::NullSink`] the events are *supposed* to compile away,
+//! so the only honest baseline is the code as it was before the `Sink`
+//! parameters, `emit!` sites and counter fields existed. This module keeps
+//! those copies verbatim (modulo the deletions themselves):
+//!
+//! * [`PreObsHeap`] — [`dagsched_core::common::IndexedHeap`] without the
+//!   `HeapOps` counter fields;
+//! * [`DscPreObs`] — the DSC engine of PR 4 (same two-heap structure as
+//!   today's `unc::dsc`) with no sink parameter and no counter flush;
+//! * [`bnb_solve_serial`] — the serial branch-and-bound of PR 6: same
+//!   `State`/bounds/signature code, undivided prune counter, no events.
+//!
+//! `perf_baseline`'s `trace_overhead` section times these against the
+//! production paths on the same instances and asserts the ratio; the
+//! placement/counter identity asserts double as a freshness check — if the
+//! production algorithm changes behaviour, the frozen copy fails loudly
+//! and must be re-frozen in the same PR.
+
+use dagsched_core::{registry, AlgoClass, Env, Outcome, SchedError, Scheduler};
+use dagsched_graph::{levels, TaskGraph, TaskId};
+use dagsched_platform::{ProcId, Schedule};
+use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
+
+// ---------------------------------------------------------------------------
+// Counter-free indexed heap (pre-PR-7 IndexedHeap)
+// ---------------------------------------------------------------------------
+
+const ABSENT: u32 = u32::MAX;
+
+/// The rekeyable indexed max-heap exactly as it stood before the `HeapOps`
+/// counters: same layout, same tie-break (max key, ties toward the
+/// smallest handle), no bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PreObsHeap<K: Ord + Copy> {
+    heap: Vec<u32>,
+    pos: Vec<u32>,
+    keys: Vec<Option<K>>,
+}
+
+impl<K: Ord + Copy> PreObsHeap<K> {
+    pub fn new(capacity: usize) -> PreObsHeap<K> {
+        PreObsHeap {
+            heap: Vec::with_capacity(capacity),
+            pos: vec![ABSENT; capacity],
+            keys: vec![None; capacity],
+        }
+    }
+
+    #[inline]
+    pub fn contains(&self, handle: u32) -> bool {
+        self.pos[handle as usize] != ABSENT
+    }
+
+    pub fn insert(&mut self, handle: u32, key: K) {
+        assert!(
+            !self.contains(handle),
+            "insert: handle {handle} already in the heap"
+        );
+        self.keys[handle as usize] = Some(key);
+        let slot = self.heap.len();
+        self.heap.push(handle);
+        self.pos[handle as usize] = slot as u32;
+        self.sift_up(slot);
+    }
+
+    pub fn peek_max(&self) -> Option<u32> {
+        self.heap.first().copied()
+    }
+
+    pub fn pop_max(&mut self) -> Option<u32> {
+        let top = *self.heap.first()?;
+        self.remove(top);
+        Some(top)
+    }
+
+    pub fn remove(&mut self, handle: u32) {
+        let slot = self.pos[handle as usize];
+        assert!(slot != ABSENT, "remove: handle {handle} not in the heap");
+        let slot = slot as usize;
+        let last = self.heap.len() - 1;
+        self.heap.swap(slot, last);
+        self.pos[self.heap[slot] as usize] = slot as u32;
+        self.heap.pop();
+        self.pos[handle as usize] = ABSENT;
+        self.keys[handle as usize] = None;
+        if slot < self.heap.len() {
+            let moved = slot;
+            if !self.sift_up(moved) {
+                self.sift_down(moved);
+            }
+        }
+    }
+
+    pub fn increase_key(&mut self, handle: u32, key: K) {
+        debug_assert!(
+            self.pos[handle as usize] != ABSENT
+                && self.keys[handle as usize].is_some_and(|old| key >= old),
+            "increase_key: key must not decrease"
+        );
+        self.keys[handle as usize] = Some(key);
+        self.sift_up(self.pos[handle as usize] as usize);
+    }
+
+    #[inline]
+    fn outranks(&self, a: u32, b: u32) -> bool {
+        let (ka, kb) = (self.keys[a as usize], self.keys[b as usize]);
+        debug_assert!(ka.is_some() && kb.is_some());
+        match ka.cmp(&kb) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => a < b,
+        }
+    }
+
+    fn sift_up(&mut self, mut slot: usize) -> bool {
+        let mut moved = false;
+        while slot > 0 {
+            let parent = (slot - 1) / 2;
+            if !self.outranks(self.heap[slot], self.heap[parent]) {
+                break;
+            }
+            self.heap.swap(slot, parent);
+            self.pos[self.heap[slot] as usize] = slot as u32;
+            self.pos[self.heap[parent] as usize] = parent as u32;
+            slot = parent;
+            moved = true;
+        }
+        moved
+    }
+
+    fn sift_down(&mut self, mut slot: usize) {
+        loop {
+            let (l, r) = (2 * slot + 1, 2 * slot + 2);
+            let mut best = slot;
+            if l < self.heap.len() && self.outranks(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.outranks(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == slot {
+                break;
+            }
+            self.heap.swap(slot, best);
+            self.pos[self.heap[slot] as usize] = slot as u32;
+            self.pos[self.heap[best] as usize] = best as u32;
+            slot = best;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-obs DSC (PR 4's heap engine, no sink / no counters)
+// ---------------------------------------------------------------------------
+
+/// The incremental-priority-queue DSC exactly as shipped by PR 4: same
+/// selection rule, DSRW guard and edge relaxation as today's `unc::dsc`,
+/// with no trace sink and no heap-operation counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DscPreObs;
+
+impl Scheduler for DscPreObs {
+    fn name(&self) -> &'static str {
+        "DSC-preobs"
+    }
+
+    fn class(&self) -> AlgoClass {
+        AlgoClass::Unc
+    }
+
+    fn schedule(&self, g: &TaskGraph, _env: &Env) -> Result<Outcome, SchedError> {
+        let v = g.num_tasks();
+        let bl = g.levels().b_levels();
+        let mut s = Schedule::new(v, v);
+        let mut tlevel = vec![0u64; v];
+        let mut missing: Vec<u32> = g.tasks().map(|n| g.in_degree(n) as u32).collect();
+        let mut free: PreObsHeap<u64> = PreObsHeap::new(v);
+        for n in g.entries() {
+            free.insert(n.0, bl[n.index()]);
+        }
+        let mut partial: PreObsHeap<u64> = PreObsHeap::new(v);
+        let mut next_fresh = 0u32;
+
+        while let Some(h) = free.pop_max() {
+            let nf = TaskId(h);
+            let pfp = partial.peek_max().map(TaskId);
+
+            let mut best: Option<(u64, ProcId)> = None;
+            let mut parent_procs: Vec<ProcId> = g
+                .preds(nf)
+                .iter()
+                .filter_map(|&(q, _)| s.proc_of(q))
+                .collect();
+            parent_procs.sort_unstable();
+            parent_procs.dedup();
+            for &p in &parent_procs {
+                let start = append_start(g, &s, nf, p);
+                if best.is_none_or(|(bs, bp)| start < bs || (start == bs && p < bp)) {
+                    best = Some((start, p));
+                }
+            }
+
+            let mut placed = false;
+            if let Some((start, p)) = best {
+                if start < tlevel[nf.index()] {
+                    let dsrw_ok = match pfp {
+                        Some(pf) if priority(pf, &tlevel, bl) > priority(nf, &tlevel, bl) => {
+                            let before = append_start(g, &s, pf, p);
+                            s.place(nf, p, start, g.weight(nf))
+                                .expect("append start is free");
+                            let after = append_start(g, &s, pf, p);
+                            s.unplace(nf);
+                            after <= before
+                        }
+                        _ => true,
+                    };
+                    if dsrw_ok {
+                        s.place(nf, p, start, g.weight(nf))
+                            .expect("append start is free");
+                        tlevel[nf.index()] = start;
+                        placed = true;
+                    }
+                }
+            }
+            if !placed {
+                while !s.timeline(ProcId(next_fresh)).is_empty() {
+                    next_fresh += 1;
+                }
+                let p = ProcId(next_fresh);
+                let start = tlevel[nf.index()];
+                s.place(nf, p, start, g.weight(nf))
+                    .expect("fresh cluster is idle");
+            }
+
+            let fin = s.finish_of(nf).expect("just placed");
+            for &(c, cost) in g.succs(nf) {
+                let ci = c.index();
+                if fin + cost > tlevel[ci] {
+                    tlevel[ci] = fin + cost;
+                    if partial.contains(c.0) {
+                        partial.increase_key(c.0, tlevel[ci] + bl[ci]);
+                    }
+                }
+                missing[ci] -= 1;
+                if missing[ci] == 0 {
+                    if partial.contains(c.0) {
+                        partial.remove(c.0);
+                    }
+                    free.insert(c.0, tlevel[ci] + bl[ci]);
+                } else if !partial.contains(c.0) {
+                    partial.insert(c.0, tlevel[ci] + bl[ci]);
+                }
+            }
+        }
+
+        Ok(Outcome {
+            schedule: s,
+            network: None,
+        })
+    }
+}
+
+#[inline]
+fn priority(n: TaskId, tlevel: &[u64], bl: &[u64]) -> u64 {
+    tlevel[n.index()] + bl[n.index()]
+}
+
+fn append_start(g: &TaskGraph, s: &Schedule, n: TaskId, p: ProcId) -> u64 {
+    let mut drt = 0u64;
+    for &(q, c) in g.preds(n) {
+        if let Some(pl) = s.placement(q) {
+            let cost = if pl.proc == p { 0 } else { c };
+            drt = drt.max(pl.finish + cost);
+        }
+    }
+    s.timeline(p).earliest_append(drt)
+}
+
+// ---------------------------------------------------------------------------
+// Pre-obs serial branch-and-bound (PR 6's search, no sink / one prune cell)
+// ---------------------------------------------------------------------------
+
+/// What the pre-obs serial search reports: the same numbers as
+/// [`dagsched_optimal::OptimalResult`] before the per-bound prune split.
+#[derive(Debug, Clone)]
+pub struct PreObsBnb {
+    pub length: u64,
+    pub proven: bool,
+    pub nodes_expanded: u64,
+    pub pruned: u64,
+}
+
+struct BnbState<'g> {
+    g: &'g TaskGraph,
+    procs: usize,
+    weights: Vec<u64>,
+    slc: Vec<u64>,
+    proc_ready: Vec<u64>,
+    finish: Vec<u64>,
+    proc_of: Vec<u8>,
+    scheduled: Vec<bool>,
+    missing: Vec<u32>,
+    ready: Vec<TaskId>,
+    n_scheduled: usize,
+    makespan: u64,
+    total_remaining: u64,
+    current: Vec<(ProcId, u64)>,
+}
+
+impl<'g> BnbState<'g> {
+    fn new(g: &'g TaskGraph, procs: usize) -> BnbState<'g> {
+        let v = g.num_tasks();
+        BnbState {
+            g,
+            procs,
+            weights: g.weights().to_vec(),
+            slc: levels::static_levels(g),
+            proc_ready: vec![0; procs],
+            finish: vec![0; v],
+            proc_of: vec![u8::MAX; v],
+            scheduled: vec![false; v],
+            missing: g.tasks().map(|n| g.in_degree(n) as u32).collect(),
+            ready: g.entries().collect(),
+            n_scheduled: 0,
+            makespan: 0,
+            total_remaining: g.total_work(),
+            current: vec![(ProcId(0), 0); v],
+        }
+    }
+
+    fn complete(&self) -> bool {
+        self.n_scheduled == self.g.num_tasks()
+    }
+
+    fn est(&self, n: TaskId, p: ProcId) -> u64 {
+        let mut drt = 0u64;
+        for &(q, c) in self.g.preds(n) {
+            let arrive = if self.proc_of[q.index()] as u32 == p.0 {
+                self.finish[q.index()]
+            } else {
+                self.finish[q.index()] + c
+            };
+            drt = drt.max(arrive);
+        }
+        drt.max(self.proc_ready[p.index()])
+    }
+
+    fn ordered_moves(&self) -> Vec<(TaskId, u64, u32)> {
+        let mut tasks: Vec<TaskId> = self.ready.clone();
+        tasks.sort_unstable_by_key(|&n| (std::cmp::Reverse(self.slc[n.index()]), n.0));
+        let mut all = Vec::with_capacity(tasks.len() * self.procs);
+        for n in tasks {
+            let mut opened_empty = false;
+            let mut moves: Vec<(u64, u32)> = Vec::with_capacity(self.procs);
+            for pi in 0..self.procs as u32 {
+                let empty =
+                    self.proc_ready[pi as usize] == 0 && !self.proc_of.contains(&(pi as u8));
+                if empty {
+                    if opened_empty {
+                        continue;
+                    }
+                    opened_empty = true;
+                }
+                let start = self.est(n, ProcId(pi));
+                moves.push((start, pi));
+            }
+            moves.sort_unstable();
+            for (start, pi) in moves {
+                all.push((n, start, pi));
+            }
+        }
+        all
+    }
+
+    fn apply(&mut self, n: TaskId, p: ProcId, start: u64) {
+        let fin = start + self.weights[n.index()];
+        self.current[n.index()] = (p, start);
+        self.proc_of[n.index()] = p.0 as u8;
+        self.finish[n.index()] = fin;
+        self.scheduled[n.index()] = true;
+        self.proc_ready[p.index()] = fin;
+        self.makespan = self.makespan.max(fin);
+        self.total_remaining -= self.weights[n.index()];
+        self.n_scheduled += 1;
+        let pos = self
+            .ready
+            .iter()
+            .position(|&r| r == n)
+            .expect("n was ready");
+        self.ready.swap_remove(pos);
+        for &(c, _) in self.g.succs(n) {
+            self.missing[c.index()] -= 1;
+            if self.missing[c.index()] == 0 {
+                self.ready.push(c);
+            }
+        }
+    }
+
+    fn undo(&mut self, n: TaskId, p: ProcId, start: u64) {
+        for &(c, _) in self.g.succs(n) {
+            if self.missing[c.index()] == 0 {
+                let pos = self
+                    .ready
+                    .iter()
+                    .position(|&r| r == c)
+                    .expect("child was ready");
+                self.ready.swap_remove(pos);
+            }
+            self.missing[c.index()] += 1;
+        }
+        self.ready.push(n);
+        self.n_scheduled -= 1;
+        self.total_remaining += self.weights[n.index()];
+        self.scheduled[n.index()] = false;
+        self.proc_of[n.index()] = u8::MAX;
+        let _ = start;
+        let mut pr = 0u64;
+        for t in self.g.tasks() {
+            if self.scheduled[t.index()] && self.proc_of[t.index()] as u32 == p.0 {
+                pr = pr.max(self.finish[t.index()]);
+            }
+        }
+        self.proc_ready[p.index()] = pr;
+        let mut m = 0u64;
+        for t in self.g.tasks() {
+            if self.scheduled[t.index()] {
+                m = m.max(self.finish[t.index()]);
+            }
+        }
+        self.makespan = m;
+    }
+
+    fn lower_bound(&self) -> u64 {
+        let mut lb = self.makespan;
+        let busy: u64 = self.proc_ready.iter().sum();
+        lb = lb.max((busy + self.total_remaining).div_ceil(self.procs as u64));
+        let mut ees = vec![0u64; self.g.num_tasks()];
+        let mut cp_bound = 0u64;
+        for &n in self.g.topo_order() {
+            if self.scheduled[n.index()] {
+                continue;
+            }
+            let mut start = 0u64;
+            for &(q, _) in self.g.preds(n) {
+                let t = if self.scheduled[q.index()] {
+                    self.finish[q.index()]
+                } else {
+                    ees[q.index()] + self.weights[q.index()]
+                };
+                start = start.max(t);
+            }
+            ees[n.index()] = start;
+            cp_bound = cp_bound.max(start + self.slc[n.index()]);
+        }
+        lb.max(cp_bound)
+    }
+
+    fn signature(&self) -> u128 {
+        let mut first_task = vec![u32::MAX; self.procs];
+        for t in self.g.tasks() {
+            let p = self.proc_of[t.index()];
+            if p != u8::MAX {
+                let slot = &mut first_task[p as usize];
+                *slot = (*slot).min(t.0);
+            }
+        }
+        let mut order: Vec<usize> = (0..self.procs).collect();
+        order.sort_unstable_by_key(|&p| first_task[p]);
+        let mut canon = vec![u8::MAX; self.procs];
+        for (rank, &p) in order.iter().enumerate() {
+            canon[p] = rank as u8;
+        }
+        let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h2: u64 = 0x9e37_79b9_7f4a_7c15;
+        let fold = |h: &mut u64, x: u64, prime: u64| {
+            *h ^= x;
+            *h = h.wrapping_mul(prime);
+        };
+        for t in self.g.tasks() {
+            if self.scheduled[t.index()] {
+                let p = canon[self.proc_of[t.index()] as usize] as u64;
+                let key = (t.0 as u64) << 40 | p << 32 | self.current[t.index()].1;
+                fold(&mut h1, key, 0x0000_0100_0000_01B3);
+                fold(&mut h2, key, 0xff51_afd7_ed55_8ccd);
+            }
+        }
+        (h1 as u128) << 64 | h2 as u128
+    }
+}
+
+fn canon_key(placements: &[(ProcId, u64)], procs: usize) -> Vec<(u8, u64)> {
+    let mut rank = vec![u8::MAX; procs];
+    let mut next = 0u8;
+    let mut key = Vec::with_capacity(placements.len());
+    for &(p, start) in placements {
+        let r = &mut rank[p.index()];
+        if *r == u8::MAX {
+            *r = next;
+            next += 1;
+        }
+        key.push((*r, start));
+    }
+    key
+}
+
+struct PreObsCtl {
+    best_len: Cell<u64>,
+    best: RefCell<Vec<(ProcId, u64)>>,
+    best_key: RefCell<Option<Vec<(u8, u64)>>>,
+    nodes: Cell<u64>,
+    pruned: Cell<u64>,
+    node_limit: u64,
+    capped: Cell<bool>,
+}
+
+impl PreObsCtl {
+    fn offer(&self, len: u64, placements: &[(ProcId, u64)], procs: usize) {
+        let cur = self.best_len.get();
+        if len > cur {
+            return;
+        }
+        let key = canon_key(placements, procs);
+        let better = len < cur
+            || match &*self.best_key.borrow() {
+                None => true,
+                Some(k) => key < *k,
+            };
+        if better {
+            self.best_len.set(len);
+            self.best.borrow_mut().copy_from_slice(placements);
+            *self.best_key.borrow_mut() = Some(key);
+        }
+    }
+
+    fn note_expanded(&self) -> bool {
+        if self.nodes.get() >= self.node_limit {
+            self.capped.set(true);
+            return false;
+        }
+        self.nodes.set(self.nodes.get() + 1);
+        true
+    }
+}
+
+fn dfs(state: &mut BnbState<'_>, seen: &mut HashSet<u128>, ctl: &PreObsCtl) {
+    if !ctl.note_expanded() {
+        return;
+    }
+    if state.complete() {
+        ctl.offer(state.makespan, &state.current, state.procs);
+        return;
+    }
+    if state.lower_bound() >= ctl.best_len.get() {
+        ctl.pruned.set(ctl.pruned.get() + 1);
+        return;
+    }
+    if !seen.insert(state.signature()) {
+        ctl.pruned.set(ctl.pruned.get() + 1);
+        return;
+    }
+    for (n, start, pi) in state.ordered_moves() {
+        state.apply(n, ProcId(pi), start);
+        dfs(state, seen, ctl);
+        state.undo(n, ProcId(pi), start);
+        if ctl.capped.get() {
+            return;
+        }
+    }
+}
+
+/// The serial branch-and-bound exactly as PR 6 shipped it: heuristic
+/// incumbent from the registry roster, then the uninstrumented DFS. Same
+/// expansion order and bound tests as `dagsched_optimal::solve` with
+/// `threads = Some(1)`, so `nodes_expanded` and `pruned` must match the
+/// production counters exactly.
+pub fn bnb_solve_serial(g: &TaskGraph, procs: usize, node_limit: u64) -> PreObsBnb {
+    let v = g.num_tasks();
+    assert!(v <= 64, "branch-and-bound supports at most 64 tasks");
+    let procs = procs.min(v).max(1);
+
+    let mut best_len = u64::MAX;
+    let mut best: Vec<(ProcId, u64)> = vec![(ProcId(0), 0); v];
+    let env = Env::bnp(procs);
+    for algo in registry::bnp().into_iter().chain(registry::unc()) {
+        if let Ok(out) = algo.schedule(g, &env) {
+            if out.schedule.procs_used() <= procs {
+                let m = out.schedule.makespan();
+                if m < best_len {
+                    best_len = m;
+                    let compact = out.schedule.compact_procs();
+                    for n in g.tasks() {
+                        let pl = compact.placement(n).expect("complete");
+                        best[n.index()] = (pl.proc, pl.start);
+                    }
+                }
+            }
+        }
+    }
+
+    let ctl = PreObsCtl {
+        best_key: RefCell::new((best_len != u64::MAX).then(|| canon_key(&best, procs))),
+        best_len: Cell::new(best_len),
+        best: RefCell::new(best),
+        nodes: Cell::new(0),
+        pruned: Cell::new(0),
+        node_limit,
+        capped: Cell::new(false),
+    };
+    let mut state = BnbState::new(g, procs);
+    let mut seen = HashSet::new();
+    dfs(&mut state, &mut seen, &ctl);
+    PreObsBnb {
+        length: ctl.best_len.get(),
+        proven: !ctl.capped.get(),
+        nodes_expanded: ctl.nodes.get(),
+        pruned: ctl.pruned.get(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dagsched_optimal::{solve, OptimalParams};
+    use dagsched_suites::rgnos::{self, RgnosParams};
+
+    #[test]
+    fn preobs_dsc_is_placement_identical_to_production() {
+        // The freshness check: the frozen copy must still compute the
+        // exact schedule of today's instrumented DSC.
+        let dsc = registry::by_name("DSC").unwrap();
+        let env = Env::bnp(1);
+        for seed in [7u64, 42] {
+            let g = rgnos::generate(RgnosParams::new(300, 1.0, 3, seed));
+            let a = DscPreObs.schedule(&g, &env).unwrap();
+            let b = dsc.schedule(&g, &env).unwrap();
+            for n in g.tasks() {
+                assert_eq!(
+                    a.schedule.placement(n),
+                    b.schedule.placement(n),
+                    "pre-obs DSC diverged on seed {seed} task {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn preobs_bnb_counters_match_production_serial() {
+        for seed in [5u64, 42] {
+            let g = rgnos::generate(RgnosParams::new(12, 1.0, 3, seed));
+            let pre = bnb_solve_serial(&g, 3, 4_000_000);
+            let prod = solve(
+                &g,
+                &OptimalParams {
+                    procs: Some(3),
+                    threads: Some(1),
+                    ..OptimalParams::default()
+                },
+            );
+            assert!(pre.proven && prod.proven);
+            assert_eq!(pre.length, prod.length, "seed {seed}");
+            assert_eq!(pre.nodes_expanded, prod.nodes_expanded, "seed {seed}");
+            assert_eq!(pre.pruned, prod.pruned, "seed {seed}");
+        }
+    }
+}

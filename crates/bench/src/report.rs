@@ -1,9 +1,11 @@
 //! Machine-readable benchmark reports (`BENCH_RESULTS.json`).
 //!
 //! Serde is unavailable offline, so this is a tiny hand-rolled JSON value
-//! tree with a serializer — enough for flat metric records. The
-//! `perf_baseline` binary writes the workspace's `BENCH_RESULTS.json` with
-//! it so the perf trajectory is tracked from the first baseline onward.
+//! tree with a serializer and a strict parser — enough for flat metric
+//! records. The `perf_baseline` binary writes the workspace's
+//! `BENCH_RESULTS.json` with it, and `taskbench bench-history` reads the
+//! `BENCH_HISTORY.jsonl` trend file back through [`Json::parse`], so the
+//! perf trajectory is tracked from the first baseline onward.
 
 use std::fmt::Write as _;
 
@@ -23,6 +25,38 @@ pub enum Json {
 impl Json {
     pub fn str(s: impl Into<String>) -> Json {
         Json::Str(s.into())
+    }
+
+    /// Look up a field of a [`Json::Obj`] by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of an [`Json::Int`] or [`Json::Num`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Parse one complete JSON document. Strict: trailing input (other
+    /// than whitespace), trailing commas, and bare tokens are errors. A
+    /// number without `.`/`e` parses as [`Json::Int`], otherwise
+    /// [`Json::Num`] — the inverse of the serializer.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(value)
     }
 
     pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
@@ -142,9 +176,230 @@ impl Json {
     }
 }
 
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at byte {pos}")),
+                };
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            Err(format!("null at byte {pos}: reports never contain null"))
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte '{}' at {pos}", *c as char)),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut s = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(s);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b'b') => s.push('\u{8}'),
+                    Some(b'f') => s.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| format!("bad \\u escape: {e}"))?;
+                        // Reports only ever escape control characters
+                        // (BMP, non-surrogate); reject the rest.
+                        s.push(
+                            char::from_u32(code)
+                                .ok_or(format!("\\u{code:04x} is not a scalar value"))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is
+                // always on a boundary).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                if (c as u32) < 0x20 {
+                    return Err(format!("unescaped control character at byte {pos}"));
+                }
+                s.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    if float {
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number '{text}': {e}"))
+    } else {
+        text.parse::<i64>()
+            .map(Json::Int)
+            .map_err(|e| format!("bad number '{text}': {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_round_trips_the_serializer() {
+        let j = Json::obj([
+            ("sha", Json::str("abc\"12\\3")),
+            ("speedup", Json::Num(6.5)),
+            ("neg", Json::Int(-3)),
+            ("sizes", Json::Arr(vec![Json::Int(200), Json::Int(1000)])),
+            ("ok", Json::Bool(true)),
+            ("empty", Json::Arr(vec![])),
+            ("nested", Json::obj([("tab", Json::str("a\tb\n"))])),
+        ]);
+        assert_eq!(Json::parse(&j.compact()).unwrap(), j);
+        assert_eq!(Json::parse(&j.pretty()).unwrap(), j);
+    }
+
+    #[test]
+    fn parse_distinguishes_int_from_float() {
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(Json::parse("42.0").unwrap(), Json::Num(42.0));
+        assert_eq!(Json::parse("-1e2").unwrap(), Json::Num(-100.0));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "tru",
+            "null",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "{1:2}",
+            "1 2",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn get_and_as_f64_accessors() {
+        let j = Json::parse(r#"{"a":1,"b":2.5,"c":"x"}"#).unwrap();
+        assert_eq!(j.get("a").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(j.get("b").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(j.get("c").and_then(Json::as_f64), None);
+        assert_eq!(j.get("c"), Some(&Json::str("x")));
+        assert_eq!(j.get("missing"), None);
+    }
 
     #[test]
     fn serializes_nested_structures() {

@@ -3,6 +3,7 @@
 use dagsched_core::{Env, Scheduler};
 use dagsched_graph::TaskGraph;
 use dagsched_metrics::measures;
+use dagsched_obs::{global, HistId, Metric};
 use std::time::Duration;
 
 /// The measurements the paper reports for one (algorithm, graph) run.
@@ -30,6 +31,13 @@ pub fn run_timed(algo: &dyn Scheduler, g: &TaskGraph, env: &Env) -> RunRecord {
             g.name()
         )
     });
+    // One registry touch per cell (a cell is milliseconds of work, so the
+    // sharded add + histogram record are noise): the profile front door
+    // reads these as the sweep-shape summary.
+    global().incr(Metric::RunnerCells);
+    global()
+        .hist(HistId::RunnerCellUs)
+        .record(elapsed.as_micros() as u64);
     RunRecord {
         algo: algo.name(),
         makespan: out.schedule.makespan(),

@@ -49,11 +49,12 @@
 //! the 8-processor hypercube); `perf_baseline` gates ≥5×.
 
 use dagsched_graph::{levels, TaskGraph, TaskId};
+use dagsched_obs::{emit, Event, NullSink, Sink, TrialVerdict};
 use dagsched_platform::ProcId;
 
 use crate::{AlgoClass, Env, Outcome, SchedError, Scheduler};
 
-use super::{ApplyOutcome, Cutoff, ReplayEngine};
+use super::{ApplyOutcome, CutReason, Cutoff, ReplayEngine};
 
 /// The BSA scheduler.
 #[derive(Debug, Default, Clone, Copy)]
@@ -69,41 +70,67 @@ impl Scheduler for Bsa {
     }
 
     fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
-        if env.procs() == 0 {
-            return Err(SchedError::NoProcessors);
-        }
-        let topo = &env.topology;
-        let procs = topo.num_procs();
-        let seq = cpn_dominant_sequence(g);
-        let mut seq_pos = vec![0usize; g.num_tasks()];
-        for (i, &n) in seq.iter().enumerate() {
-            seq_pos[n.index()] = i;
-        }
+        run(g, env, &mut NullSink)
+    }
 
-        // Phase 2: serial injection on the pivot.
-        let pivot = ProcId(0);
-        let mut orders: Vec<Vec<TaskId>> = vec![Vec::new(); procs];
-        orders[pivot.index()] = seq.clone();
-        let mut engine = ReplayEngine::new(g, env)?;
-        let ok = engine.apply(g, &orders);
-        debug_assert!(ok, "serial injection follows a topological order");
+    fn schedule_traced(
+        &self,
+        g: &TaskGraph,
+        env: &Env,
+        mut sink: &mut dyn Sink,
+    ) -> Result<Outcome, SchedError> {
+        run(g, env, &mut sink)
+    }
+}
 
-        // The *decided* schedule (the state `replay(orders)` would build)
-        // is tracked through caches instead of being kept live in the
-        // engine: after a rejected candidate loop nothing changed, so the
-        // engine is allowed to idle on a half-built trial until the next
-        // candidate diffs against it — rejected tasks cost a short
-        // rollback instead of a full suffix rebuild. The caches refresh
-        // only when a migration is accepted (the engine then really lands
-        // on the decided orders).
-        let mut assignment: Vec<ProcId> = vec![pivot; g.num_tasks()];
-        let mut starts: Vec<u64> = vec![0; g.num_tasks()];
-        let mut decided_makespan = 0u64;
-        let mut decided_tails: Vec<u64> = vec![0; procs];
-        let refresh = |st: &super::ApnState,
-                       starts: &mut Vec<u64>,
-                       makespan: &mut u64,
-                       tails: &mut Vec<u64>| {
+/// Which dominance bound rejected a trial, as a trace verdict (see
+/// [`super::CutReason`]).
+fn verdict_of(reason: CutReason) -> TrialVerdict {
+    match reason {
+        CutReason::ProbeAhead => TrialVerdict::CutProbeAhead,
+        CutReason::RowWork => TrialVerdict::CutRowWork,
+        CutReason::Finish => TrialVerdict::CutFinish,
+        CutReason::WatchStart => TrialVerdict::CutWatchStart,
+        CutReason::TieCap => TrialVerdict::CutTieCap,
+        CutReason::TargetTail => TrialVerdict::CutTargetTail,
+    }
+}
+
+/// The engine proper, generic over the trace sink (see `dsc::run`).
+fn run<S: Sink>(g: &TaskGraph, env: &Env, sink: &mut S) -> Result<Outcome, SchedError> {
+    if env.procs() == 0 {
+        return Err(SchedError::NoProcessors);
+    }
+    let topo = &env.topology;
+    let procs = topo.num_procs();
+    let seq = cpn_dominant_sequence(g);
+    let mut seq_pos = vec![0usize; g.num_tasks()];
+    for (i, &n) in seq.iter().enumerate() {
+        seq_pos[n.index()] = i;
+    }
+
+    // Phase 2: serial injection on the pivot.
+    let pivot = ProcId(0);
+    let mut orders: Vec<Vec<TaskId>> = vec![Vec::new(); procs];
+    orders[pivot.index()] = seq.clone();
+    let mut engine = ReplayEngine::new(g, env)?;
+    let ok = engine.apply(g, &orders);
+    debug_assert!(ok, "serial injection follows a topological order");
+
+    // The *decided* schedule (the state `replay(orders)` would build)
+    // is tracked through caches instead of being kept live in the
+    // engine: after a rejected candidate loop nothing changed, so the
+    // engine is allowed to idle on a half-built trial until the next
+    // candidate diffs against it — rejected tasks cost a short
+    // rollback instead of a full suffix rebuild. The caches refresh
+    // only when a migration is accepted (the engine then really lands
+    // on the decided orders).
+    let mut assignment: Vec<ProcId> = vec![pivot; g.num_tasks()];
+    let mut starts: Vec<u64> = vec![0; g.num_tasks()];
+    let mut decided_makespan = 0u64;
+    let mut decided_tails: Vec<u64> = vec![0; procs];
+    let refresh =
+        |st: &super::ApnState, starts: &mut Vec<u64>, makespan: &mut u64, tails: &mut Vec<u64>| {
             for t in g.tasks() {
                 starts[t.index()] = st.s.start_of(t).expect("complete");
             }
@@ -112,91 +139,96 @@ impl Scheduler for Bsa {
                 *tail = st.s.timeline(ProcId(r as u32)).ready_time();
             }
         };
-        refresh(
-            engine.state(),
-            &mut starts,
-            &mut decided_makespan,
-            &mut decided_tails,
-        );
-        let mut neighbor_order: Vec<ProcId> = Vec::new();
+    refresh(
+        engine.state(),
+        &mut starts,
+        &mut decided_makespan,
+        &mut decided_tails,
+    );
+    let mut neighbor_order: Vec<ProcId> = Vec::new();
+    // Trial tallies, kept in locals on the hot path and flushed to the
+    // global registry once at the end of the run.
+    let (mut trials, mut trials_cut, mut trials_accepted) = (0u64, 0u64, 0u64);
 
-        // Phase 3: bubble tasks outward, processor by processor. The
-        // `orders` vector is edited in place per candidate (move `n` from
-        // `p`'s row into `q`'s at its sequence position) and undone after
-        // the engine evaluates it — no cloning, no from-scratch replays.
-        // Each processor's snapshot is its decided row: under the append
-        // policy tasks execute in row order, so this equals the old
-        // `tasks_on(p)` execution-order snapshot.
-        for p in topo.bfs_order(pivot) {
-            let snapshot = orders[p.index()].clone();
-            for n in snapshot {
-                if assignment[n.index()] != p {
-                    continue; // already bubbled away by an earlier decision
-                }
-                let cur_start = starts[n.index()];
-                let cur_makespan = decided_makespan;
-                let pos_in_p = orders[p.index()]
-                    .iter()
-                    .position(|&t| t == n)
-                    .expect("orders track placements");
-                let mut best: Option<(u64, u64, u32, usize)> = None;
-                // Evaluate likely-rejected neighbours first, likely winner
-                // last. The winning key is the lexicographic minimum over
-                // (start, makespan, q) — evaluation order cannot change it
-                // — but when the winner happens to be the last trial
-                // evaluated, accepting it re-applies against an
-                // already-live state for free. The rank is a heuristic
-                // (decided tail plus uncontended parent arrivals, higher =
-                // more likely cut early); correctness never depends on it.
-                neighbor_order.clear();
-                neighbor_order.extend(topo.neighbors(p).iter().map(|&(q, _)| q));
-                let rank = |q: ProcId| -> u64 {
-                    let mut r = decided_tails[q.index()];
-                    for &(par, c) in g.preds(n) {
-                        let pf = starts[par.index()] + g.weight(par);
-                        let pp = assignment[par.index()];
-                        let arr = if pp == q || c == 0 {
-                            pf
-                        } else {
-                            pf + c * topo.distance(pp, q) as u64
-                        };
-                        r = r.max(arr);
-                    }
-                    r
-                };
-                neighbor_order.sort_by_key(|&q| std::cmp::Reverse((rank(q), q.0)));
-                for qi in 0..neighbor_order.len() {
-                    let q = neighbor_order[qi];
-                    // NOTE: no decided-state precheck is sound here.
-                    // Inserting `n` into q's row can *block* q's
-                    // round-robin turn where the decided replay ran
-                    // through, reordering commits well before `n`'s old
-                    // position — even `n`'s parents may land on different
-                    // start times in the trial. Rejection bounds therefore
-                    // live inside `apply_cut`, which only ever reasons
-                    // about the trial's own prefix state.
-                    // The dominance bounds (and the incumbent's key) are
-                    // pushed into the replay itself: a candidate is cut
-                    // the moment it is provably rejectable.
-                    let cutoff = Cutoff {
-                        watch: Some(n),
-                        watch_proc: Some(q),
-                        max_start: cur_start,
-                        max_finish: cur_makespan,
-                        best: best.map(|(bs, bm, bq, _)| {
-                            // On a start tie, this trial wins a full tie
-                            // iff its id is smaller than the incumbent's.
-                            (bs, if q.0 < bq { bm } else { bm.saturating_sub(1) })
-                        }),
+    // Phase 3: bubble tasks outward, processor by processor. The
+    // `orders` vector is edited in place per candidate (move `n` from
+    // `p`'s row into `q`'s at its sequence position) and undone after
+    // the engine evaluates it — no cloning, no from-scratch replays.
+    // Each processor's snapshot is its decided row: under the append
+    // policy tasks execute in row order, so this equals the old
+    // `tasks_on(p)` execution-order snapshot.
+    for p in topo.bfs_order(pivot) {
+        let snapshot = orders[p.index()].clone();
+        for n in snapshot {
+            if assignment[n.index()] != p {
+                continue; // already bubbled away by an earlier decision
+            }
+            let cur_start = starts[n.index()];
+            let cur_makespan = decided_makespan;
+            let pos_in_p = orders[p.index()]
+                .iter()
+                .position(|&t| t == n)
+                .expect("orders track placements");
+            let mut best: Option<(u64, u64, u32, usize)> = None;
+            // Evaluate likely-rejected neighbours first, likely winner
+            // last. The winning key is the lexicographic minimum over
+            // (start, makespan, q) — evaluation order cannot change it
+            // — but when the winner happens to be the last trial
+            // evaluated, accepting it re-applies against an
+            // already-live state for free. The rank is a heuristic
+            // (decided tail plus uncontended parent arrivals, higher =
+            // more likely cut early); correctness never depends on it.
+            neighbor_order.clear();
+            neighbor_order.extend(topo.neighbors(p).iter().map(|&(q, _)| q));
+            let rank = |q: ProcId| -> u64 {
+                let mut r = decided_tails[q.index()];
+                for &(par, c) in g.preds(n) {
+                    let pf = starts[par.index()] + g.weight(par);
+                    let pp = assignment[par.index()];
+                    let arr = if pp == q || c == 0 {
+                        pf
+                    } else {
+                        pf + c * topo.distance(pp, q) as u64
                     };
-                    orders[p.index()].remove(pos_in_p);
-                    let row = &mut orders[q.index()];
-                    let at = row
-                        .iter()
-                        .position(|&t| seq_pos[t.index()] > seq_pos[n.index()])
-                        .unwrap_or(row.len());
-                    row.insert(at, n);
-                    if engine.apply_cut(g, &orders, &cutoff) == ApplyOutcome::Done {
+                    r = r.max(arr);
+                }
+                r
+            };
+            neighbor_order.sort_by_key(|&q| std::cmp::Reverse((rank(q), q.0)));
+            for qi in 0..neighbor_order.len() {
+                let q = neighbor_order[qi];
+                // NOTE: no decided-state precheck is sound here.
+                // Inserting `n` into q's row can *block* q's
+                // round-robin turn where the decided replay ran
+                // through, reordering commits well before `n`'s old
+                // position — even `n`'s parents may land on different
+                // start times in the trial. Rejection bounds therefore
+                // live inside `apply_cut`, which only ever reasons
+                // about the trial's own prefix state.
+                // The dominance bounds (and the incumbent's key) are
+                // pushed into the replay itself: a candidate is cut
+                // the moment it is provably rejectable.
+                let cutoff = Cutoff {
+                    watch: Some(n),
+                    watch_proc: Some(q),
+                    max_start: cur_start,
+                    max_finish: cur_makespan,
+                    best: best.map(|(bs, bm, bq, _)| {
+                        // On a start tie, this trial wins a full tie
+                        // iff its id is smaller than the incumbent's.
+                        (bs, if q.0 < bq { bm } else { bm.saturating_sub(1) })
+                    }),
+                };
+                orders[p.index()].remove(pos_in_p);
+                let row = &mut orders[q.index()];
+                let at = row
+                    .iter()
+                    .position(|&t| seq_pos[t.index()] > seq_pos[n.index()])
+                    .unwrap_or(row.len());
+                row.insert(at, n);
+                trials += 1;
+                let verdict = match engine.apply_cut(g, &orders, &cutoff) {
+                    ApplyOutcome::Done => {
                         let ns = engine.state().s.start_of(n).expect("placed in replay");
                         let nm = engine.state().s.makespan();
                         debug_assert!(ns <= cur_start && nm <= cur_makespan);
@@ -206,35 +238,67 @@ impl Scheduler for Bsa {
                             .is_none_or(|&(bs, bm, bq, _)| key < (bs, bm, bq))
                         {
                             best = Some((ns, nm, q.0, at));
+                            TrialVerdict::Accepted
+                        } else {
+                            TrialVerdict::Dominated
                         }
                     }
-                    orders[q.index()].remove(at);
-                    orders[p.index()].insert(pos_in_p, n);
-                }
-                if let Some((_, _, bq, at)) = best {
-                    orders[p.index()].remove(pos_in_p);
-                    orders[bq as usize].insert(at, n);
-                    assignment[n.index()] = ProcId(bq);
-                    // Land the live state on the accepted orders and
-                    // refresh the decided-schedule caches.
-                    let ok = engine.apply(g, &orders);
-                    debug_assert!(ok, "accepted orders replayed successfully before");
-                    refresh(
-                        engine.state(),
-                        &mut starts,
-                        &mut decided_makespan,
-                        &mut decided_tails,
-                    );
-                }
+                    ApplyOutcome::Deadlock => TrialVerdict::Deadlock,
+                    ApplyOutcome::Cut(reason) => {
+                        trials_cut += 1;
+                        verdict_of(reason)
+                    }
+                };
+                emit!(
+                    sink,
+                    Event::BsaTrial {
+                        task: n.0,
+                        from: p.0,
+                        to: q.0,
+                        verdict,
+                    }
+                );
+                orders[q.index()].remove(at);
+                orders[p.index()].insert(pos_in_p, n);
+            }
+            if let Some((ns, _, bq, at)) = best {
+                orders[p.index()].remove(pos_in_p);
+                orders[bq as usize].insert(at, n);
+                assignment[n.index()] = ProcId(bq);
+                trials_accepted += 1;
+                // Land the live state on the accepted orders and
+                // refresh the decided-schedule caches.
+                let ok = engine.apply(g, &orders);
+                debug_assert!(ok, "accepted orders replayed successfully before");
+                refresh(
+                    engine.state(),
+                    &mut starts,
+                    &mut decided_makespan,
+                    &mut decided_tails,
+                );
+                emit!(
+                    sink,
+                    Event::PlacementCommitted {
+                        task: n.0,
+                        proc: bq,
+                        start: ns,
+                        finish: ns + g.weight(n),
+                        hole: false,
+                    }
+                );
             }
         }
-
-        // Land the live state on the final decided orders (the engine may
-        // be idling on the last rejected trial).
-        let ok = engine.apply(g, &orders);
-        debug_assert!(ok, "decided orders replayed successfully before");
-        Ok(engine.into_outcome())
     }
+
+    // Land the live state on the final decided orders (the engine may
+    // be idling on the last rejected trial).
+    let ok = engine.apply(g, &orders);
+    debug_assert!(ok, "decided orders replayed successfully before");
+    let reg = dagsched_obs::global();
+    reg.add(dagsched_obs::Metric::BsaTrials, trials);
+    reg.add(dagsched_obs::Metric::BsaTrialsCut, trials_cut);
+    reg.add(dagsched_obs::Metric::BsaTrialsAccepted, trials_accepted);
+    Ok(engine.into_outcome())
 }
 
 /// The CPN-dominant sequence: CP nodes as early as possible, each preceded

@@ -13,6 +13,7 @@
 //! the paper's Table 6 places MH mid-field among APN algorithms.
 
 use dagsched_graph::TaskGraph;
+use dagsched_obs::{emit, Event, NullSink, Sink};
 use dagsched_platform::ProcId;
 
 use crate::common::ReadySet;
@@ -34,26 +35,72 @@ impl Scheduler for Mh {
     }
 
     fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
-        let mut st = ApnState::new(g, env)?;
-        let bl = g.levels().b_levels();
-        let mut ready = ReadySet::new(g);
-        let mut ests = Vec::new();
-        while !ready.is_empty() {
-            let n = ready.argmax_by_key(|n| bl[n.index()]).expect("non-empty");
-            // Batched probe of every processor; smallest EST wins, ties to
-            // smaller id (the ascending scan keeps the first minimum).
-            st.probe_est_all(g, n, &mut ests);
-            let mut best = (ProcId(0), u64::MAX);
-            for (pi, &est) in ests.iter().enumerate() {
-                if est < best.1 {
-                    best = (ProcId(pi as u32), est);
-                }
-            }
-            st.commit_and_place(g, n, best.0);
-            ready.take(g, n);
-        }
-        Ok(st.into_outcome())
+        run(g, env, &mut NullSink)
     }
+
+    fn schedule_traced(
+        &self,
+        g: &TaskGraph,
+        env: &Env,
+        mut sink: &mut dyn Sink,
+    ) -> Result<Outcome, SchedError> {
+        run(g, env, &mut sink)
+    }
+}
+
+/// The engine proper, generic over the trace sink (see `dsc::run`).
+fn run<S: Sink>(g: &TaskGraph, env: &Env, sink: &mut S) -> Result<Outcome, SchedError> {
+    let mut st = ApnState::new(g, env)?;
+    let bl = g.levels().b_levels();
+    let mut ready = ReadySet::new(g);
+    let mut ests = Vec::new();
+    while !ready.is_empty() {
+        let n = ready.argmax_by_key(|n| bl[n.index()]).expect("non-empty");
+        emit!(
+            sink,
+            Event::TaskSelected {
+                task: n.0,
+                key: bl[n.index()],
+                tie: n.0 as u64,
+            }
+        );
+        // Batched probe of every processor; smallest EST wins, ties to
+        // smaller id (the ascending scan keeps the first minimum).
+        st.probe_est_all(g, n, &mut ests);
+        let mut best = (ProcId(0), u64::MAX);
+        for (pi, &est) in ests.iter().enumerate() {
+            emit!(
+                sink,
+                Event::PlacementProbed {
+                    task: n.0,
+                    proc: pi as u32,
+                    start: est,
+                }
+            );
+            if est < best.1 {
+                best = (ProcId(pi as u32), est);
+            }
+        }
+        // Route the parent messages through the traced commit (emits one
+        // `MessageRouted` per cross-processor edge), then append-place.
+        let drt = st.commit_parent_messages_traced(g, n, best.0, sink);
+        let w = g.weight(n);
+        let start = st.s.timeline(best.0).earliest_append(drt);
+        st.s.place(n, best.0, start, w)
+            .expect("append start is free");
+        emit!(
+            sink,
+            Event::PlacementCommitted {
+                task: n.0,
+                proc: best.0 .0,
+                start,
+                finish: start + w,
+                hole: false,
+            }
+        );
+        ready.take(g, n);
+    }
+    Ok(st.into_outcome())
 }
 
 #[cfg(test)]

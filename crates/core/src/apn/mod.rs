@@ -44,6 +44,7 @@ pub use dls_apn::DlsApn;
 pub use mh::Mh;
 
 use dagsched_graph::{TaskGraph, TaskId};
+use dagsched_obs::{emit, Event, Sink};
 use dagsched_platform::{MsgId, Network, ProcId, Schedule, Topology};
 
 use crate::{Env, Outcome, SchedError};
@@ -135,6 +136,7 @@ impl ApnState {
         mut sink: impl FnMut(MsgId),
     ) -> u64 {
         let mut drt = 0u64;
+        let mut committed = 0u64;
         for &(q, c) in g.preds(n) {
             let pl = self.s.placement(q).expect("commit: parent must be placed");
             let arrival = if pl.proc == p || c == 0 {
@@ -143,10 +145,14 @@ impl ApnState {
                 let (id, arr) = self.net.commit(q, n, pl.proc, p, pl.finish, c);
                 if let Some(id) = id {
                     sink(id);
+                    committed += 1;
                 }
                 arr
             };
             drt = drt.max(arrival);
+        }
+        if committed > 0 {
+            dagsched_obs::global().add(dagsched_obs::Metric::ApnMsgsCommitted, committed);
         }
         drt
     }
@@ -154,6 +160,45 @@ impl ApnState {
     /// [`ApnState::commit_parent_messages_with`] without a journal.
     pub fn commit_parent_messages(&mut self, g: &TaskGraph, n: TaskId, p: ProcId) -> u64 {
         self.commit_parent_messages_with(g, n, p, |_| {})
+    }
+
+    /// [`ApnState::commit_parent_messages`] that also reports every routed
+    /// message to a trace sink — the hook MH's traced path uses to emit
+    /// [`Event::MessageRouted`]. The replay engine deliberately does *not*
+    /// go through this (per-message events in BSA's trial loop would swamp
+    /// both the sink and the hot path).
+    pub fn commit_parent_messages_traced<S: Sink>(
+        &mut self,
+        g: &TaskGraph,
+        n: TaskId,
+        p: ProcId,
+        sink: &mut S,
+    ) -> u64 {
+        let mut drt = 0u64;
+        for &(q, c) in g.preds(n) {
+            let pl = self.s.placement(q).expect("commit: parent must be placed");
+            let arrival = if pl.proc == p || c == 0 {
+                pl.finish
+            } else {
+                let (id, arr) = self.net.commit(q, n, pl.proc, p, pl.finish, c);
+                if id.is_some() {
+                    dagsched_obs::global().incr(dagsched_obs::Metric::ApnMsgsCommitted);
+                }
+                emit!(
+                    sink,
+                    Event::MessageRouted {
+                        src: q.0,
+                        dst: n.0,
+                        from: pl.proc.0,
+                        to: p.0,
+                        arrival: arr,
+                    }
+                );
+                arr
+            };
+            drt = drt.max(arrival);
+        }
+        drt
     }
 
     /// Commit messages and place `n` on `p` under the append policy.
@@ -328,7 +373,7 @@ impl ReplayEngine {
         match self.apply_cut(g, orders, &Cutoff::none()) {
             ApplyOutcome::Done => true,
             ApplyOutcome::Deadlock => false,
-            ApplyOutcome::Cut => unreachable!("no cutoff given"),
+            ApplyOutcome::Cut(_) => unreachable!("no cutoff given"),
         }
     }
 
@@ -370,6 +415,14 @@ impl ReplayEngine {
             } else {
                 self.log[k - 1].msgs_end as usize
             };
+            let retired = (self.msg_log.len() - msgs_start) as u64;
+            if retired > 0 {
+                let reg = dagsched_obs::global();
+                reg.add(dagsched_obs::Metric::ApnMsgsRetired, retired);
+                reg.incr(dagsched_obs::Metric::ApnBatchRetires);
+                reg.hist(dagsched_obs::HistId::ApnRetireBatch)
+                    .record(retired);
+            }
             self.st.net.remove_batch(&self.msg_log[msgs_start..]);
             self.msg_log.truncate(msgs_start);
             for op in &self.log[k..] {
@@ -418,7 +471,7 @@ impl ReplayEngine {
             lb
         };
         if watch_pending && probe_watch_lb(&self.st) > max_start {
-            return ApplyOutcome::Cut;
+            return ApplyOutcome::Cut(CutReason::ProbeAhead);
         }
         // Remaining-work makespan bound: processor `r`'s uncommitted row
         // entries all run on `r` after its current (monotone) tail, so the
@@ -435,7 +488,7 @@ impl ReplayEngine {
             for r in 0..procs {
                 let tail = self.st.s.timeline(ProcId(r as u32)).ready_time();
                 if tail + (self.row_weight[r] - self.committed_weight[r]) > max_finish {
-                    return ApplyOutcome::Cut;
+                    return ApplyOutcome::Cut(CutReason::RowWork);
                 }
             }
         }
@@ -455,21 +508,21 @@ impl ReplayEngine {
             });
             self.committed_weight[p.index()] += g.weight(n);
             if finish > max_finish {
-                outcome = ApplyOutcome::Cut;
+                outcome = ApplyOutcome::Cut(CutReason::Finish);
                 break;
             }
             if work_bound
                 && finish + (self.row_weight[p.index()] - self.committed_weight[p.index()])
                     > max_finish
             {
-                outcome = ApplyOutcome::Cut;
+                outcome = ApplyOutcome::Cut(CutReason::RowWork);
                 break;
             }
             if watch_pending {
                 if Some(n) == cutoff.watch {
                     watch_pending = false;
                     if start > max_start {
-                        outcome = ApplyOutcome::Cut;
+                        outcome = ApplyOutcome::Cut(CutReason::WatchStart);
                         break;
                     }
                     // A tie on the watched start caps the makespan at the
@@ -486,25 +539,29 @@ impl ReplayEngine {
                                     let tail = self.st.s.timeline(ProcId(r as u32)).ready_time();
                                     let rem = self.row_weight[r] - self.committed_weight[r];
                                     if tail + rem > max_finish {
-                                        outcome = ApplyOutcome::Cut;
+                                        outcome = ApplyOutcome::Cut(CutReason::TieCap);
                                         break;
                                     }
                                 }
-                                if outcome == ApplyOutcome::Cut {
+                                if matches!(outcome, ApplyOutcome::Cut(_)) {
                                     break;
                                 }
                             }
                         }
                     }
-                } else if (Some(p) == cutoff.watch_proc && finish > max_start)
-                    || ((i - k) % 16 == 15 && probe_watch_lb(&self.st) > max_start)
-                {
-                    outcome = ApplyOutcome::Cut;
+                } else if Some(p) == cutoff.watch_proc && finish > max_start {
+                    outcome = ApplyOutcome::Cut(CutReason::TargetTail);
+                    break;
+                } else if (i - k) % 16 == 15 && probe_watch_lb(&self.st) > max_start {
+                    outcome = ApplyOutcome::Cut(CutReason::ProbeAhead);
                     break;
                 }
             }
         }
-        debug_assert!(outcome == ApplyOutcome::Cut || self.log.len() == self.seq.len());
+        dagsched_obs::global()
+            .hist(dagsched_obs::HistId::ApnOccupancy)
+            .record(self.msg_log.len() as u64);
+        debug_assert!(matches!(outcome, ApplyOutcome::Cut(_)) || self.log.len() == self.seq.len());
         outcome
     }
 }
@@ -517,8 +574,31 @@ pub(crate) enum ApplyOutcome {
     /// The orders deadlock; the live state is unchanged.
     Deadlock,
     /// A cutoff bound proved the trial rejectable; the live state is a
-    /// consistent partial prefix of the trial.
-    Cut,
+    /// consistent partial prefix of the trial. Carries *which* bound fired
+    /// — purely observational (BSA maps it onto
+    /// [`dagsched_obs::TrialVerdict`]); every reason is an equally valid
+    /// proof of rejection.
+    Cut(CutReason),
+}
+
+/// Which [`Cutoff`] bound proved a trial rejectable (see
+/// [`ApplyOutcome::Cut`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CutReason {
+    /// The up-front or periodic probe-ahead lower bound on the watched
+    /// task's start broke `max_start`.
+    ProbeAhead,
+    /// A processor's tail plus its remaining row work broke `max_finish`.
+    RowWork,
+    /// A committed op finished past `max_finish`.
+    Finish,
+    /// The watched task committed with a start past `max_start`.
+    WatchStart,
+    /// The start-tie makespan cap was provably unreachable.
+    TieCap,
+    /// An op on the watched task's target processor finished past
+    /// `max_start`, pushing the watched append start beyond the bound.
+    TargetTail,
 }
 
 /// Early-rejection bounds for [`ReplayEngine::apply_cut`]. Every bound is a

@@ -11,6 +11,7 @@
 //! step still scans all processors for the min-EST placement.
 
 use dagsched_graph::TaskGraph;
+use dagsched_obs::{emit, Event, NullSink, Sink};
 use dagsched_platform::PlaceError;
 
 use crate::common::{best_proc, ReadyQueue, SlotPolicy};
@@ -30,25 +31,58 @@ impl Scheduler for Hlfet {
     }
 
     fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
-        let mut s = super::new_schedule(g, env)?;
-        let sl = g.levels().static_levels();
-        let mut ready = ReadyQueue::new(g, sl.to_vec());
-        while let Some(n) = ready.peek_max() {
-            let (p, est) = best_proc(g, &s, n, SlotPolicy::Append);
-            match s.place(n, p, est, g.weight(n)) {
-                Ok(()) => {}
-                Err(e @ PlaceError::Overlap { .. }) => {
-                    unreachable!("append EST never overlaps: {e}")
-                }
-                Err(e) => unreachable!("internal placement error: {e}"),
-            }
-            ready.take(g, n);
-        }
-        Ok(Outcome {
-            schedule: s,
-            network: None,
-        })
+        run(g, env, &mut NullSink)
     }
+
+    fn schedule_traced(
+        &self,
+        g: &TaskGraph,
+        env: &Env,
+        mut sink: &mut dyn Sink,
+    ) -> Result<Outcome, SchedError> {
+        run(g, env, &mut sink)
+    }
+}
+
+/// The engine proper, generic over the trace sink (see `dsc::run`).
+fn run<S: Sink>(g: &TaskGraph, env: &Env, sink: &mut S) -> Result<Outcome, SchedError> {
+    let mut s = super::new_schedule(g, env)?;
+    let sl = g.levels().static_levels();
+    let mut ready = ReadyQueue::new(g, sl.to_vec());
+    while let Some(n) = ready.peek_max() {
+        emit!(
+            sink,
+            Event::TaskSelected {
+                task: n.0,
+                key: sl[n.index()],
+                tie: n.0 as u64,
+            }
+        );
+        let (p, est) = best_proc(g, &s, n, SlotPolicy::Append);
+        let w = g.weight(n);
+        match s.place(n, p, est, w) {
+            Ok(()) => {}
+            Err(e @ PlaceError::Overlap { .. }) => {
+                unreachable!("append EST never overlaps: {e}")
+            }
+            Err(e) => unreachable!("internal placement error: {e}"),
+        }
+        emit!(
+            sink,
+            Event::PlacementCommitted {
+                task: n.0,
+                proc: p.0,
+                start: est,
+                finish: est + w,
+                hole: false,
+            }
+        );
+        ready.take(g, n);
+    }
+    Ok(Outcome {
+        schedule: s,
+        network: None,
+    })
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 //! + O(v·p·v) scheduling; the paper quotes O(v² log v).
 
 use dagsched_graph::{TaskGraph, TaskId};
+use dagsched_obs::{emit, Event, NullSink, Sink};
 
 use crate::common::{est_on, SlotPolicy};
 use crate::{AlgoClass, Env, Outcome, SchedError, Scheduler};
@@ -64,34 +65,80 @@ impl Scheduler for Mcp {
     }
 
     fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
-        let mut s = super::new_schedule(g, env)?;
-        let alap = g.levels().alap_times();
-        let lists = alap_lists(g, alap);
-        let mut order: Vec<TaskId> = g.tasks().collect();
-        order.sort_by(|&a, &b| lists[a.index()].cmp(&lists[b.index()]).then(a.0.cmp(&b.0)));
-
-        let policy = if self.insertion {
-            SlotPolicy::Insertion
-        } else {
-            SlotPolicy::Append
-        };
-        for n in order {
-            let mut best = (ProcId(0), u64::MAX);
-            for pi in 0..s.num_procs() as u32 {
-                let p = ProcId(pi);
-                let est = est_on(g, &s, n, p, policy);
-                if est < best.1 {
-                    best = (p, est);
-                }
-            }
-            s.place(n, best.0, best.1, g.weight(n))
-                .expect("chosen slot fits");
-        }
-        Ok(Outcome {
-            schedule: s,
-            network: None,
-        })
+        run(g, env, self.insertion, &mut NullSink)
     }
+
+    fn schedule_traced(
+        &self,
+        g: &TaskGraph,
+        env: &Env,
+        mut sink: &mut dyn Sink,
+    ) -> Result<Outcome, SchedError> {
+        run(g, env, self.insertion, &mut sink)
+    }
+}
+
+/// The engine proper, generic over the trace sink (see `dsc::run`).
+fn run<S: Sink>(
+    g: &TaskGraph,
+    env: &Env,
+    insertion: bool,
+    sink: &mut S,
+) -> Result<Outcome, SchedError> {
+    let mut s = super::new_schedule(g, env)?;
+    let alap = g.levels().alap_times();
+    let lists = alap_lists(g, alap);
+    let mut order: Vec<TaskId> = g.tasks().collect();
+    order.sort_by(|&a, &b| lists[a.index()].cmp(&lists[b.index()]).then(a.0.cmp(&b.0)));
+
+    let policy = if insertion {
+        SlotPolicy::Insertion
+    } else {
+        SlotPolicy::Append
+    };
+    for n in order {
+        emit!(
+            sink,
+            Event::TaskSelected {
+                task: n.0,
+                key: alap[n.index()],
+                tie: n.0 as u64,
+            }
+        );
+        let mut best = (ProcId(0), u64::MAX);
+        for pi in 0..s.num_procs() as u32 {
+            let p = ProcId(pi);
+            let est = est_on(g, &s, n, p, policy);
+            emit!(
+                sink,
+                Event::PlacementProbed {
+                    task: n.0,
+                    proc: p.0,
+                    start: est,
+                }
+            );
+            if est < best.1 {
+                best = (p, est);
+            }
+        }
+        let w = g.weight(n);
+        let hole = sink.enabled() && best.1 + w < s.timeline(best.0).earliest_append(0);
+        s.place(n, best.0, best.1, w).expect("chosen slot fits");
+        emit!(
+            sink,
+            Event::PlacementCommitted {
+                task: n.0,
+                proc: best.0 .0,
+                start: best.1,
+                finish: best.1 + w,
+                hole,
+            }
+        );
+    }
+    Ok(Outcome {
+        schedule: s,
+        network: None,
+    })
 }
 
 #[cfg(test)]

@@ -76,6 +76,23 @@ pub struct DynLevelsEngine {
     /// `Σ weights + Σ costs`: no acyclic combined path can be longer, so a
     /// `bl` beyond this proves the schedule corrupted the view into a cycle.
     bl_bound: u64,
+    /// Cone-repair accounting (plain locals; flushed once per run via
+    /// [`DynLevelsEngine::flush_to_registry`]).
+    stats: EngineStats,
+    /// Nodes drained by the most recent [`DynLevelsEngine::placed`] call
+    /// (forward, backward) — the cone-repair extent for trace events.
+    last_repair: (u32, u32),
+}
+
+/// Lifetime repair totals of one [`DynLevelsEngine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// `placed` calls (one per placement).
+    pub repairs: u64,
+    /// Total nodes drained by forward (AEST) repairs.
+    pub fwd_nodes: u64,
+    /// Total nodes drained by backward (ALST) repairs.
+    pub bwd_nodes: u64,
 }
 
 impl DynLevelsEngine {
@@ -102,7 +119,35 @@ impl DynLevelsEngine {
             fwd: IndexedHeap::new(v),
             bwd: IndexedHeap::new(v),
             bl_bound: g.total_work() + g.total_comm(),
+            stats: EngineStats::default(),
+            last_repair: (0, 0),
         }
+    }
+
+    /// Lifetime repair totals (see [`EngineStats`]).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Nodes drained (forward, backward) by the most recent
+    /// [`DynLevelsEngine::placed`] call — the cone-repair extent.
+    pub fn last_repair(&self) -> (u32, u32) {
+        self.last_repair
+    }
+
+    /// Flush repair totals and the three internal heaps' operation counts
+    /// onto the global observability registry. Call once per run.
+    pub fn flush_to_registry(&self) {
+        use dagsched_obs::{global, Metric};
+        let r = global();
+        r.add(Metric::EngineRepairs, self.stats.repairs);
+        r.add(Metric::EngineFwdNodes, self.stats.fwd_nodes);
+        r.add(Metric::EngineBwdNodes, self.stats.bwd_nodes);
+        self.path
+            .ops()
+            .merged(self.fwd.ops())
+            .merged(self.bwd.ops())
+            .flush_to_registry();
     }
 
     /// Absolute earliest start time of `n` (AEST in DCP terminology).
@@ -164,7 +209,9 @@ impl DynLevelsEngine {
                 self.mark_fwd(s, m);
             }
         }
+        let mut fwd_drained = 0u32;
         while let Some(h) = self.fwd.pop_max() {
+            fwd_drained += 1;
             let m = TaskId(h);
             let mut t = 0u64;
             for &(q, c) in g.preds(m) {
@@ -195,7 +242,9 @@ impl DynLevelsEngine {
                 self.mark_bwd(q);
             }
         }
+        let mut bwd_drained = 0u32;
         while let Some(h) = self.bwd.pop_max() {
+            bwd_drained += 1;
             let u = TaskId(h);
             let pu = s.placement(u);
             let mut best = 0u64;
@@ -230,6 +279,16 @@ impl DynLevelsEngine {
                 }
             }
         }
+
+        self.stats.repairs += 1;
+        self.stats.fwd_nodes += fwd_drained as u64;
+        self.stats.bwd_nodes += bwd_drained as u64;
+        self.last_repair = (fwd_drained, bwd_drained);
+        let reg = dagsched_obs::global();
+        reg.hist(dagsched_obs::HistId::EngineFwdCone)
+            .record(fwd_drained as u64);
+        reg.hist(dagsched_obs::HistId::EngineBwdCone)
+            .record(bwd_drained as u64);
     }
 
     #[inline]

@@ -22,6 +22,43 @@
 /// Sentinel in the position index: handle not in the heap.
 const ABSENT: u32 = u32::MAX;
 
+/// Operation counts of one [`IndexedHeap`]: plain (non-atomic) `u64`s so
+/// the hot paths pay one register increment, read back by the owning
+/// algorithm and flushed to the process-wide observability registry once
+/// per run ([`HeapOps::flush_to_registry`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapOps {
+    pub inserts: u64,
+    /// `pop_max` calls that returned an element.
+    pub pops: u64,
+    /// `rekey` + `increase_key` + `decrease_key` calls.
+    pub rekeys: u64,
+    /// Direct `remove` calls (pops are counted separately).
+    pub removes: u64,
+}
+
+impl HeapOps {
+    /// Component-wise sum, for algorithms owning several heaps.
+    pub fn merged(self, o: HeapOps) -> HeapOps {
+        HeapOps {
+            inserts: self.inserts + o.inserts,
+            pops: self.pops + o.pops,
+            rekeys: self.rekeys + o.rekeys,
+            removes: self.removes + o.removes,
+        }
+    }
+
+    /// Add these totals onto the global counter registry.
+    pub fn flush_to_registry(self) {
+        use dagsched_obs::{global, Metric};
+        let r = global();
+        r.add(Metric::HeapInserts, self.inserts);
+        r.add(Metric::HeapPops, self.pops);
+        r.add(Metric::HeapRekeys, self.rekeys);
+        r.add(Metric::HeapRemoves, self.removes);
+    }
+}
+
 /// A binary max-heap over `u32` handles with O(1) handle→slot lookup and
 /// O(log n) rekeying. Handles must be `< capacity` (fixed at construction);
 /// each handle may be present at most once.
@@ -33,6 +70,8 @@ pub struct IndexedHeap<K: Ord + Copy> {
     pos: Vec<u32>,
     /// `keys[handle]` = the handle's current key while present.
     keys: Vec<Option<K>>,
+    /// Lifetime operation counts (see [`HeapOps`]).
+    ops: HeapOps,
 }
 
 impl<K: Ord + Copy> IndexedHeap<K> {
@@ -42,7 +81,13 @@ impl<K: Ord + Copy> IndexedHeap<K> {
             heap: Vec::with_capacity(capacity),
             pos: vec![ABSENT; capacity],
             keys: vec![None; capacity],
+            ops: HeapOps::default(),
         }
+    }
+
+    /// Lifetime operation counts of this heap.
+    pub fn ops(&self) -> HeapOps {
+        self.ops
     }
 
     /// Number of elements currently in the heap.
@@ -73,6 +118,7 @@ impl<K: Ord + Copy> IndexedHeap<K> {
             !self.contains(handle),
             "insert: handle {handle} already in the heap"
         );
+        self.ops.inserts += 1;
         self.keys[handle as usize] = Some(key);
         let slot = self.heap.len();
         self.heap.push(handle);
@@ -88,12 +134,18 @@ impl<K: Ord + Copy> IndexedHeap<K> {
     /// Remove and return the max-key handle. O(log n).
     pub fn pop_max(&mut self) -> Option<u32> {
         let top = *self.heap.first()?;
-        self.remove(top);
+        self.ops.pops += 1;
+        self.remove_at(top);
         Some(top)
     }
 
     /// Remove an arbitrary `handle`. O(log n). Panics if absent.
     pub fn remove(&mut self, handle: u32) {
+        self.ops.removes += 1;
+        self.remove_at(handle);
+    }
+
+    fn remove_at(&mut self, handle: u32) {
         let slot = self.pos[handle as usize];
         assert!(slot != ABSENT, "remove: handle {handle} not in the heap");
         let slot = slot as usize;
@@ -117,6 +169,7 @@ impl<K: Ord + Copy> IndexedHeap<K> {
     pub fn rekey(&mut self, handle: u32, key: K) {
         let slot = self.pos[handle as usize];
         assert!(slot != ABSENT, "rekey: handle {handle} not in the heap");
+        self.ops.rekeys += 1;
         self.keys[handle as usize] = Some(key);
         if !self.sift_up(slot as usize) {
             self.sift_down(slot as usize);
@@ -131,6 +184,7 @@ impl<K: Ord + Copy> IndexedHeap<K> {
             self.key_of(handle).is_some_and(|old| key >= old),
             "increase_key: key must not decrease"
         );
+        self.ops.rekeys += 1;
         self.keys[handle as usize] = Some(key);
         self.sift_up(self.pos[handle as usize] as usize);
     }
@@ -143,6 +197,7 @@ impl<K: Ord + Copy> IndexedHeap<K> {
             self.key_of(handle).is_some_and(|old| key <= old),
             "decrease_key: key must not increase"
         );
+        self.ops.rekeys += 1;
         self.keys[handle as usize] = Some(key);
         self.sift_down(self.pos[handle as usize] as usize);
     }
@@ -293,6 +348,38 @@ mod tests {
         assert!(!order.contains(&5) && !order.contains(&0));
         // Keys (h*13)%7: 1→6, 2→5, 3→4, 4→3, 6→1, 7→0.
         assert_eq!(order, vec![1, 2, 3, 4, 6, 7]);
+    }
+
+    #[test]
+    fn op_counters_track_every_operation() {
+        let mut h = IndexedHeap::new(8);
+        for handle in 0..5u32 {
+            h.insert(handle, handle as u64);
+        }
+        h.increase_key(0, 9);
+        h.decrease_key(0, 1);
+        h.rekey(0, 4);
+        h.remove(3);
+        h.pop_max();
+        h.pop_max();
+        let ops = h.ops();
+        assert_eq!(
+            ops,
+            HeapOps {
+                inserts: 5,
+                pops: 2,
+                rekeys: 3,
+                removes: 1
+            }
+        );
+        let merged = ops.merged(HeapOps {
+            inserts: 1,
+            pops: 0,
+            rekeys: 2,
+            removes: 0,
+        });
+        assert_eq!(merged.inserts, 6);
+        assert_eq!(merged.rekeys, 5);
     }
 
     #[test]

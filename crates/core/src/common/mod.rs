@@ -8,8 +8,8 @@ pub mod estimate;
 pub mod indexed_heap;
 pub mod ready;
 
-pub use dynengine::DynLevelsEngine;
+pub use dynengine::{DynLevelsEngine, EngineStats};
 pub use dynlevels::DynLevels;
 pub use estimate::{best_proc, drt, est_on, SlotPolicy};
-pub use indexed_heap::IndexedHeap;
+pub use indexed_heap::{HeapOps, IndexedHeap};
 pub use ready::{ReadyQueue, ReadySet};

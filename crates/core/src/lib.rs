@@ -183,6 +183,29 @@ pub trait Scheduler: Sync {
     fn class(&self) -> AlgoClass;
     /// Produce a complete schedule of `g` on `env`.
     fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError>;
+    /// Produce a schedule while emitting per-decision trace events
+    /// ([`dagsched_obs::Event`]) to `sink`.
+    ///
+    /// Instrumented algorithms route both entry points through one
+    /// generic internal run function, so `schedule()` pays nothing for
+    /// the instrumentation (it runs with [`dagsched_obs::NullSink`],
+    /// whose `enabled()` is a compile-time `false`). The default
+    /// implementation — used by algorithms without per-decision hooks —
+    /// simply delegates to [`Scheduler::schedule`] and emits nothing.
+    ///
+    /// Determinism contract: emitted events carry logical step stamps
+    /// only (the sink's event index), never wall-clock values, so for a
+    /// fixed `(algorithm, graph, env)` the event stream is identical
+    /// across runs and thread counts.
+    fn schedule_traced(
+        &self,
+        g: &TaskGraph,
+        env: &Env,
+        sink: &mut dyn dagsched_obs::Sink,
+    ) -> Result<Outcome, SchedError> {
+        let _ = sink;
+        self.schedule(g, env)
+    }
 }
 
 #[cfg(test)]

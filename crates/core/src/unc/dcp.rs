@@ -37,6 +37,7 @@
 //! placement-identical.
 
 use dagsched_graph::{TaskGraph, TaskId};
+use dagsched_obs::{emit, Event, NullSink, Sink};
 use dagsched_platform::{ProcId, Schedule};
 
 use crate::common::{drt, DynLevelsEngine, ReadySet};
@@ -69,73 +70,123 @@ impl Scheduler for Dcp {
     }
 
     fn schedule(&self, g: &TaskGraph, _env: &Env) -> Result<Outcome, SchedError> {
-        let v = g.num_tasks();
-        let mut s = Schedule::new(v, v);
-        let mut ready = ReadySet::new(g);
-        let mut d = DynLevelsEngine::new(g);
-
-        while !ready.is_empty() {
-            // Smallest mobility (ALST − AEST), then smallest AEST, then id.
-            let n = ready
-                .iter()
-                .min_by_key(|&n| (d.mobility(n), d.aest(n), n.0))
-                .expect("ready set non-empty");
-            let w = g.weight(n);
-
-            // Critical child: unscheduled child with the smallest ALST.
-            let crit_child: Option<TaskId> = if self.lookahead {
-                g.succs(n)
-                    .iter()
-                    .map(|&(c, _)| c)
-                    .filter(|&c| s.placement(c).is_none())
-                    .min_by_key(|&c| (d.alst(c), c.0))
-            } else {
-                None
-            };
-
-            let mut best: Option<(u64, u64, ProcId)> = None; // (score, start, proc)
-            for p in super::neighbourhood_procs(g, &s, n) {
-                let start = s.timeline(p).earliest_fit(drt(g, &s, n, p), w);
-                let score = match crit_child {
-                    Some(cc) => {
-                        // Child's arrival constraints if it also ran on p,
-                        // with n finishing at start + w on p.
-                        let mut child_drt = start + w; // n → cc zeroed on p
-                        for &(q, c) in g.preds(cc) {
-                            if q == n {
-                                continue;
-                            }
-                            if let Some(pl) = s.placement(q) {
-                                let cost = if pl.proc == p { 0 } else { c };
-                                child_drt = child_drt.max(pl.finish + cost);
-                            }
-                        }
-                        // Seat n tentatively and probe the child's start
-                        // under the real insertion policy, so candidates
-                        // that tuck n into a hole are not overcharged with
-                        // the processor's tail.
-                        s.place(n, p, start, w).expect("probed slot is free");
-                        let child_est = s.timeline(p).earliest_fit(child_drt, g.weight(cc));
-                        s.unplace(n);
-                        start + child_est
-                    }
-                    None => start,
-                };
-                if best.is_none_or(|(bs, bst, bp)| (score, start, p.0) < (bs, bst, bp.0)) {
-                    best = Some((score, start, p));
-                }
-            }
-            let (_, start, p) = best.expect("neighbourhood always has a fresh candidate");
-            s.place(n, p, start, w).expect("insertion slot is free");
-            d.placed(g, &s, n);
-            ready.take(g, n);
-        }
-
-        Ok(Outcome {
-            schedule: s,
-            network: None,
-        })
+        run(g, self.lookahead, &mut NullSink)
     }
+
+    fn schedule_traced(
+        &self,
+        g: &TaskGraph,
+        _env: &Env,
+        mut sink: &mut dyn Sink,
+    ) -> Result<Outcome, SchedError> {
+        run(g, self.lookahead, &mut sink)
+    }
+}
+
+/// The engine proper, generic over the trace sink (see `dsc::run`).
+fn run<S: Sink>(g: &TaskGraph, lookahead: bool, sink: &mut S) -> Result<Outcome, SchedError> {
+    let v = g.num_tasks();
+    let mut s = Schedule::new(v, v);
+    let mut ready = ReadySet::new(g);
+    let mut d = DynLevelsEngine::new(g);
+
+    while !ready.is_empty() {
+        // Smallest mobility (ALST − AEST), then smallest AEST, then id.
+        let n = ready
+            .iter()
+            .min_by_key(|&n| (d.mobility(n), d.aest(n), n.0))
+            .expect("ready set non-empty");
+        let w = g.weight(n);
+        emit!(
+            sink,
+            Event::TaskSelected {
+                task: n.0,
+                key: d.mobility(n),
+                tie: d.aest(n),
+            }
+        );
+
+        // Critical child: unscheduled child with the smallest ALST.
+        let crit_child: Option<TaskId> = if lookahead {
+            g.succs(n)
+                .iter()
+                .map(|&(c, _)| c)
+                .filter(|&c| s.placement(c).is_none())
+                .min_by_key(|&c| (d.alst(c), c.0))
+        } else {
+            None
+        };
+
+        let mut best: Option<(u64, u64, ProcId)> = None; // (score, start, proc)
+        for p in super::neighbourhood_procs(g, &s, n) {
+            let start = s.timeline(p).earliest_fit(drt(g, &s, n, p), w);
+            emit!(
+                sink,
+                Event::PlacementProbed {
+                    task: n.0,
+                    proc: p.0,
+                    start,
+                }
+            );
+            let score = match crit_child {
+                Some(cc) => {
+                    // Child's arrival constraints if it also ran on p,
+                    // with n finishing at start + w on p.
+                    let mut child_drt = start + w; // n → cc zeroed on p
+                    for &(q, c) in g.preds(cc) {
+                        if q == n {
+                            continue;
+                        }
+                        if let Some(pl) = s.placement(q) {
+                            let cost = if pl.proc == p { 0 } else { c };
+                            child_drt = child_drt.max(pl.finish + cost);
+                        }
+                    }
+                    // Seat n tentatively and probe the child's start
+                    // under the real insertion policy, so candidates
+                    // that tuck n into a hole are not overcharged with
+                    // the processor's tail.
+                    s.place(n, p, start, w).expect("probed slot is free");
+                    let child_est = s.timeline(p).earliest_fit(child_drt, g.weight(cc));
+                    s.unplace(n);
+                    start + child_est
+                }
+                None => start,
+            };
+            if best.is_none_or(|(bs, bst, bp)| (score, start, p.0) < (bs, bst, bp.0)) {
+                best = Some((score, start, p));
+            }
+        }
+        let (_, start, p) = best.expect("neighbourhood always has a fresh candidate");
+        let hole = sink.enabled() && start + w < s.timeline(p).earliest_append(0);
+        s.place(n, p, start, w).expect("insertion slot is free");
+        emit!(
+            sink,
+            Event::PlacementCommitted {
+                task: n.0,
+                proc: p.0,
+                start,
+                finish: start + w,
+                hole,
+            }
+        );
+        d.placed(g, &s, n);
+        emit!(sink, {
+            let (fwd, bwd) = d.last_repair();
+            Event::ConeRepaired {
+                task: n.0,
+                fwd,
+                bwd,
+            }
+        });
+        ready.take(g, n);
+    }
+
+    d.flush_to_registry();
+    Ok(Outcome {
+        schedule: s,
+        network: None,
+    })
 }
 
 #[cfg(test)]

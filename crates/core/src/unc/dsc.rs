@@ -47,6 +47,7 @@
 //! quality characteristics (dynamic CP focus, edge zeroing) are preserved.
 
 use dagsched_graph::{TaskGraph, TaskId};
+use dagsched_obs::{emit, Event, NullSink, Sink};
 use dagsched_platform::{ProcId, Schedule};
 
 use crate::common::IndexedHeap;
@@ -66,123 +67,180 @@ impl Scheduler for Dsc {
     }
 
     fn schedule(&self, g: &TaskGraph, _env: &Env) -> Result<Outcome, SchedError> {
-        let v = g.num_tasks();
-        let bl = g.levels().b_levels(); // static b-levels, as in the original
-        let mut s = Schedule::new(v, v);
-        // tlevel[n] = current estimate of n's earliest start: for scheduled
-        // nodes their actual start; for unscheduled, max over scheduled
-        // parents of finish + c (full c: no cluster commitment yet).
-        let mut tlevel = vec![0u64; v];
-        let mut missing: Vec<u32> = g.tasks().map(|n| g.in_degree(n) as u32).collect();
-        // Free nodes by final priority; entry nodes start free at t-level 0.
-        let mut free: IndexedHeap<u64> = IndexedHeap::new(v);
-        for n in g.entries() {
-            free.insert(n.0, bl[n.index()]);
-        }
-        // Partially free nodes by current priority, rekeyed as t-levels grow.
-        let mut partial: IndexedHeap<u64> = IndexedHeap::new(v);
-        let mut next_fresh = 0u32; // clusters are allocated in id order
+        run(g, &mut NullSink)
+    }
 
-        while let Some(h) = free.pop_max() {
-            let nf = TaskId(h);
+    fn schedule_traced(
+        &self,
+        g: &TaskGraph,
+        _env: &Env,
+        mut sink: &mut dyn Sink,
+    ) -> Result<Outcome, SchedError> {
+        run(g, &mut sink)
+    }
+}
 
-            // Highest-priority *partially free* node: unscheduled, not free,
-            // with at least one scheduled parent (its start estimate is
-            // meaningful). O(1) on the incrementally maintained heap.
-            let pfp = partial.peek_max().map(TaskId);
+/// The engine proper, generic over the trace sink so the untraced entry
+/// point monomorphizes with [`NullSink`] and pays nothing for the events.
+fn run<S: Sink>(g: &TaskGraph, sink: &mut S) -> Result<Outcome, SchedError> {
+    let v = g.num_tasks();
+    let bl = g.levels().b_levels(); // static b-levels, as in the original
+    let mut s = Schedule::new(v, v);
+    // tlevel[n] = current estimate of n's earliest start: for scheduled
+    // nodes their actual start; for unscheduled, max over scheduled
+    // parents of finish + c (full c: no cluster commitment yet).
+    let mut tlevel = vec![0u64; v];
+    let mut missing: Vec<u32> = g.tasks().map(|n| g.in_degree(n) as u32).collect();
+    // Free nodes by final priority; entry nodes start free at t-level 0.
+    let mut free: IndexedHeap<u64> = IndexedHeap::new(v);
+    for n in g.entries() {
+        free.insert(n.0, bl[n.index()]);
+    }
+    // Partially free nodes by current priority, rekeyed as t-levels grow.
+    let mut partial: IndexedHeap<u64> = IndexedHeap::new(v);
+    let mut next_fresh = 0u32; // clusters are allocated in id order
 
-            // Candidate clusters: those of nf's parents, evaluated by the
-            // start time nf would get appended there (edges from parents in
-            // that cluster are zeroed).
-            let mut best: Option<(u64, ProcId)> = None;
-            let mut parent_procs: Vec<ProcId> = g
-                .preds(nf)
-                .iter()
-                .filter_map(|&(q, _)| s.proc_of(q))
-                .collect();
-            parent_procs.sort_unstable();
-            parent_procs.dedup();
-            for &p in &parent_procs {
-                let start = append_start(g, &s, nf, p);
-                if best.is_none_or(|(bs, bp)| start < bs || (start == bs && p < bp)) {
-                    best = Some((start, p));
-                }
+    while let Some(h) = free.pop_max() {
+        let nf = TaskId(h);
+        emit!(
+            sink,
+            Event::TaskSelected {
+                task: nf.0,
+                key: priority(nf, &tlevel, bl),
+                tie: tlevel[nf.index()],
             }
+        );
 
-            // Accept the merge only if it strictly reduces nf's t-level and
-            // does not violate the DSRW guard.
-            let mut placed = false;
-            if let Some((start, p)) = best {
-                if start < tlevel[nf.index()] {
-                    let dsrw_ok = match pfp {
-                        Some(pf) if priority(pf, &tlevel, bl) > priority(nf, &tlevel, bl) => {
-                            // Estimate pf's start on that cluster before and
-                            // after the attachment; reject if it would grow.
-                            // The trial placement goes onto the live
-                            // schedule and is rolled back immediately —
-                            // place/estimate/unplace restores the exact
-                            // previous state, no clone needed.
-                            let before = est_partially_free(g, &s, pf, p);
-                            s.place(nf, p, start, g.weight(nf))
-                                .expect("append start is free");
-                            let after = est_partially_free(g, &s, pf, p);
-                            s.unplace(nf);
-                            after <= before
-                        }
-                        _ => true,
-                    };
-                    if dsrw_ok {
+        // Highest-priority *partially free* node: unscheduled, not free,
+        // with at least one scheduled parent (its start estimate is
+        // meaningful). O(1) on the incrementally maintained heap.
+        let pfp = partial.peek_max().map(TaskId);
+
+        // Candidate clusters: those of nf's parents, evaluated by the
+        // start time nf would get appended there (edges from parents in
+        // that cluster are zeroed).
+        let mut best: Option<(u64, ProcId)> = None;
+        let mut parent_procs: Vec<ProcId> = g
+            .preds(nf)
+            .iter()
+            .filter_map(|&(q, _)| s.proc_of(q))
+            .collect();
+        parent_procs.sort_unstable();
+        parent_procs.dedup();
+        for &p in &parent_procs {
+            let start = append_start(g, &s, nf, p);
+            if best.is_none_or(|(bs, bp)| start < bs || (start == bs && p < bp)) {
+                best = Some((start, p));
+            }
+        }
+
+        // Accept the merge only if it strictly reduces nf's t-level and
+        // does not violate the DSRW guard.
+        let mut placed = false;
+        if let Some((start, p)) = best {
+            if start < tlevel[nf.index()] {
+                let dsrw_ok = match pfp {
+                    Some(pf) if priority(pf, &tlevel, bl) > priority(nf, &tlevel, bl) => {
+                        // Estimate pf's start on that cluster before and
+                        // after the attachment; reject if it would grow.
+                        // The trial placement goes onto the live
+                        // schedule and is rolled back immediately —
+                        // place/estimate/unplace restores the exact
+                        // previous state, no clone needed.
+                        let before = est_partially_free(g, &s, pf, p);
                         s.place(nf, p, start, g.weight(nf))
                             .expect("append start is free");
-                        tlevel[nf.index()] = start;
-                        placed = true;
+                        let after = est_partially_free(g, &s, pf, p);
+                        s.unplace(nf);
+                        after <= before
                     }
+                    _ => true,
+                };
+                if dsrw_ok {
+                    s.place(nf, p, start, g.weight(nf))
+                        .expect("append start is free");
+                    tlevel[nf.index()] = start;
+                    placed = true;
+                    emit!(
+                        sink,
+                        Event::ClusterMerged {
+                            task: nf.0,
+                            cluster: p.0,
+                            start,
+                        }
+                    );
+                } else {
+                    emit!(
+                        sink,
+                        Event::MergeRejected {
+                            task: nf.0,
+                            cluster: p.0,
+                            dsrw: true,
+                        }
+                    );
                 }
-            }
-            if !placed {
-                // Own (fresh) cluster at the plain t-level.
-                while !s.timeline(ProcId(next_fresh)).is_empty() {
-                    next_fresh += 1;
-                }
-                let p = ProcId(next_fresh);
-                let start = tlevel[nf.index()];
-                s.place(nf, p, start, g.weight(nf))
-                    .expect("fresh cluster is idle");
-            }
-
-            // Relax each out-edge once: grow the child's t-level estimate
-            // (rekeying it if it is waiting in the partial heap) and move it
-            // between heaps as its last scheduled parent arrives.
-            let fin = s.finish_of(nf).expect("just placed");
-            for &(c, cost) in g.succs(nf) {
-                let ci = c.index();
-                if fin + cost > tlevel[ci] {
-                    tlevel[ci] = fin + cost;
-                    if partial.contains(c.0) {
-                        partial.increase_key(c.0, tlevel[ci] + bl[ci]);
+            } else {
+                emit!(
+                    sink,
+                    Event::MergeRejected {
+                        task: nf.0,
+                        cluster: p.0,
+                        dsrw: false,
                     }
-                }
-                missing[ci] -= 1;
-                if missing[ci] == 0 {
-                    // Last parent scheduled: the node's t-level is final —
-                    // it graduates from partially free to free.
-                    if partial.contains(c.0) {
-                        partial.remove(c.0);
-                    }
-                    free.insert(c.0, tlevel[ci] + bl[ci]);
-                } else if !partial.contains(c.0) {
-                    // First scheduled parent: the node becomes partially
-                    // free (its start estimate is now meaningful).
-                    partial.insert(c.0, tlevel[ci] + bl[ci]);
-                }
+                );
             }
         }
+        if !placed {
+            // Own (fresh) cluster at the plain t-level.
+            while !s.timeline(ProcId(next_fresh)).is_empty() {
+                next_fresh += 1;
+            }
+            let p = ProcId(next_fresh);
+            let start = tlevel[nf.index()];
+            s.place(nf, p, start, g.weight(nf))
+                .expect("fresh cluster is idle");
+            emit!(
+                sink,
+                Event::ClusterOpened {
+                    task: nf.0,
+                    cluster: p.0,
+                }
+            );
+        }
 
-        Ok(Outcome {
-            schedule: s,
-            network: None,
-        })
+        // Relax each out-edge once: grow the child's t-level estimate
+        // (rekeying it if it is waiting in the partial heap) and move it
+        // between heaps as its last scheduled parent arrives.
+        let fin = s.finish_of(nf).expect("just placed");
+        for &(c, cost) in g.succs(nf) {
+            let ci = c.index();
+            if fin + cost > tlevel[ci] {
+                tlevel[ci] = fin + cost;
+                if partial.contains(c.0) {
+                    partial.increase_key(c.0, tlevel[ci] + bl[ci]);
+                }
+            }
+            missing[ci] -= 1;
+            if missing[ci] == 0 {
+                // Last parent scheduled: the node's t-level is final —
+                // it graduates from partially free to free.
+                if partial.contains(c.0) {
+                    partial.remove(c.0);
+                }
+                free.insert(c.0, tlevel[ci] + bl[ci]);
+            } else if !partial.contains(c.0) {
+                // First scheduled parent: the node becomes partially
+                // free (its start estimate is now meaningful).
+                partial.insert(c.0, tlevel[ci] + bl[ci]);
+            }
+        }
     }
+
+    free.ops().merged(partial.ops()).flush_to_registry();
+    Ok(Outcome {
+        schedule: s,
+        network: None,
+    })
 }
 
 #[inline]

@@ -26,6 +26,7 @@
 //! `bench::baseline::MdScan` and proven placement-identical.
 
 use dagsched_graph::TaskGraph;
+use dagsched_obs::{emit, Event, NullSink, Sink};
 use dagsched_platform::{ProcId, Schedule};
 
 use crate::common::{drt, DynLevelsEngine, ReadySet};
@@ -45,57 +46,109 @@ impl Scheduler for Md {
     }
 
     fn schedule(&self, g: &TaskGraph, _env: &Env) -> Result<Outcome, SchedError> {
-        let v = g.num_tasks();
-        let mut s = Schedule::new(v, v);
-        let mut ready = ReadySet::new(g);
-        let mut d = DynLevelsEngine::new(g);
-        let mut used = 0u32; // processors 0..used have been opened
-
-        while !ready.is_empty() {
-            // Minimum relative mobility; exact comparison via
-            // cross-multiplication: M(a) < M(b) ⇔ slack_a·w_b < slack_b·w_a.
-            let n = ready
-                .iter()
-                .min_by(|&a, &b| {
-                    let (sa, sb) = (d.mobility(a) as u128, d.mobility(b) as u128);
-                    let (wa, wb) = (g.weight(a) as u128, g.weight(b) as u128);
-                    (sa * wb)
-                        .cmp(&(sb * wa))
-                        .then(d.aest(a).cmp(&d.aest(b)))
-                        .then(a.0.cmp(&b.0))
-                })
-                .expect("ready set non-empty");
-
-            let alst = d.alst(n);
-            let w = g.weight(n);
-            // First used processor with an insertion slot that keeps the CP.
-            let mut placed_at: Option<(ProcId, u64)> = None;
-            for pi in 0..used {
-                let p = ProcId(pi);
-                let start = s.timeline(p).earliest_fit(drt(g, &s, n, p), w);
-                if start <= alst {
-                    placed_at = Some((p, start));
-                    break;
-                }
-            }
-            let (p, start) = placed_at.unwrap_or_else(|| {
-                // Fresh processor: starts exactly at the t-level.
-                let p = ProcId(used);
-                (p, d.aest(n))
-            });
-            if p.0 == used {
-                used += 1;
-            }
-            s.place(n, p, start, w).expect("chosen slot is free");
-            d.placed(g, &s, n);
-            ready.take(g, n);
-        }
-
-        Ok(Outcome {
-            schedule: s,
-            network: None,
-        })
+        run(g, &mut NullSink)
     }
+
+    fn schedule_traced(
+        &self,
+        g: &TaskGraph,
+        _env: &Env,
+        mut sink: &mut dyn Sink,
+    ) -> Result<Outcome, SchedError> {
+        run(g, &mut sink)
+    }
+}
+
+/// The engine proper, generic over the trace sink (see `dsc::run`).
+fn run<S: Sink>(g: &TaskGraph, sink: &mut S) -> Result<Outcome, SchedError> {
+    let v = g.num_tasks();
+    let mut s = Schedule::new(v, v);
+    let mut ready = ReadySet::new(g);
+    let mut d = DynLevelsEngine::new(g);
+    let mut used = 0u32; // processors 0..used have been opened
+
+    while !ready.is_empty() {
+        // Minimum relative mobility; exact comparison via
+        // cross-multiplication: M(a) < M(b) ⇔ slack_a·w_b < slack_b·w_a.
+        let n = ready
+            .iter()
+            .min_by(|&a, &b| {
+                let (sa, sb) = (d.mobility(a) as u128, d.mobility(b) as u128);
+                let (wa, wb) = (g.weight(a) as u128, g.weight(b) as u128);
+                (sa * wb)
+                    .cmp(&(sb * wa))
+                    .then(d.aest(a).cmp(&d.aest(b)))
+                    .then(a.0.cmp(&b.0))
+            })
+            .expect("ready set non-empty");
+        emit!(
+            sink,
+            Event::TaskSelected {
+                task: n.0,
+                key: d.mobility(n),
+                tie: d.aest(n),
+            }
+        );
+
+        let alst = d.alst(n);
+        let w = g.weight(n);
+        // First used processor with an insertion slot that keeps the CP.
+        let mut placed_at: Option<(ProcId, u64)> = None;
+        for pi in 0..used {
+            let p = ProcId(pi);
+            let start = s.timeline(p).earliest_fit(drt(g, &s, n, p), w);
+            emit!(
+                sink,
+                Event::PlacementProbed {
+                    task: n.0,
+                    proc: p.0,
+                    start,
+                }
+            );
+            if start <= alst {
+                placed_at = Some((p, start));
+                break;
+            }
+        }
+        let (p, start) = placed_at.unwrap_or_else(|| {
+            // Fresh processor: starts exactly at the t-level.
+            let p = ProcId(used);
+            (p, d.aest(n))
+        });
+        if p.0 == used {
+            used += 1;
+        }
+        // An insertion strictly before the processor's tail fills a hole;
+        // fresh processors and tail appends do not.
+        let hole = sink.enabled() && start + w < s.timeline(p).earliest_append(0);
+        s.place(n, p, start, w).expect("chosen slot is free");
+        emit!(
+            sink,
+            Event::PlacementCommitted {
+                task: n.0,
+                proc: p.0,
+                start,
+                finish: start + w,
+                hole,
+            }
+        );
+        d.placed(g, &s, n);
+        emit!(sink, {
+            let (fwd, bwd) = d.last_repair();
+            Event::ConeRepaired {
+                task: n.0,
+                fwd,
+                bwd,
+            }
+        });
+        ready.take(g, n);
+    }
+
+    d.flush_to_registry();
+    Ok(Outcome {
+        schedule: s,
+        network: None,
+    })
 }
 
 #[cfg(test)]

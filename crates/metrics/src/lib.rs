@@ -24,5 +24,5 @@ pub mod stats;
 pub mod table;
 
 pub use measures::{degradation_pct, efficiency, nsl, speedup};
-pub use stats::{Running, Stopwatch};
+pub use stats::{percentile, summary, Running, Stopwatch, Summary};
 pub use table::Table;

@@ -93,6 +93,52 @@ impl Running {
     }
 }
 
+/// Nearest-rank percentile of an **unsorted** slice: the element whose sorted
+/// position is `round(q · (n − 1))`, `q ∈ [0, 1]`. This is the same
+/// definition `dagsched_obs::LogHist::quantile_bucket` buckets, so flat and
+/// histogram summaries agree. Returns `None` on an empty slice.
+pub fn percentile(xs: &[u64], q: f64) -> Option<u64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    Some(sorted[rank])
+}
+
+/// Five-number-ish summary of a sample: count, min/max, mean, and the
+/// nearest-rank p50/p90/p99 (see [`percentile`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    pub count: usize,
+    pub min: u64,
+    pub max: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+/// Summarize an unsorted sample. Returns `None` on an empty slice.
+pub fn summary(xs: &[u64]) -> Option<Summary> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable();
+    let rank = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+    Some(Summary {
+        count: sorted.len(),
+        min: sorted[0],
+        max: sorted[sorted.len() - 1],
+        mean: sorted.iter().map(|&x| x as f64).sum::<f64>() / sorted.len() as f64,
+        p50: rank(0.50),
+        p90: rank(0.90),
+        p99: rank(0.99),
+    })
+}
+
 /// Wall-clock stopwatch for the paper's "algorithm running time" measure
 /// (Table 6). Returns the mean over `reps` runs of `f`.
 #[derive(Debug)]
@@ -167,6 +213,73 @@ mod tests {
         assert!((a.std() - whole.std()).abs() < 1e-9);
         assert_eq!(a.min(), whole.min());
         assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn percentile_empty_is_none() {
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(summary(&[]), None);
+    }
+
+    #[test]
+    fn percentile_single_element_is_that_element() {
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[7], q), Some(7));
+        }
+        let s = summary(&[7]).unwrap();
+        assert_eq!(
+            (s.count, s.min, s.max, s.p50, s.p90, s.p99),
+            (1, 7, 7, 7, 7, 7)
+        );
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_odd_and_even() {
+        // Odd length: ranks land exactly. n=5 → rank(q) = round(4q).
+        let odd = [10, 20, 30, 40, 50];
+        assert_eq!(percentile(&odd, 0.0), Some(10));
+        assert_eq!(percentile(&odd, 0.5), Some(30));
+        assert_eq!(percentile(&odd, 0.75), Some(40));
+        assert_eq!(percentile(&odd, 1.0), Some(50));
+        // Even length: n=4 → rank(0.5) = round(1.5) = 2 (banker's-free
+        // f64::round, halves away from zero).
+        let even = [1, 2, 3, 4];
+        assert_eq!(percentile(&even, 0.5), Some(3));
+        assert_eq!(percentile(&even, 0.25), Some(2));
+        assert_eq!(percentile(&even, 1.0), Some(4));
+    }
+
+    #[test]
+    fn percentile_handles_ties_and_unsorted_input() {
+        let xs = [5, 1, 5, 5, 2, 5, 5];
+        assert_eq!(percentile(&xs, 0.5), Some(5));
+        assert_eq!(percentile(&xs, 0.0), Some(1));
+        let s = summary(&xs).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.p50, 5);
+        assert_eq!(s.count, 7);
+    }
+
+    #[test]
+    fn percentile_is_clamped_outside_unit_interval() {
+        let xs = [3, 1, 2];
+        assert_eq!(percentile(&xs, -1.0), Some(1));
+        assert_eq!(percentile(&xs, 2.0), Some(3));
+    }
+
+    #[test]
+    fn summary_mean_matches_running() {
+        let xs: Vec<u64> = (0..50).map(|i| (i * 13) % 31).collect();
+        let s = summary(&xs).unwrap();
+        let mut r = Running::new();
+        for &x in &xs {
+            r.push(x as f64);
+        }
+        assert!((s.mean - r.mean()).abs() < 1e-12);
+        assert_eq!(s.min as f64, r.min());
+        assert_eq!(s.max as f64, r.max());
     }
 
     #[test]

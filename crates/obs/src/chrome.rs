@@ -1,0 +1,170 @@
+//! Chrome Trace Event Format writer.
+//!
+//! Emits the JSON object form (`{"traceEvents": [...]}`) accepted by
+//! `chrome://tracing` and Perfetto. Only the event kinds this workspace
+//! needs are supported: metadata thread names, complete (`"X"`) slices and
+//! instant (`"i"`) events. Output is fully deterministic — fixed field
+//! order, integer timestamps, no floats — so a trace built from logical
+//! step stamps diffs byte-for-byte across runs.
+
+/// A typed argument value for an event's `args` object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgVal {
+    U(u64),
+    S(&'static str),
+    B(bool),
+}
+
+/// Incremental trace builder. Events appear in the output in emission
+/// order; viewers sort by timestamp themselves.
+pub struct ChromeTrace {
+    buf: String,
+    any: bool,
+}
+
+fn push_json_str(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\t' => buf.push_str("\\t"),
+            '\r' => buf.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+fn push_args(buf: &mut String, args: &[(&str, ArgVal)]) {
+    buf.push_str(",\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        push_json_str(buf, k);
+        buf.push(':');
+        match v {
+            ArgVal::U(n) => buf.push_str(&n.to_string()),
+            ArgVal::S(s) => push_json_str(buf, s),
+            ArgVal::B(b) => buf.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+    buf.push('}');
+}
+
+impl ChromeTrace {
+    pub fn new() -> Self {
+        ChromeTrace {
+            buf: String::from("{\"traceEvents\":[\n"),
+            any: false,
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.any {
+            self.buf.push_str(",\n");
+        }
+        self.any = true;
+    }
+
+    /// Metadata event naming a `(pid, tid)` row in the viewer.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.sep();
+        self.buf.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":"
+        ));
+        push_json_str(&mut self.buf, name);
+        self.buf.push_str("}}");
+    }
+
+    /// Metadata event naming a `pid` group in the viewer.
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.sep();
+        self.buf.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":"
+        ));
+        push_json_str(&mut self.buf, name);
+        self.buf.push_str("}}");
+    }
+
+    /// Complete (`"X"`) slice: a bar from `ts` for `dur` time units.
+    pub fn complete(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        ts: u64,
+        dur: u64,
+        args: &[(&str, ArgVal)],
+    ) {
+        self.sep();
+        self.buf.push_str(&format!(
+            "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"name\":"
+        ));
+        push_json_str(&mut self.buf, name);
+        self.buf.push_str(&format!(",\"ts\":{ts},\"dur\":{dur}"));
+        push_args(&mut self.buf, args);
+        self.buf.push('}');
+    }
+
+    /// Thread-scoped instant (`"i"`) event at `ts`.
+    pub fn instant(&mut self, pid: u64, tid: u64, name: &str, ts: u64, args: &[(&str, ArgVal)]) {
+        self.sep();
+        self.buf.push_str(&format!(
+            "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"name\":"
+        ));
+        push_json_str(&mut self.buf, name);
+        self.buf.push_str(&format!(",\"ts\":{ts}"));
+        push_args(&mut self.buf, args);
+        self.buf.push('}');
+    }
+
+    /// Close the trace and return the JSON text (trailing newline
+    /// included so shell `diff` treats it as a well-formed text file).
+    pub fn finish(mut self) -> String {
+        self.buf.push_str("\n]}\n");
+        self.buf
+    }
+}
+
+impl Default for ChromeTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_shape() {
+        let build = || {
+            let mut t = ChromeTrace::new();
+            t.process_name(1, "schedule");
+            t.thread_name(1, 0, "P0");
+            t.complete(1, 0, "n3", 5, 7, &[("task", ArgVal::U(3))]);
+            t.instant(0, 0, "task_selected", 0, &[("ok", ArgVal::B(true))]);
+            t.finish()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert!(a.starts_with("{\"traceEvents\":[\n"));
+        assert!(a.ends_with("\n]}\n"));
+        assert!(a.contains("\"ph\":\"X\""));
+        assert!(a.contains("\"dur\":7"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut t = ChromeTrace::new();
+        t.process_name(0, "a\"b\\c\nd");
+        let s = t.finish();
+        assert!(s.contains("a\\\"b\\\\c\\nd"));
+    }
+}

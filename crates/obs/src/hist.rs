@@ -1,0 +1,170 @@
+//! Fixed-bucket log₂ histograms.
+//!
+//! 65 buckets cover the whole `u64` range: bucket 0 holds the value 0 and
+//! bucket *i* (1 ≤ i ≤ 64) holds values in `[2^(i-1), 2^i)`. Recording is
+//! one `leading_zeros` plus one relaxed atomic add — cheap enough for
+//! per-placement call sites, and safely shareable across threads.
+//!
+//! Quantiles are answered at bucket resolution with the same
+//! **nearest-rank** convention as `dagsched_metrics::stats::percentile`:
+//! the reported bucket is the one containing the element of rank
+//! `round(q · (n − 1))` in sorted order. `tests/hist_oracle.rs` proptests
+//! this against an exact sort-based oracle.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Number of buckets (value 0 plus one per power of two).
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, else `1 + floor(log2(v))`.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper edge of a bucket (`u64::MAX` for the last one).
+pub fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// Inclusive lower edge of a bucket.
+pub fn bucket_lower(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// A log₂ histogram of `u64` samples.
+pub struct LogHist {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl LogHist {
+    pub const fn new() -> Self {
+        LogHist {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Relaxed)).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Samples recorded into bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i].load(Relaxed)
+    }
+
+    /// Bucket index holding the nearest-rank `q`-quantile sample
+    /// (`q` clamped to `[0, 1]`). `None` when empty.
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        let n: u64 = counts.iter().sum();
+        if n == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((n - 1) as f64 * q).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Some(i);
+            }
+        }
+        Some(BUCKETS - 1)
+    }
+
+    /// Upper edge of the nearest-rank `q`-quantile bucket: an inclusive
+    /// upper bound on the exact quantile, tight to a factor of two.
+    pub fn quantile_upper(&self, q: f64) -> Option<u64> {
+        self.quantile_bucket(q).map(bucket_upper)
+    }
+
+    /// Reset all buckets to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+    }
+
+    /// Compact single-line rendering: count plus p50/p95/max bucket upper
+    /// edges. Deterministic for a deterministic sample multiset.
+    pub fn brief(&self) -> String {
+        match (
+            self.quantile_upper(0.5),
+            self.quantile_upper(0.95),
+            self.quantile_upper(1.0),
+        ) {
+            (Some(p50), Some(p95), Some(max)) => {
+                format!("n={} p50<={} p95<={} max<={}", self.count(), p50, p95, max)
+            }
+            _ => "n=0".into(),
+        }
+    }
+}
+
+impl Default for LogHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_partition_u64() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_lower(i)), i, "lower edge of {i}");
+            assert_eq!(bucket_of(bucket_upper(i)), i, "upper edge of {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_on_a_known_multiset() {
+        let h = LogHist::new();
+        for v in [0u64, 1, 1, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        // Sorted ranks 0..=6; p0 = value 0 (bucket 0), p100 = 1000
+        // (bucket 10: 512..=1023).
+        assert_eq!(h.quantile_bucket(0.0), Some(0));
+        assert_eq!(h.quantile_bucket(1.0), Some(10));
+        // rank(0.5) = 3 → value 2 → bucket 2.
+        assert_eq!(h.quantile_bucket(0.5), Some(2));
+        assert_eq!(h.quantile_upper(0.5), Some(3));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LogHist::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile_bucket(0.5), None);
+        assert_eq!(h.brief(), "n=0");
+    }
+}

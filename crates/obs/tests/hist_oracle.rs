@@ -1,0 +1,65 @@
+//! Property tests: the log₂ histogram against an exact sort oracle.
+//!
+//! For arbitrary sample multisets, the histogram's nearest-rank quantile
+//! bucket must be exactly the bucket containing the exact nearest-rank
+//! quantile of the sorted samples — the bucketing loses value resolution,
+//! never rank resolution. Also checks the count invariant and bucket
+//! assignment against a from-scratch log₂ computation.
+
+use dagsched_obs::hist::{bucket_of, bucket_upper, LogHist};
+use proptest::prelude::*;
+
+/// Values spanning several orders of magnitude, with zeros and ties
+/// likely (small ranges repeat).
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        (0u32..64, 0u64..1000).prop_map(|(shift, lo)| ((lo >> 4) << (shift % 17)) | (lo & 3)),
+        1..=300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quantile_bucket_matches_sort_oracle(values in arb_samples(), qn in 0u32..=100) {
+        let q = qn as f64 / 100.0;
+        let h = LogHist::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+        let exact = sorted[rank];
+
+        let bucket = h.quantile_bucket(q).expect("non-empty");
+        prop_assert_eq!(
+            bucket,
+            bucket_of(exact),
+            "q={} rank={} exact={} values={:?}",
+            q,
+            rank,
+            exact,
+            sorted
+        );
+        // The reported upper edge bounds the exact quantile from above.
+        prop_assert!(bucket_upper(bucket) >= exact);
+    }
+
+    #[test]
+    fn bucket_counts_match_oracle(values in arb_samples()) {
+        let h = LogHist::new();
+        let mut oracle = [0u64; dagsched_obs::hist::BUCKETS];
+        for &v in &values {
+            h.record(v);
+            let i = if v == 0 { 0 } else { 64 - v.leading_zeros() as usize };
+            oracle[i] += 1;
+        }
+        for (i, &c) in oracle.iter().enumerate() {
+            prop_assert_eq!(h.bucket_count(i), c, "bucket {}", i);
+        }
+    }
+}

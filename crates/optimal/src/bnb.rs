@@ -38,6 +38,7 @@
 
 use dagsched_core::{registry, Env};
 use dagsched_graph::{levels, TaskGraph, TaskId};
+use dagsched_obs::{emit, Event, NullSink, PruneBound, Sink};
 use dagsched_platform::{ProcId, Schedule};
 use std::cell::{Cell, RefCell};
 use std::collections::HashSet;
@@ -87,8 +88,13 @@ pub struct OptimalResult {
     /// parallel search may expand more (per-worker duplicate detection)
     /// and varies with steal timing.
     pub nodes_expanded: u64,
-    /// States cut by a lower-bound test or duplicate-state detection.
+    /// States cut by a lower-bound test or duplicate-state detection
+    /// (always `pruned_bound + pruned_duplicate`).
     pub pruned: u64,
+    /// States cut by the admissible lower-bound test alone.
+    pub pruned_bound: u64,
+    /// States cut by canonical duplicate-state detection alone.
+    pub pruned_duplicate: u64,
 }
 
 /// How deep a prefix may still split into child jobs (beyond this, the
@@ -357,7 +363,8 @@ trait Ctl {
     /// Count one expansion. `false` = node budget exhausted; the search is
     /// capped and must stop.
     fn note_expanded(&self) -> bool;
-    fn note_pruned(&self);
+    /// Count one pruned state, by which bound cut it.
+    fn note_pruned(&self, bound: PruneBound);
     /// Whether the search has been capped (checked between branches).
     fn stopped(&self) -> bool;
 }
@@ -368,7 +375,8 @@ struct SerialCtl {
     /// `None` = the incumbent's key is unknown/absent (treated as +∞).
     best_key: RefCell<Option<Vec<(u8, u64)>>>,
     nodes: Cell<u64>,
-    pruned: Cell<u64>,
+    pruned_bound: Cell<u64>,
+    pruned_duplicate: Cell<u64>,
     node_limit: u64,
     capped: Cell<bool>,
 }
@@ -405,8 +413,12 @@ impl Ctl for SerialCtl {
         true
     }
 
-    fn note_pruned(&self) {
-        self.pruned.set(self.pruned.get() + 1);
+    fn note_pruned(&self, bound: PruneBound) {
+        let cell = match bound {
+            PruneBound::LowerBound => &self.pruned_bound,
+            PruneBound::Duplicate => &self.pruned_duplicate,
+        };
+        cell.set(cell.get() + 1);
     }
 
     fn stopped(&self) -> bool {
@@ -426,7 +438,8 @@ struct SharedCtl {
     best_len: AtomicU64,
     best: Mutex<BestSlot>,
     nodes: AtomicU64,
-    pruned: AtomicU64,
+    pruned_bound: AtomicU64,
+    pruned_duplicate: AtomicU64,
     node_limit: u64,
     capped: AtomicBool,
 }
@@ -479,8 +492,12 @@ impl Ctl for SharedCtl {
         true
     }
 
-    fn note_pruned(&self) {
-        self.pruned.fetch_add(1, Ordering::Relaxed);
+    fn note_pruned(&self, bound: PruneBound) {
+        let ctr = match bound {
+            PruneBound::LowerBound => &self.pruned_bound,
+            PruneBound::Duplicate => &self.pruned_duplicate,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
     }
 
     fn stopped(&self) -> bool {
@@ -488,28 +505,50 @@ impl Ctl for SharedCtl {
     }
 }
 
-/// The depth-first search, generic over serial/shared control. Expansion
-/// order, bound tests and duplicate detection are byte-for-byte the
-/// pre-parallel algorithm; only the incumbent plumbing is abstracted.
-fn dfs<C: Ctl>(state: &mut State<'_>, seen: &mut HashSet<u128>, ctl: &C) {
+/// The depth-first search, generic over serial/shared control and over the
+/// trace sink (`NullSink` monomorphizes the event emissions away — the
+/// parallel search always passes it). Expansion order, bound tests and
+/// duplicate detection are byte-for-byte the pre-parallel algorithm; only
+/// the incumbent plumbing is abstracted.
+fn dfs<C: Ctl, S: Sink>(state: &mut State<'_>, seen: &mut HashSet<u128>, ctl: &C, sink: &mut S) {
     if !ctl.note_expanded() {
         return;
     }
+    emit!(
+        sink,
+        Event::BnbExpanded {
+            depth: state.n_scheduled as u32,
+        }
+    );
     if state.complete() {
         ctl.offer(state.makespan, &state.current, state.procs);
         return;
     }
     if state.lower_bound() >= ctl.bound() {
-        ctl.note_pruned();
+        ctl.note_pruned(PruneBound::LowerBound);
+        emit!(
+            sink,
+            Event::BnbPruned {
+                depth: state.n_scheduled as u32,
+                bound: PruneBound::LowerBound,
+            }
+        );
         return;
     }
     if !seen.insert(state.signature()) {
-        ctl.note_pruned();
+        ctl.note_pruned(PruneBound::Duplicate);
+        emit!(
+            sink,
+            Event::BnbPruned {
+                depth: state.n_scheduled as u32,
+                bound: PruneBound::Duplicate,
+            }
+        );
         return;
     }
     for (n, start, pi) in state.ordered_moves() {
         state.apply(n, ProcId(pi), start);
-        dfs(state, seen, ctl);
+        dfs(state, seen, ctl, sink);
         state.undo(n, ProcId(pi), start);
         if ctl.stopped() {
             return;
@@ -534,7 +573,7 @@ fn parallel_search(
     workers: usize,
     incumbent_len: u64,
     incumbent: Vec<(ProcId, u64)>,
-) -> (u64, Vec<(ProcId, u64)>, bool, u64, u64) {
+) -> (u64, Vec<(ProcId, u64)>, bool, u64, u64, u64) {
     let base = State::new(g, procs);
     let shared = SharedCtl {
         best_len: AtomicU64::new(incumbent_len),
@@ -544,7 +583,8 @@ fn parallel_search(
             placements: incumbent,
         }),
         nodes: AtomicU64::new(0),
-        pruned: AtomicU64::new(0),
+        pruned_bound: AtomicU64::new(0),
+        pruned_duplicate: AtomicU64::new(0),
         node_limit,
         capped: AtomicBool::new(false),
     };
@@ -582,11 +622,11 @@ fn parallel_search(
                 return;
             }
             if acc.state.lower_bound() >= shared_ref.bound() {
-                shared_ref.note_pruned();
+                shared_ref.note_pruned(PruneBound::LowerBound);
                 return;
             }
             if !acc.seen.insert(acc.state.signature()) {
-                shared_ref.note_pruned();
+                shared_ref.note_pruned(PruneBound::Duplicate);
                 return;
             }
             let split =
@@ -604,7 +644,7 @@ fn parallel_search(
                 // Saturated: run the whole subtree inline.
                 for (n, start, pi) in acc.state.ordered_moves() {
                     acc.state.apply(n, ProcId(pi), start);
-                    dfs(&mut acc.state, &mut acc.seen, shared_ref);
+                    dfs(&mut acc.state, &mut acc.seen, shared_ref, &mut NullSink);
                     acc.state.undo(n, ProcId(pi), start);
                     if shared_ref.stopped() {
                         return;
@@ -620,35 +660,39 @@ fn parallel_search(
         slot.placements,
         !shared.capped.into_inner(),
         shared.nodes.into_inner(),
-        shared.pruned.into_inner(),
+        shared.pruned_bound.into_inner(),
+        shared.pruned_duplicate.into_inner(),
     )
 }
 
-fn serial_search(
+fn serial_search<S: Sink>(
     g: &TaskGraph,
     procs: usize,
     node_limit: u64,
     incumbent_len: u64,
     incumbent: Vec<(ProcId, u64)>,
-) -> (u64, Vec<(ProcId, u64)>, bool, u64, u64) {
+    sink: &mut S,
+) -> (u64, Vec<(ProcId, u64)>, bool, u64, u64, u64) {
     let ctl = SerialCtl {
         best_len: Cell::new(incumbent_len),
         best_key: RefCell::new((incumbent_len != u64::MAX).then(|| canon_key(&incumbent, procs))),
         best: RefCell::new(incumbent),
         nodes: Cell::new(0),
-        pruned: Cell::new(0),
+        pruned_bound: Cell::new(0),
+        pruned_duplicate: Cell::new(0),
         node_limit,
         capped: Cell::new(false),
     };
     let mut state = State::new(g, procs);
     let mut seen = HashSet::new();
-    dfs(&mut state, &mut seen, &ctl);
+    dfs(&mut state, &mut seen, &ctl, sink);
     (
         ctl.best_len.get(),
         ctl.best.into_inner(),
         !ctl.capped.get(),
         ctl.nodes.get(),
-        ctl.pruned.get(),
+        ctl.pruned_bound.get(),
+        ctl.pruned_duplicate.get(),
     )
 }
 
@@ -657,6 +701,26 @@ fn serial_search(
 /// Panics if the graph has more than 64 tasks — the RGBOS family tops out
 /// at 32 and the state signature uses a 64-bit task mask.
 pub fn solve(g: &TaskGraph, params: &OptimalParams) -> OptimalResult {
+    solve_with(g, params, &mut NullSink)
+}
+
+/// [`solve`] with a trace sink: every serial expansion and prune is emitted
+/// as [`Event::BnbExpanded`] / [`Event::BnbPruned`]. Forces the serial
+/// search (`threads = 1`) — the event stream is a deterministic depth-first
+/// narrative, which the parallel search cannot provide.
+pub fn solve_traced(
+    g: &TaskGraph,
+    params: &OptimalParams,
+    mut sink: &mut dyn Sink,
+) -> OptimalResult {
+    let serial = OptimalParams {
+        threads: Some(1),
+        ..params.clone()
+    };
+    solve_with(g, &serial, &mut sink)
+}
+
+fn solve_with<S: Sink>(g: &TaskGraph, params: &OptimalParams, sink: &mut S) -> OptimalResult {
     let v = g.num_tasks();
     assert!(
         v <= 64,
@@ -693,11 +757,21 @@ pub fn solve(g: &TaskGraph, params: &OptimalParams) -> OptimalResult {
         Some(n) => n.max(1),
         None => dagsched_ws::worker_count(),
     };
-    let (length, placements, proven, nodes_expanded, pruned) = if workers <= 1 {
-        serial_search(g, procs, params.node_limit, best_len, best)
-    } else {
-        parallel_search(g, procs, params.node_limit, workers, best_len, best)
-    };
+    let (length, placements, proven, nodes_expanded, pruned_bound, pruned_duplicate) =
+        if workers <= 1 {
+            serial_search(g, procs, params.node_limit, best_len, best, sink)
+        } else {
+            parallel_search(g, procs, params.node_limit, workers, best_len, best)
+        };
+
+    // Flush the search totals to the global observability registry.
+    {
+        use dagsched_obs::Metric;
+        let reg = dagsched_obs::global();
+        reg.add(Metric::BnbExpanded, nodes_expanded);
+        reg.add(Metric::BnbPrunedBound, pruned_bound);
+        reg.add(Metric::BnbPrunedDuplicate, pruned_duplicate);
+    }
 
     let mut schedule = Schedule::new(v, procs);
     for n in g.tasks() {
@@ -712,7 +786,9 @@ pub fn solve(g: &TaskGraph, params: &OptimalParams) -> OptimalResult {
         schedule,
         proven,
         nodes_expanded,
-        pruned,
+        pruned: pruned_bound + pruned_duplicate,
+        pruned_bound,
+        pruned_duplicate,
     }
 }
 
@@ -848,6 +924,50 @@ mod tests {
         assert_eq!(a.nodes_expanded, b.nodes_expanded);
         assert_eq!(a.pruned, b.pruned);
         assert!(a.nodes_expanded > 0);
+    }
+
+    #[test]
+    fn prune_breakdown_sums_to_total() {
+        // The per-bound split must partition the old aggregate exactly —
+        // serial and parallel alike — and the trace-sink events must agree
+        // with the serial counters one for one.
+        for seed in [5u64, 9, 42] {
+            let g = crate::exhaustive::tests::random_small(11, seed);
+            let r = solve(&g, &params(3));
+            assert!(r.proven);
+            assert_eq!(r.pruned, r.pruned_bound + r.pruned_duplicate, "{seed}");
+            assert!(r.pruned_bound > 0, "seed {seed} never hit the bound?");
+            let par = solve(
+                &g,
+                &OptimalParams {
+                    procs: Some(3),
+                    threads: Some(4),
+                    ..OptimalParams::default()
+                },
+            );
+            assert_eq!(par.pruned, par.pruned_bound + par.pruned_duplicate);
+
+            let mut sink = dagsched_obs::MemSink::default();
+            let traced = solve_traced(&g, &params(3), &mut sink);
+            assert_eq!(traced.nodes_expanded, r.nodes_expanded);
+            assert_eq!(traced.pruned_bound, r.pruned_bound);
+            assert_eq!(traced.pruned_duplicate, r.pruned_duplicate);
+            let mut expanded = 0u64;
+            let (mut by_bound, mut by_dup) = (0u64, 0u64);
+            for ev in &sink.events {
+                match ev {
+                    dagsched_obs::Event::BnbExpanded { .. } => expanded += 1,
+                    dagsched_obs::Event::BnbPruned { bound, .. } => match bound {
+                        dagsched_obs::PruneBound::LowerBound => by_bound += 1,
+                        dagsched_obs::PruneBound::Duplicate => by_dup += 1,
+                    },
+                    _ => {}
+                }
+            }
+            assert_eq!(expanded, r.nodes_expanded, "seed {seed}");
+            assert_eq!(by_bound, r.pruned_bound, "seed {seed}");
+            assert_eq!(by_dup, r.pruned_duplicate, "seed {seed}");
+        }
     }
 
     #[test]

@@ -209,6 +209,28 @@ impl Drop for PanicGuard<'_> {
     }
 }
 
+/// Worker-local runtime tallies. Kept as plain integers on the hot loop and
+/// flushed to the [`dagsched_obs`] registry once at pool teardown — the
+/// steal path never touches a shared cache line for bookkeeping.
+#[derive(Default)]
+struct WorkerTallies {
+    jobs: u64,
+    steal_attempts: u64,
+    steal_hits: u64,
+    parks: u64,
+}
+
+impl WorkerTallies {
+    fn flush(&self) {
+        use dagsched_obs::Metric;
+        let reg = dagsched_obs::global();
+        reg.add(Metric::WsJobs, self.jobs);
+        reg.add(Metric::WsStealAttempts, self.steal_attempts);
+        reg.add(Metric::WsStealHits, self.steal_hits);
+        reg.add(Metric::WsParks, self.parks);
+    }
+}
+
 /// Cheap per-worker xorshift for randomized victim selection; seeded from
 /// the worker index so runs are reproducible in the aggregate (the *result*
 /// never depends on who steals what — see the crate docs).
@@ -263,10 +285,13 @@ where
             shared: &shared,
             worker: 0,
         };
+        let mut tallies = WorkerTallies::default();
         while let Some(job) = shared.deques[0].pop() {
             handler(&mut acc, job, &ctx);
+            tallies.jobs += 1;
             shared.pending.fetch_sub(1, Ordering::AcqRel);
         }
+        tallies.flush();
         return vec![acc];
     }
 
@@ -281,21 +306,30 @@ where
                     let ctx = Ctx { shared, worker: w };
                     let mut rng = 0x9E37_79B9_7F4A_7C15u64 ^ ((w as u64 + 1) << 17);
                     let mut idle_sweeps = 0u32;
+                    let mut tallies = WorkerTallies::default();
                     loop {
                         if shared.poisoned.load(Ordering::Acquire) {
                             break;
                         }
+                        let mut stole = false;
                         let job = shared.deques[w].pop().or_else(|| {
                             // One randomized sweep over the other deques.
+                            tallies.steal_attempts += 1;
                             let start = (xorshift(&mut rng) as usize) % workers;
-                            (0..workers)
+                            let found = (0..workers)
                                 .map(|i| (start + i) % workers)
                                 .filter(|&v| v != w)
-                                .find_map(|v| shared.deques[v].steal())
+                                .find_map(|v| shared.deques[v].steal());
+                            stole = found.is_some();
+                            found
                         });
                         match job {
                             Some(job) => {
                                 idle_sweeps = 0;
+                                tallies.jobs += 1;
+                                if stole {
+                                    tallies.steal_hits += 1;
+                                }
                                 let mut guard = PanicGuard {
                                     poisoned: &shared.poisoned,
                                     armed: true,
@@ -320,11 +354,13 @@ where
                                     std::thread::yield_now();
                                 } else {
                                     let exp = (idle_sweeps - 8).min(10);
+                                    tallies.parks += 1;
                                     std::thread::sleep(Duration::from_micros(1 << exp));
                                 }
                             }
                         }
                     }
+                    tallies.flush();
                     acc
                 })
             })

@@ -3,6 +3,9 @@
 //! ```text
 //! taskbench gen  <family> [args…]        generate a graph, print TGF
 //! taskbench run  <ALGO> <file.tgf> [-p N] [--topology T] [--gantt]
+//! taskbench trace <ALGO> <file.tgf> [-p N] [--topology T]
+//! taskbench profile <ALGO> <file.tgf> [-p N] [--topology T] [--reps N] [--top N]
+//! taskbench bench-history [file.jsonl]   perf trend table from BENCH_HISTORY
 //! taskbench adversary <TARGET> <BASELINE|optimal> [flags]
 //! taskbench info <file.tgf>              structural statistics
 //! taskbench dot  <file.tgf>              Graphviz export
@@ -13,14 +16,52 @@
 //! `rgpos v ccr seed`, `cholesky n ccr`, `gauss n ccr`, `fft m ccr`,
 //! `psg idx`. Topologies: `full:N`, `ring:N`, `chain:N`, `star:N`,
 //! `mesh:RxC`, `torus:RxC`, `hypercube:D`.
+//!
+//! **Output discipline:** stdout carries exactly one artifact per
+//! invocation (a TGF file, a trace JSON, a table…); everything else —
+//! progress notes, derived facts, warnings — goes to stderr through one
+//! leveled path. `-q`/`--quiet` silences the notes, `-v`/`--verbose`
+//! adds diagnostics; neither touches stdout, so shell pipelines and CI
+//! byte-diffs see the same artifact at every level.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicI8, Ordering};
 
 use taskbench::prelude::*;
 use taskbench::suites::{psg, rgbos, rgnos, rgpos, traced};
 
+/// −1 = quiet, 0 = normal, 1 = verbose. Set once at startup from the
+/// global flags; read by [`note`]/[`verbose`].
+static VERBOSITY: AtomicI8 = AtomicI8::new(0);
+
+/// Progress/side-fact channel (stderr). Suppressed by `-q`.
+fn note(text: &str) {
+    if VERBOSITY.load(Ordering::Relaxed) >= 0 {
+        eprintln!("{text}");
+    }
+}
+
+/// Diagnostic channel (stderr). Printed only with `-v`.
+fn verbose(text: &str) {
+    if VERBOSITY.load(Ordering::Relaxed) >= 1 {
+        eprintln!("{text}");
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Global flags may appear anywhere; strip them before dispatch.
+    args.retain(|a| match a.as_str() {
+        "-q" | "--quiet" => {
+            VERBOSITY.store(-1, Ordering::Relaxed);
+            false
+        }
+        "-v" | "--verbose" => {
+            VERBOSITY.store(1, Ordering::Relaxed);
+            false
+        }
+        _ => true,
+    });
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -35,6 +76,9 @@ fn run(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("bench-history") => cmd_bench_history(&args[1..]),
         Some("adversary") => cmd_adversary(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("dot") => cmd_dot(&args[1..]),
@@ -75,11 +119,19 @@ taskbench — benchmarking task graph scheduling algorithms (Kwok & Ahmad, IPPS'
   taskbench gen fft <m> <ccr>                 2^m-point FFT butterfly
   taskbench gen psg <0..8>                    one of the nine peer set graphs
   taskbench run <ALGO> <file.tgf> [-p N] [--topology T] [--gantt]
+  taskbench trace <ALGO> <file.tgf> [-p N] [--topology T]
+            deterministic decision trace + schedule timeline (Chrome JSON, stdout)
+  taskbench profile <ALGO> <file.tgf> [-p N] [--topology T] [--reps N] [--top N]
+            wall-clock span profile + counter/histogram registry dump
+  taskbench bench-history [file.jsonl]       perf trend table (default: repo root)
   taskbench adversary <TARGET> <BASELINE|optimal> [--budget N] [--seed S]
             [--max-nodes V] [--out file.tgf]     adversarial instance search
   taskbench info <file.tgf>
   taskbench dot <file.tgf>
-  taskbench list";
+  taskbench list
+
+global flags: -q/--quiet silence stderr notes, -v/--verbose add diagnostics;
+stdout always carries exactly the artifact.";
 
 fn parse<T: std::str::FromStr>(v: Option<&String>, what: &str) -> Result<T, String> {
     v.ok_or_else(|| format!("missing {what}"))?
@@ -107,7 +159,10 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
                 parse(args.get(2), "ccr")?,
                 parse(args.get(3), "seed")?,
             ));
-            eprintln!("# optimal length on {} procs: {}", inst.procs, inst.optimal);
+            note(&format!(
+                "# optimal length on {} procs: {}",
+                inst.procs, inst.optimal
+            ));
             inst.graph
         }
         "cholesky" => traced::cholesky(parse(args.get(1), "n")?, parse(args.get(2), "ccr")?),
@@ -173,6 +228,51 @@ fn lookup_algo(name: &str) -> Result<Box<dyn Scheduler>, String> {
     })
 }
 
+/// Shared `-p` / `--topology` parsing for the run/trace/profile commands.
+/// Flags this parser doesn't own are handed to `extra`; it returns how
+/// many arguments it consumed (0 = unknown flag, an error).
+fn parse_env_flags(
+    args: &[String],
+    procs: &mut Option<usize>,
+    topo: &mut Option<Topology>,
+    mut extra: impl FnMut(&str, Option<&String>) -> Result<usize, String>,
+) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-p" => {
+                *procs = Some(parse(args.get(i + 1), "processor count")?);
+                i += 2;
+            }
+            "--topology" => {
+                *topo = Some(parse_topology(args.get(i + 1).ok_or("missing topology")?)?);
+                i += 2;
+            }
+            other => match extra(other, args.get(i + 1))? {
+                0 => return Err(format!("unknown flag `{other}`")),
+                n => i += n,
+            },
+        }
+    }
+    Ok(())
+}
+
+/// The environment a CLI invocation schedules in: APN algorithms get the
+/// requested (or default 8-processor hypercube) topology, everything else
+/// a BNP machine of `-p` (default `min(v, 32)`) processors.
+fn env_for(
+    algo: &dyn Scheduler,
+    g: &TaskGraph,
+    procs: Option<usize>,
+    topo: Option<Topology>,
+) -> Env {
+    match (algo.class(), topo) {
+        (AlgoClass::Apn, Some(t)) => Env::apn(t),
+        (AlgoClass::Apn, None) => Env::apn(Topology::hypercube(3).expect("valid")),
+        (_, _) => Env::bnp(procs.unwrap_or_else(|| g.num_tasks().min(32))),
+    }
+}
+
 fn cmd_run(args: &[String]) -> Result<(), String> {
     let algo_name = args.first().ok_or("missing algorithm name")?;
     let path = args.get(1).ok_or("missing graph file")?;
@@ -182,29 +282,23 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut procs: Option<usize> = None;
     let mut topo: Option<Topology> = None;
     let mut want_gantt = false;
-    let mut i = 2;
-    while i < args.len() {
-        match args[i].as_str() {
-            "-p" => {
-                procs = Some(parse(args.get(i + 1), "processor count")?);
-                i += 2;
-            }
-            "--topology" => {
-                topo = Some(parse_topology(args.get(i + 1).ok_or("missing topology")?)?);
-                i += 2;
-            }
-            "--gantt" => {
-                want_gantt = true;
-                i += 1;
-            }
-            other => return Err(format!("unknown flag `{other}`")),
+    parse_env_flags(&args[2..], &mut procs, &mut topo, |flag, _| {
+        if flag == "--gantt" {
+            want_gantt = true;
+            Ok(1)
+        } else {
+            Ok(0)
         }
-    }
-    let env = match (algo.class(), topo) {
-        (AlgoClass::Apn, Some(t)) => Env::apn(t),
-        (AlgoClass::Apn, None) => Env::apn(Topology::hypercube(3).expect("valid")),
-        (_, _) => Env::bnp(procs.unwrap_or_else(|| g.num_tasks().min(32))),
-    };
+    })?;
+    let env = env_for(algo.as_ref(), &g, procs, topo);
+    verbose(&format!(
+        "loaded {}: v={} e={}; scheduling with {} on {} processors",
+        g.name(),
+        g.num_tasks(),
+        g.num_edges(),
+        algo.name(),
+        env.procs()
+    ));
     let out = algo.schedule(&g, &env).map_err(|e| e.to_string())?;
     out.validate(&g)
         .map_err(|e| format!("internal: invalid schedule: {e}"))?;
@@ -220,6 +314,306 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if want_gantt {
         emit(&gantt::listing(&out.schedule, &g));
     }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    use taskbench::obs::{ArgVal, ChromeTrace, MemSink};
+
+    let algo_name = args.first().ok_or("missing algorithm name")?;
+    let path = args.get(1).ok_or("missing graph file")?;
+    let algo = lookup_algo(algo_name)?;
+    let g = load(path)?;
+    let mut procs: Option<usize> = None;
+    let mut topo: Option<Topology> = None;
+    parse_env_flags(&args[2..], &mut procs, &mut topo, |_, _| Ok(0))?;
+    let env = env_for(algo.as_ref(), &g, procs, topo);
+
+    let mut sink = MemSink::new();
+    let out = algo
+        .schedule_traced(&g, &env, &mut sink)
+        .map_err(|e| e.to_string())?;
+    out.validate(&g)
+        .map_err(|e| format!("internal: invalid schedule: {e}"))?;
+    let sched = out.schedule.compact_procs();
+
+    // Two viewer process groups: pid 0 streams the decision narrative as
+    // instants at their logical step stamps; pid 1 is the resulting
+    // schedule as a Gantt chart in graph time units. Both axes are
+    // deterministic, so the whole artifact byte-diffs across runs and
+    // thread counts.
+    let mut t = ChromeTrace::new();
+    t.process_name(0, &format!("{} decisions", algo.name()));
+    t.thread_name(0, 0, "decision stream");
+    t.process_name(1, "schedule");
+    for p in 0..sched.procs_used() {
+        t.thread_name(1, p as u64, &format!("P{p}"));
+    }
+    for (step, ev) in sink.events.iter().enumerate() {
+        t.instant(0, 0, ev.name(), step as u64, &ev.args());
+    }
+    for n in 0..g.num_tasks() {
+        let task = TaskId(n as u32);
+        let pl = sched
+            .placement(task)
+            .expect("validated schedule places every task");
+        t.complete(
+            1,
+            pl.proc.index() as u64,
+            &format!("n{n}"),
+            pl.start,
+            pl.finish - pl.start,
+            &[("task", ArgVal::U(n as u64))],
+        );
+    }
+    emit(&t.finish());
+    note(&format!(
+        "{} on {}: {} events, makespan {}, {} procs used \
+         (load in chrome://tracing or ui.perfetto.dev)",
+        algo.name(),
+        g.name(),
+        sink.events.len(),
+        sched.makespan(),
+        sched.procs_used()
+    ));
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    use taskbench::obs::{global, registry::HISTS, span};
+
+    let algo_name = args.first().ok_or("missing algorithm name")?;
+    let path = args.get(1).ok_or("missing graph file")?;
+    let algo = lookup_algo(algo_name)?;
+    let g = load(path)?;
+    let mut procs: Option<usize> = None;
+    let mut topo: Option<Topology> = None;
+    let mut reps: usize = 5;
+    let mut top: usize = 12;
+    parse_env_flags(&args[2..], &mut procs, &mut topo, |flag, val| match flag {
+        "--reps" => {
+            reps = parse(val, "reps")?;
+            Ok(2)
+        }
+        "--top" => {
+            top = parse(val, "top")?;
+            Ok(2)
+        }
+        _ => Ok(0),
+    })?;
+    if reps == 0 {
+        return Err("reps must be at least 1".into());
+    }
+    let env = env_for(algo.as_ref(), &g, procs, topo);
+
+    let before = global().snapshot();
+    span::drain(); // discard any stale records from this thread
+    span::enable();
+    let mut makespan = 0;
+    for _ in 0..reps {
+        let out = {
+            let _s = span::span("schedule");
+            algo.schedule(&g, &env).map_err(|e| e.to_string())?
+        };
+        let _s = span::span("validate");
+        out.validate(&g)
+            .map_err(|e| format!("internal: invalid schedule: {e}"))?;
+        makespan = out.schedule.makespan();
+    }
+    span::disable();
+    let recs = span::drain();
+    let table = span::self_time_table(&recs);
+
+    let mut text = format!(
+        "profile: {} on {} (v={} e={}, {} procs)  reps={}  makespan={}\n\n",
+        algo.name(),
+        g.name(),
+        g.num_tasks(),
+        g.num_edges(),
+        env.procs(),
+        reps,
+        makespan
+    );
+    text.push_str(&format!(
+        "{:<20} {:>7} {:>12} {:>12}\n",
+        "span", "count", "total ms", "self ms"
+    ));
+    for row in table.iter().take(top) {
+        text.push_str(&format!(
+            "{:<20} {:>7} {:>12.3} {:>12.3}\n",
+            row.name,
+            row.count,
+            row.total_ns as f64 / 1e6,
+            row.self_ns as f64 / 1e6
+        ));
+    }
+    let delta = global().snapshot().since(&before);
+    let counters = delta.nonzero();
+    if !counters.is_empty() {
+        text.push_str("\ncounters (this invocation):\n");
+        for (name, v) in counters {
+            text.push_str(&format!("  {name:<22} {v}\n"));
+        }
+    }
+    let mut any_hist = false;
+    for h in HISTS {
+        let hist = global().hist(h);
+        if !hist.is_empty() {
+            if !any_hist {
+                text.push_str("\nhistograms (process lifetime):\n");
+                any_hist = true;
+            }
+            text.push_str(&format!("  {:<22} {}\n", h.name(), hist.brief()));
+        }
+    }
+    emit(&text);
+    note("profile times are wall-clock: indicative, never CI-diffed");
+    Ok(())
+}
+
+/// Required fields added at each `BENCH_HISTORY.jsonl` schema version,
+/// with a one-letter type tag: `s`tring, `n`umeric (int or float),
+/// `i`nteger, `b`oolean. A record of schema K must carry exactly the
+/// fields of versions 1..=K (plus `schema` itself) — nothing missing,
+/// nothing unknown.
+const HISTORY_SCHEMA: [&[(&str, u8)]; 6] = [
+    &[
+        ("sha", b's'),
+        ("date", b's'),
+        ("dsc_speedup_v1000", b'n'),
+        ("runner_speedup", b'n'),
+        ("runner_workers", b'i'),
+        ("runner_cells", b'i'),
+    ],
+    &[("bsa_speedup_v500_ccr01", b'n')],
+    &[
+        ("dsc_incremental_speedup_v5000", b'n'),
+        ("paper_sweep_full", b'b'),
+        ("paper_sweep_s", b'n'),
+    ],
+    &[
+        ("md_incremental_speedup_v2000", b'n'),
+        ("dcp_incremental_speedup_v2000", b'n'),
+    ],
+    &[
+        ("bnb_parallel_speedup", b'n'),
+        ("bnb_nodes_expanded", b'i'),
+        ("bnb_pruned", b'i'),
+    ],
+    &[("trace_overhead_dsc", b'n'), ("trace_overhead_bnb", b'n')],
+];
+
+/// Validate one history record against [`HISTORY_SCHEMA`]; returns its
+/// schema version.
+fn validate_history_record(rec: &taskbench::bench::report::Json) -> Result<i64, String> {
+    use taskbench::bench::report::Json;
+
+    let fields = match rec {
+        Json::Obj(fields) => fields,
+        _ => return Err("record is not a JSON object".into()),
+    };
+    let schema = match rec.get("schema") {
+        Some(Json::Int(v)) => *v,
+        Some(_) => return Err("`schema` must be an integer".into()),
+        None => return Err("missing `schema` field".into()),
+    };
+    if !(1..=HISTORY_SCHEMA.len() as i64).contains(&schema) {
+        return Err(format!(
+            "unknown schema version {schema} (known: 1..={})",
+            HISTORY_SCHEMA.len()
+        ));
+    }
+    let required: Vec<(&str, u8)> = HISTORY_SCHEMA[..schema as usize]
+        .iter()
+        .flat_map(|v| v.iter().copied())
+        .collect();
+    for (key, ty) in &required {
+        let v = rec
+            .get(key)
+            .ok_or_else(|| format!("schema {schema} record is missing `{key}`"))?;
+        let ok = match ty {
+            b's' => matches!(v, Json::Str(_)),
+            b'n' => v.as_f64().is_some(),
+            b'i' => matches!(v, Json::Int(_)),
+            b'b' => matches!(v, Json::Bool(_)),
+            _ => unreachable!("tags are s/n/i/b"),
+        };
+        if !ok {
+            return Err(format!("field `{key}` has the wrong type"));
+        }
+    }
+    for (key, _) in fields {
+        if key != "schema" && !required.iter().any(|(k, _)| k == key) {
+            return Err(format!("unknown field `{key}` for schema {schema}"));
+        }
+    }
+    Ok(schema)
+}
+
+fn cmd_bench_history(args: &[String]) -> Result<(), String> {
+    use taskbench::bench::report::Json;
+
+    let path = args
+        .first()
+        .map(String::as_str)
+        .unwrap_or("BENCH_HISTORY.jsonl");
+    if let Some(flag) = args.iter().find(|a| a.starts_with('-')) {
+        return Err(format!("unknown flag `{flag}`"));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+
+    let mut records: Vec<(i64, Json)> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let rec = Json::parse(line).map_err(|e| format!("{path}:{lineno}: {e}"))?;
+        let schema = validate_history_record(&rec).map_err(|e| format!("{path}:{lineno}: {e}"))?;
+        records.push((schema, rec));
+    }
+    if records.is_empty() {
+        return Err(format!("{path}: no records"));
+    }
+
+    // Short header per column; `-` marks fields the record's schema
+    // predates. Ratios >= baseline render with two decimals.
+    let cols: [(&str, &str); 9] = [
+        ("dsc", "dsc_speedup_v1000"),
+        ("dsc-inc", "dsc_incremental_speedup_v5000"),
+        ("md-inc", "md_incremental_speedup_v2000"),
+        ("dcp-inc", "dcp_incremental_speedup_v2000"),
+        ("bsa", "bsa_speedup_v500_ccr01"),
+        ("runner", "runner_speedup"),
+        ("bnb-par", "bnb_parallel_speedup"),
+        ("ovh-dsc", "trace_overhead_dsc"),
+        ("ovh-bnb", "trace_overhead_bnb"),
+    ];
+    let mut out = format!("{:<13} {:<11} {:>2}", "sha", "date", "sv");
+    for (hdr, _) in &cols {
+        out.push_str(&format!(" {hdr:>8}"));
+    }
+    out.push('\n');
+    for (schema, rec) in &records {
+        let s = |key: &str| match rec.get(key) {
+            Some(Json::Str(v)) => v.clone(),
+            _ => "?".into(),
+        };
+        out.push_str(&format!("{:<13} {:<11} {:>2}", s("sha"), s("date"), schema));
+        for (_, key) in &cols {
+            match rec.get(key).and_then(Json::as_f64) {
+                Some(x) => out.push_str(&format!(" {x:>8.2}")),
+                None => out.push_str(&format!(" {:>8}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    emit(&out);
+    note(&format!(
+        "{} records from {path}; columns are speedup ratios \
+         (ovh-* are instrumented/pre-instrumentation overhead, gate <= 1.02)",
+        records.len()
+    ));
     Ok(())
 }
 
@@ -361,7 +755,7 @@ fn cmd_adversary(args: &[String]) -> Result<(), String> {
             &r,
         );
         std::fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?;
-        emit(&format!("wrote {path}\n"));
+        note(&format!("wrote {path}"));
     }
     Ok(())
 }

@@ -18,7 +18,11 @@
 //! * [`optimal`] — branch-and-bound optimal schedules;
 //! * [`metrics`] — NSL, degradation, speedup and reporting tables;
 //! * [`adversary`] — adversarial instance search and pairwise dominance
-//!   analysis over the roster.
+//!   analysis over the roster;
+//! * [`obs`] — zero-cost event tracing, hot-path counters and span
+//!   profiling (the `taskbench trace` / `taskbench profile` front door);
+//! * [`crate::bench`] — the experiment harness behind every table and
+//!   figure, plus the perf-baseline machinery.
 //!
 //! ## Quickstart
 //!
@@ -50,9 +54,11 @@
 //! ```
 
 pub use dagsched_adversary as adversary;
+pub use dagsched_bench as bench;
 pub use dagsched_core as core;
 pub use dagsched_graph as graph;
 pub use dagsched_metrics as metrics;
+pub use dagsched_obs as obs;
 pub use dagsched_optimal as optimal;
 pub use dagsched_platform as platform;
 pub use dagsched_suites as suites;
