@@ -169,6 +169,28 @@ mod tests {
     }
 
     #[test]
+    fn composed_variants_are_searchable_targets() {
+        // The registry's `compose:` grammar opens the whole composed
+        // design space to the dominance machinery: any variant can play
+        // target or baseline like a roster algorithm.
+        let budget = Budget {
+            max_evals: 25,
+            seed: 11,
+            max_nodes: 20,
+        };
+        let variant = "compose:PRIO=blevel,LIST=dynamic,SLOT=insert,SEL=ready";
+        let o = run_pair(AlgoClass::Bnp, variant, "MCP", &budget);
+        assert_eq!(o.target, variant);
+        assert!(o.result.ratio() > 0.0);
+        // Cell seeds key on the full variant name, so distinct variants
+        // explore independent instance streams.
+        assert_ne!(
+            cell_seed(11, variant, "MCP"),
+            cell_seed(11, "compose:PRIO=bt", "MCP")
+        );
+    }
+
+    #[test]
     fn env_for_classes() {
         assert_eq!(env_for(AlgoClass::Bnp).procs(), 8);
         assert_eq!(env_for(AlgoClass::Apn).procs(), 8);

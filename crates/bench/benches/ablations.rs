@@ -3,7 +3,7 @@
 //! `ablations` binary).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dagsched_core::{bnp::Mcp, unc::Dcp, Env, Scheduler};
+use dagsched_core::{bnp, unc::Dcp, Env, Scheduler};
 use dagsched_suites::rgnos::{self, RgnosParams};
 use std::hint::black_box;
 
@@ -16,8 +16,7 @@ fn ablation_timing(c: &mut Criterion) {
         .sample_size(20)
         .warm_up_time(std::time::Duration::from_millis(400))
         .measurement_time(std::time::Duration::from_secs(2));
-    for (label, insertion) in [("insertion", true), ("append", false)] {
-        let algo = Mcp { insertion };
+    for (label, algo) in [("insertion", bnp::mcp()), ("append", bnp::mcp_append())] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &g, |b, g| {
             b.iter(|| {
                 black_box(

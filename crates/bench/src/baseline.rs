@@ -43,6 +43,12 @@
 //! rollback journal over the new layer instead and must produce
 //! placement- *and* message-identical schedules; `perf_baseline` gates
 //! the speedup.
+//!
+//! [`bnp`] holds the six BNP list schedulers as they stood before the
+//! composable-scheduler refactor; the `dagsched_core::compose` presets
+//! must match them placement for placement.
+
+pub mod bnp;
 
 use dagsched_core::common::{drt, ReadySet};
 use dagsched_core::{AlgoClass, Env, Outcome, SchedError, Scheduler};

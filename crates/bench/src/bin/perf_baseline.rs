@@ -64,6 +64,7 @@
 //! overwrite of the full report. Run with `--release`; debug timings are
 //! not comparable.
 
+use dagsched_bench::baseline::bnp::{DlsMono, EtfMono, HlfetMono, IshMono, LastMono, McpMono};
 use dagsched_bench::baseline::{BsaBaseline, DcpScan, DscBaseline, DscScanBaseline, MdScan};
 use dagsched_bench::par;
 use dagsched_bench::preobs;
@@ -629,6 +630,58 @@ fn trace_overhead_section() -> Json {
     ])
 }
 
+/// Release-mode spot check of the composable-scheduler rewire: the six
+/// presets against the retained monoliths at paper scale (the exhaustive
+/// small-instance sweep lives in `dagsched-bench`'s tests), plus the size
+/// of the composed space the registry grammar opens. Any placement
+/// divergence panics — `compose_presets_equiv` is only ever written as
+/// `true`, but the field pins the fact into the trend record.
+fn compose_equivalence_section() -> Json {
+    let pairs: Vec<(Box<dyn Scheduler>, Box<dyn Scheduler>)> = vec![
+        (Box::new(dagsched_core::bnp::hlfet()), Box::new(HlfetMono)),
+        (Box::new(dagsched_core::bnp::ish()), Box::new(IshMono)),
+        (
+            Box::new(dagsched_core::bnp::mcp()),
+            Box::new(McpMono::default()),
+        ),
+        (Box::new(dagsched_core::bnp::etf()), Box::new(EtfMono)),
+        (Box::new(dagsched_core::bnp::dls()), Box::new(DlsMono)),
+        (Box::new(dagsched_core::bnp::last()), Box::new(LastMono)),
+    ];
+    let env = Env::bnp(8);
+    let mut instances = 0usize;
+    for &v in &[100usize, 300] {
+        for &ccr in &[0.1f64, 1.0, 10.0] {
+            for seed in 0..3u64 {
+                let g = rgnos::generate(RgnosParams::new(v, ccr, 3, seed));
+                for (new, old) in &pairs {
+                    let a = old.schedule(&g, &env).expect("monolith schedules");
+                    let b = new.schedule(&g, &env).expect("preset schedules");
+                    for n in g.tasks() {
+                        assert_eq!(
+                            a.schedule.placement(n),
+                            b.schedule.placement(n),
+                            "{} diverged from its monolith on v={v} ccr={ccr} seed={seed}",
+                            new.name(),
+                        );
+                    }
+                }
+                instances += 1;
+            }
+        }
+    }
+    let variants_total = registry::enumerate().len();
+    println!(
+        "compose: 6 presets placement-identical to monoliths on {instances} paper-scale \
+         instances; {variants_total} composed variants enumerable"
+    );
+    Json::obj([
+        ("presets_equiv", Json::Bool(true)),
+        ("instances", Json::Int(instances as i64)),
+        ("variants_total", Json::Int(variants_total as i64)),
+    ])
+}
+
 fn paper_sweep_budget_section() -> Json {
     let cfg = dagsched_bench::Config::from_env();
     let budget = if cfg.full {
@@ -730,9 +783,10 @@ fn main() {
     let runner = runner_scaling_section();
     let bnb = bnb_parallel_speedup_section();
     let overhead = trace_overhead_section();
+    let compose = compose_equivalence_section();
     let sweep = paper_sweep_budget_section();
     let report = Json::obj([
-        ("schema", Json::Int(6)),
+        ("schema", Json::Int(7)),
         ("suite", Json::str("rgnos ccr=1.0 par=3")),
         ("dsc_speedup", dsc.clone()),
         ("dsc_incremental_speedup", dsc_inc.clone()),
@@ -743,6 +797,7 @@ fn main() {
         ("runner_scaling", runner.clone()),
         ("bnb_parallel_speedup", bnb.clone()),
         ("trace_overhead", overhead.clone()),
+        ("compose_equivalence", compose.clone()),
         ("paper_sweep_budget", sweep.clone()),
     ]);
     let path = std::env::var("TASKBENCH_BENCH_OUT")
@@ -753,7 +808,7 @@ fn main() {
     // Append the run's headline numbers to the trend file: one JSONL record
     // per run, keyed by commit and date, never overwritten.
     let record = Json::obj([
-        ("schema", Json::Int(6)),
+        ("schema", Json::Int(7)),
         ("sha", Json::str(git_sha())),
         ("date", Json::str(utc_date())),
         ("dsc_speedup_v1000", field(&dsc, "headline_speedup_v1000")),
@@ -789,6 +844,8 @@ fn main() {
         ),
         ("paper_sweep_full", field(&sweep, "full")),
         ("paper_sweep_s", field(&sweep, "elapsed_s")),
+        ("compose_presets_equiv", field(&compose, "presets_equiv")),
+        ("compose_variants_total", field(&compose, "variants_total")),
     ]);
     let history = std::env::var("TASKBENCH_BENCH_HISTORY")
         .unwrap_or_else(|_| format!("{}/../../BENCH_HISTORY.jsonl", env!("CARGO_MANIFEST_DIR")));

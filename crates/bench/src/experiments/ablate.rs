@@ -10,7 +10,7 @@
 //!   `b-level − t-level`.
 
 use dagsched_core::common::{best_proc, ReadySet, SlotPolicy};
-use dagsched_core::{bnp::Mcp, registry, unc::Dcp, Env};
+use dagsched_core::{bnp, registry, unc::Dcp, Env};
 use dagsched_graph::{levels, TaskGraph};
 use dagsched_metrics::{table::f2, Running, Table};
 use dagsched_platform::Schedule;
@@ -82,9 +82,9 @@ pub fn run(cfg: &Config) -> Vec<Table> {
 
     // 1. Insertion.
     {
-        let variants: [(&str, Mcp); 2] = [
-            ("MCP (insertion)", Mcp { insertion: true }),
-            ("MCP (append-only)", Mcp { insertion: false }),
+        let variants = [
+            ("MCP (insertion)", bnp::mcp()),
+            ("MCP (append-only)", bnp::mcp_append()),
         ];
         let mut t = Table::new(
             "Ablation: insertion vs non-insertion (avg NSL, RGNOS sample)",
@@ -198,8 +198,8 @@ mod tests {
         let (mut with, mut without) = (Running::new(), Running::new());
         for g in &graphs[..4.min(graphs.len())] {
             let env = Env::bnp(cfg.bnp_unlimited_procs(g.num_tasks()));
-            with.push(run_timed(&Mcp { insertion: true }, g, &env).nsl);
-            without.push(run_timed(&Mcp { insertion: false }, g, &env).nsl);
+            with.push(run_timed(&bnp::mcp(), g, &env).nsl);
+            without.push(run_timed(&bnp::mcp_append(), g, &env).nsl);
         }
         assert!(
             with.mean() <= without.mean() + 1e-9,
@@ -211,9 +211,9 @@ mod tests {
 
     #[test]
     fn ablation_scheduler_name_is_stable() {
-        // Mcp keeps its public name whatever the knob (tables label the
-        // variants themselves).
-        assert_eq!(Mcp { insertion: false }.name(), "MCP");
+        // The append-only MCP keeps its public name whatever the knob
+        // (tables label the variants themselves).
+        assert_eq!(bnp::mcp_append().name(), "MCP");
         assert_eq!(Dcp { lookahead: false }.name(), "DCP");
     }
 }

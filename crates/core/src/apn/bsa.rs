@@ -98,11 +98,8 @@ fn verdict_of(reason: CutReason) -> TrialVerdict {
 
 /// The engine proper, generic over the trace sink (see `dsc::run`).
 fn run<S: Sink>(g: &TaskGraph, env: &Env, sink: &mut S) -> Result<Outcome, SchedError> {
-    if env.procs() == 0 {
-        return Err(SchedError::NoProcessors);
-    }
+    let procs = crate::common::require_procs(env)?;
     let topo = &env.topology;
-    let procs = topo.num_procs();
     let seq = cpn_dominant_sequence(g);
     let mut seq_pos = vec![0usize; g.num_tasks()];
     for (i, &n) in seq.iter().enumerate() {

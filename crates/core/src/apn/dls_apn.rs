@@ -107,7 +107,7 @@ mod tests {
         }
         let g = gb.build().unwrap();
         let apn = testutil::run(&DlsApn, &g, Topology::fully_connected(3).unwrap());
-        let bnp = crate::bnp::testutil::run(&crate::bnp::Dls, &g, 3);
+        let bnp = crate::bnp::testutil::run(&crate::bnp::dls(), &g, 3);
         assert_eq!(apn.schedule.makespan(), bnp.schedule.makespan());
     }
 

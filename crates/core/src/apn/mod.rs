@@ -58,11 +58,8 @@ pub(crate) struct ApnState {
 
 impl ApnState {
     pub fn new(g: &TaskGraph, env: &Env) -> Result<ApnState, SchedError> {
-        if env.procs() == 0 {
-            return Err(SchedError::NoProcessors);
-        }
         Ok(ApnState {
-            s: Schedule::new(g.num_tasks(), env.procs()),
+            s: crate::common::new_schedule(g, env)?,
             net: Network::new(env.topology.clone()),
         })
     }

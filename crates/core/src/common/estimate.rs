@@ -4,7 +4,7 @@ use dagsched_graph::{TaskGraph, TaskId};
 use dagsched_platform::{ProcId, Schedule};
 
 /// Which idle time a task may use on a processor (§3 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SlotPolicy {
     /// Only after all work already on the processor.
     Append,

@@ -1,0 +1,295 @@
+//! The priority-attribute axis of the composed scheduler: per-task (and
+//! per-pair) selection keys for each [`Prio`] value.
+//!
+//! Every key is an exact, totally ordered value — no floating point, so
+//! selection is deterministic and the LAST-style defined-edge *fraction*
+//! compares by integer cross-multiplication instead of division.
+
+use dagsched_graph::{TaskGraph, TaskId};
+use std::cmp::Ordering;
+
+use super::{ListPolicy, Prio, Spec};
+
+/// Immutable per-run context: the cached level attributes plus the
+/// priority-specific precomputations (LAST's incident weights, the static
+/// order ranks). Built once per `schedule()` call.
+pub(crate) struct Ctx<'a> {
+    pub g: &'a TaskGraph,
+    pub sl: &'a [u64],
+    pub bl: &'a [u64],
+    pub tl: &'a [u64],
+    pub alap: &'a [u64],
+    /// Σ incident edge weight per task ([`Prio::Dnode`] only, else empty).
+    pub total_w: Vec<u64>,
+    /// Σ predecessor edge weight per task — for a *ready* task this is
+    /// exactly LAST's "defined" weight, since every predecessor of a ready
+    /// task is already scheduled ([`Prio::Dnode`] only, else empty).
+    pub pred_w: Vec<u64>,
+    /// Position of each task in the static order ([`ListPolicy::Static`]
+    /// only, else empty). Lower rank = scheduled earlier.
+    pub rank: Vec<u32>,
+}
+
+impl<'a> Ctx<'a> {
+    pub fn new(g: &'a TaskGraph, spec: Spec) -> Ctx<'a> {
+        let lv = g.levels();
+        let (pred_w, total_w) = if spec.prio == Prio::Dnode {
+            let pred_w: Vec<u64> = g
+                .tasks()
+                .map(|n| g.preds(n).iter().map(|&(_, c)| c).sum())
+                .collect();
+            let total_w = g
+                .tasks()
+                .map(|n| pred_w[n.index()] + g.succs(n).iter().map(|&(_, c)| c).sum::<u64>())
+                .collect();
+            (pred_w, total_w)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let mut cx = Ctx {
+            g,
+            sl: lv.static_levels(),
+            bl: lv.b_levels(),
+            tl: lv.t_levels(),
+            alap: lv.alap_times(),
+            total_w,
+            pred_w,
+            rank: Vec::new(),
+        };
+        if spec.list == ListPolicy::Static {
+            let order = static_order(&cx, spec.prio);
+            let mut rank = vec![0u32; g.num_tasks()];
+            for (i, &n) in order.iter().enumerate() {
+                rank[n.index()] = i as u32;
+            }
+            cx.rank = rank;
+        }
+        cx
+    }
+}
+
+/// A selection key; larger is better. One run uses one shape throughout —
+/// the shape is a function of the [`Prio`], never of the candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Key {
+    /// Lexicographic `(a, b)`.
+    Lex(i128, i128),
+    /// LAST's defined-edge fraction `num / tot` (0-denominator compared as
+    /// ratio 0), tie-broken by larger total incident weight, then `tie`.
+    Ratio { num: u64, tot: u64, tie: i128 },
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Key) -> Ordering {
+        match (self, other) {
+            (Key::Lex(a1, b1), Key::Lex(a2, b2)) => (a1, b1).cmp(&(a2, b2)),
+            (
+                Key::Ratio {
+                    num: n1,
+                    tot: t1,
+                    tie: e1,
+                },
+                Key::Ratio {
+                    num: n2,
+                    tot: t2,
+                    tie: e2,
+                },
+            ) => {
+                // n1/t1 vs n2/t2 by cross-multiplication, exact in u128.
+                let lhs = *n1 as u128 * (*t2).max(1) as u128;
+                let rhs = *n2 as u128 * (*t1).max(1) as u128;
+                lhs.cmp(&rhs).then(t1.cmp(t2)).then(e1.cmp(e2))
+            }
+            _ => unreachable!("a run never mixes key shapes"),
+        }
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Key) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Prio {
+    /// Schedule-independent key of a *ready* task: the basis of the static
+    /// order and of hole-filler ranking. Where the dynamic key would use
+    /// the EST ([`Prio::Dl`], [`Prio::Est`]), the t-level — the earliest
+    /// start the graph alone permits — stands in.
+    pub(crate) fn static_key(self, cx: &Ctx, n: TaskId) -> Key {
+        let i = n.index();
+        match self {
+            Prio::Sl => Key::Lex(cx.sl[i] as i128, 0),
+            Prio::BLevel => Key::Lex(cx.bl[i] as i128, 0),
+            Prio::TLevel => Key::Lex(-(cx.tl[i] as i128), 0),
+            Prio::Alap => Key::Lex(-(cx.alap[i] as i128), 0),
+            Prio::Bt => Key::Lex(cx.bl[i] as i128 + cx.tl[i] as i128, 0),
+            Prio::Dl => Key::Lex(cx.sl[i] as i128 - cx.tl[i] as i128, -(cx.tl[i] as i128)),
+            Prio::Est => Key::Lex(-(cx.tl[i] as i128), cx.sl[i] as i128),
+            Prio::Dnode => Key::Ratio {
+                num: cx.pred_w[i],
+                tot: cx.total_w[i],
+                tie: 0,
+            },
+        }
+    }
+
+    /// Key of a ready task under `SEL=ready`, given the EST on its best
+    /// processor. [`Prio::Dnode`] deliberately ignores the EST: LAST picks
+    /// purely by defined fraction (ties: total weight, then task id).
+    pub(crate) fn ready_key(self, cx: &Ctx, n: TaskId, est: u64) -> Key {
+        let i = n.index();
+        match self {
+            Prio::Sl => Key::Lex(cx.sl[i] as i128, -(est as i128)),
+            Prio::BLevel => Key::Lex(cx.bl[i] as i128, -(est as i128)),
+            Prio::TLevel => Key::Lex(-(cx.tl[i] as i128), -(est as i128)),
+            Prio::Alap => Key::Lex(-(cx.alap[i] as i128), -(est as i128)),
+            Prio::Bt => Key::Lex(cx.bl[i] as i128 + cx.tl[i] as i128, -(est as i128)),
+            Prio::Dl => Key::Lex(cx.sl[i] as i128 - est as i128, -(est as i128)),
+            Prio::Est => Key::Lex(-(est as i128), cx.sl[i] as i128),
+            Prio::Dnode => Key::Ratio {
+                num: cx.pred_w[i],
+                tot: cx.total_w[i],
+                tie: 0,
+            },
+        }
+    }
+
+    /// Key of a (task, processor) pair under `SEL=pair`: the same attribute
+    /// with the pair's own EST, so ETF's "globally earliest pair" and DLS's
+    /// "max dynamic level over pairs" fall out of [`Prio::Est`] /
+    /// [`Prio::Dl`] directly.
+    pub(crate) fn pair_key(self, cx: &Ctx, n: TaskId, est: u64) -> Key {
+        match self {
+            Prio::Dnode => Key::Ratio {
+                num: cx.pred_w[n.index()],
+                tot: cx.total_w[n.index()],
+                tie: -(est as i128),
+            },
+            _ => self.ready_key(cx, n, est),
+        }
+    }
+
+    /// A `u64` digest of the selected task's priority for the
+    /// `TaskSelected` trace event (signed attributes saturate at 0).
+    pub(crate) fn trace_key(self, cx: &Ctx, n: TaskId, est: u64) -> u64 {
+        let i = n.index();
+        match self {
+            Prio::Sl => cx.sl[i],
+            Prio::BLevel => cx.bl[i],
+            Prio::TLevel => cx.tl[i],
+            Prio::Alap => cx.alap[i],
+            Prio::Bt => cx.bl[i] + cx.tl[i],
+            Prio::Dl => cx.sl[i].saturating_sub(est),
+            Prio::Est => est,
+            Prio::Dnode => cx.pred_w[i],
+        }
+    }
+}
+
+/// The static scheduling order for `LIST=static`: tasks sorted by
+/// descending [`Prio::static_key`], ties toward the smaller id — except
+/// `PRIO=alap`, which uses MCP's lexicographic ALAP *lists* (own ALAP plus
+/// all descendants', ascending), the paper's published refinement that
+/// makes the ALAP order both topological and CP-first.
+pub(crate) fn static_order(cx: &Ctx, prio: Prio) -> Vec<TaskId> {
+    let mut order: Vec<TaskId> = cx.g.tasks().collect();
+    if prio == Prio::Alap {
+        let lists = alap_lists(cx.g, cx.alap);
+        order.sort_by(|&a, &b| lists[a.index()].cmp(&lists[b.index()]).then(a.0.cmp(&b.0)));
+    } else {
+        order.sort_by(|&a, &b| {
+            prio.static_key(cx, b)
+                .cmp(&prio.static_key(cx, a))
+                .then(a.0.cmp(&b.0))
+        });
+    }
+    order
+}
+
+/// Build each node's ascending ALAP list (own ALAP + all descendants') —
+/// MCP's ordering attribute.
+pub(crate) fn alap_lists(g: &TaskGraph, alap: &[u64]) -> Vec<Vec<u64>> {
+    g.tasks()
+        .map(|n| {
+            let mut list: Vec<u64> = std::iter::once(alap[n.index()])
+                .chain(g.descendants(n).into_iter().map(|d| alap[d.index()]))
+                .collect();
+            list.sort_unstable();
+            list
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_orders_by_cross_multiplication() {
+        let r = |num, tot| Key::Ratio { num, tot, tie: 0 };
+        // 1/2 < 2/3; zero denominators compare as ratio 0.
+        assert!(r(1, 2) < r(2, 3));
+        assert!(r(0, 0) < r(1, 10));
+        // Equal ratios: larger total wins.
+        assert!(r(1, 2) < r(2, 4));
+        // Fully equal keys are equal.
+        assert_eq!(r(3, 7).cmp(&r(3, 7)), Ordering::Equal);
+    }
+
+    #[test]
+    fn ratio_tie_component_is_last() {
+        let r = |num, tot, tie| Key::Ratio { num, tot, tie };
+        assert!(r(1, 2, -5) < r(1, 2, -3));
+        assert!(r(1, 2, 100) < r(2, 2, -100), "ratio dominates tie");
+    }
+
+    #[test]
+    fn lex_is_lexicographic() {
+        assert!(Key::Lex(1, 99) < Key::Lex(2, 0));
+        assert!(Key::Lex(2, 1) < Key::Lex(2, 3));
+    }
+
+    #[test]
+    fn alap_order_is_topological() {
+        // MCP's ordering guarantee: ALAP strictly increases along every
+        // edge, so the lexicographic-lists order is topologically
+        // consistent and the ready gate in the driver never bites.
+        let g = crate::bnp::testutil::classic_nine();
+        let alap = dagsched_graph::levels::alap_times(&g);
+        let lists = alap_lists(&g, &alap);
+        let mut order: Vec<TaskId> = g.tasks().collect();
+        order.sort_by(|&a, &b| lists[a.index()].cmp(&lists[b.index()]).then(a.0.cmp(&b.0)));
+        assert!(dagsched_graph::topo::is_topological(&g, &order));
+        // CP nodes (ALAP 0) come first; the entry node leads.
+        assert_eq!(order[0], TaskId(0));
+    }
+
+    #[test]
+    fn alap_lists_start_with_own_alap() {
+        let g = crate::bnp::testutil::classic_nine();
+        let alap = dagsched_graph::levels::alap_times(&g);
+        let lists = alap_lists(&g, &alap);
+        for n in g.tasks() {
+            assert_eq!(lists[n.index()][0], alap[n.index()], "{n}");
+        }
+        // Exit node's list is a singleton.
+        assert_eq!(lists[8].len(), 1);
+        // Entry node's list covers the whole graph.
+        assert_eq!(lists[0].len(), 9);
+    }
+
+    #[test]
+    fn static_order_for_sl_is_descending_with_id_ties() {
+        let g = crate::bnp::testutil::classic_nine();
+        let spec = Spec::default();
+        let cx = Ctx::new(&g, spec);
+        let order = static_order(&cx, Prio::Sl);
+        for w in order.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let ka = (cx.sl[a.index()], std::cmp::Reverse(a.0));
+            let kb = (cx.sl[b.index()], std::cmp::Reverse(b.0));
+            assert!(ka > kb, "{a} before {b}");
+        }
+    }
+}

@@ -16,6 +16,13 @@
 //! non-greedy, CP-based or not), plus any simplification relative to the
 //! original (also summarized in DESIGN.md §2).
 //!
+//! The six BNP list schedulers are not hand-rolled monoliths: each is a
+//! named preset of the composable component library in [`compose`]
+//! (priority attribute × list policy × slot policy × selection rule × hole
+//! filling), and the registry's `compose:` name grammar opens the full
+//! composed variant space — see [`compose::Spec`] and
+//! [`registry::enumerate`].
+//!
 //! ## Per-step cost of each algorithm (hot-path overhaul)
 //!
 //! The table records the dominant per-scheduling-step cost before and after
@@ -73,6 +80,7 @@
 pub mod apn;
 pub mod bnp;
 pub mod common;
+pub mod compose;
 pub mod registry;
 pub mod unc;
 

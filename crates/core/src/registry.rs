@@ -1,21 +1,31 @@
 //! The algorithm registry: the paper's full roster, addressable by name and
-//! by class. The harness binaries iterate these lists to regenerate every
-//! table and figure.
+//! by class, plus the composed-variant grammar. The harness binaries
+//! iterate these lists to regenerate every table and figure.
+//!
+//! Two name families resolve here:
+//!
+//! * the fifteen paper acronyms (`"MCP"`, `"DSC"`, `"BSA"`, …), and
+//! * the composed-scheduler grammar
+//!   (`compose:PRIO=blevel,LIST=dynamic,SLOT=insert,SEL=ready`), which opens
+//!   the full [`crate::compose`] design space — [`enumerate`] lists every
+//!   point of it.
 
 use crate::apn::{Bsa, Bu, DlsApn, Mh};
-use crate::bnp::{Dls, Etf, Hlfet, Ish, Last, Mcp};
+use crate::compose::{self, ComposedScheduler, Spec};
 use crate::unc::{Dcp, Dsc, Ez, Lc, Md};
-use crate::{AlgoClass, Scheduler};
+use crate::{bnp, AlgoClass, Scheduler};
+use std::fmt;
 
-/// The six BNP algorithms, in the paper's listing order (§4).
+/// The six BNP algorithms, in the paper's listing order (§4). Each is a
+/// named preset of [`crate::compose::ComposedScheduler`].
 pub fn bnp() -> Vec<Box<dyn Scheduler>> {
     vec![
-        Box::new(Hlfet),
-        Box::new(Ish),
-        Box::new(Mcp::default()),
-        Box::new(Etf),
-        Box::new(Dls),
-        Box::new(Last),
+        Box::new(bnp::hlfet()),
+        Box::new(bnp::ish()),
+        Box::new(bnp::mcp()),
+        Box::new(bnp::etf()),
+        Box::new(bnp::dls()),
+        Box::new(bnp::last()),
     ]
 }
 
@@ -53,13 +63,69 @@ pub fn by_class(class: AlgoClass) -> Vec<Box<dyn Scheduler>> {
     }
 }
 
-/// Look an algorithm up by its paper acronym (case-insensitive, surrounding
-/// whitespace ignored). `"DLS"` names the BNP variant; the APN variant is
-/// `"DLS-APN"`. On a miss, callers with a human on the other end should
-/// print [`names`] — the `taskbench` CLI does.
+/// Every point of the composed design space as a ready-to-run scheduler,
+/// in the deterministic [`compose::enumerate`] order (128 variants, the
+/// six presets among them under their canonical names).
+pub fn enumerate() -> Vec<ComposedScheduler> {
+    compose::enumerate()
+        .into_iter()
+        .map(ComposedScheduler::new)
+        .collect()
+}
+
+/// Why a name failed to resolve. [`fmt::Display`] renders the full
+/// human-facing message: the known acronyms and the composed-variant
+/// grammar (plus the parse error when the name had the `compose:` prefix).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownAlgo {
+    /// The name as given (trimmed).
+    pub name: String,
+    /// The grammar parse error, when the name addressed the composed space.
+    pub parse_error: Option<String>,
+}
+
+impl fmt::Display for UnknownAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parse_error {
+            Some(e) => writeln!(f, "bad composed-variant name `{}`: {e}", self.name)?,
+            None => writeln!(f, "unknown algorithm `{}`", self.name)?,
+        }
+        writeln!(f, "valid names: {}", names().join(", "))?;
+        write!(f, "or a composed variant: {}", Spec::grammar())
+    }
+}
+
+impl std::error::Error for UnknownAlgo {}
+
+/// Look an algorithm up by name: a paper acronym (case-insensitive,
+/// surrounding whitespace ignored; `"DLS"` names the BNP variant, the APN
+/// variant is `"DLS-APN"`) or a `compose:` grammar string. The error's
+/// `Display` carries the valid names and the grammar, ready to print.
+pub fn lookup(name: &str) -> Result<Box<dyn Scheduler>, UnknownAlgo> {
+    let trimmed = name.trim();
+    if Spec::is_composed_name(trimmed) {
+        return match Spec::parse(trimmed) {
+            Ok(spec) => Ok(Box::new(ComposedScheduler::new(spec))),
+            Err(e) => Err(UnknownAlgo {
+                name: trimmed.to_string(),
+                parse_error: Some(e),
+            }),
+        };
+    }
+    let upper = trimmed.to_ascii_uppercase();
+    all()
+        .into_iter()
+        .find(|a| a.name() == upper)
+        .ok_or_else(|| UnknownAlgo {
+            name: trimmed.to_string(),
+            parse_error: None,
+        })
+}
+
+/// [`lookup`] with the error discarded, for callers that only branch on
+/// presence.
 pub fn by_name(name: &str) -> Option<Box<dyn Scheduler>> {
-    let upper = name.trim().to_ascii_uppercase();
-    all().into_iter().find(|a| a.name() == upper)
+    lookup(name).ok()
 }
 
 /// The acronyms of every algorithm, class by class.
@@ -108,6 +174,57 @@ mod tests {
         assert_eq!(by_name("DLS").unwrap().class(), AlgoClass::Bnp);
         assert_eq!(by_name("dls-apn").unwrap().class(), AlgoClass::Apn);
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn lookup_resolves_composed_grammar() {
+        let a = by_name("compose:PRIO=blevel,LIST=dynamic,SLOT=insert,SEL=ready").unwrap();
+        assert_eq!(a.class(), AlgoClass::Bnp);
+        assert_eq!(
+            a.name(),
+            "compose:PRIO=blevel,LIST=dynamic,SLOT=insert,SEL=ready,FILL=none"
+        );
+        // Whitespace/case tolerance flows through from the grammar.
+        assert!(by_name("  COMPOSE: prio=bt ").is_some());
+    }
+
+    #[test]
+    fn miss_message_names_the_roster_and_the_grammar() {
+        let e = lookup("nope").err().unwrap();
+        assert_eq!(e.parse_error, None);
+        let msg = e.to_string();
+        for needle in [
+            "unknown algorithm `nope`",
+            "valid names",
+            "MCP",
+            "BSA",
+            "compose:",
+            "PRIO",
+        ] {
+            assert!(msg.contains(needle), "`{needle}` missing from:\n{msg}");
+        }
+    }
+
+    #[test]
+    fn composed_parse_errors_surface_in_the_miss_message() {
+        let e = lookup("compose:PRIO=bogus").err().unwrap();
+        assert!(e.parse_error.is_some());
+        let msg = e.to_string();
+        assert!(msg.contains("unknown value `bogus`"), "{msg}");
+        assert!(msg.contains("PRIO"), "{msg}");
+    }
+
+    #[test]
+    fn enumerate_opens_at_least_100_variants() {
+        let variants = enumerate();
+        assert!(variants.len() >= 100, "got {}", variants.len());
+        // Names are canonical, distinct, and resolvable back through lookup.
+        let mut names: Vec<&str> = variants.iter().map(|v| v.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), variants.len());
+        let first = &variants[0];
+        assert_eq!(by_name(first.name()).unwrap().name(), first.name());
     }
 
     #[test]

@@ -212,9 +212,7 @@ impl<S: Scheduler> Scheduler for UncCs<S> {
     }
 
     fn schedule(&self, g: &TaskGraph, env: &Env) -> Result<Outcome, SchedError> {
-        if env.procs() == 0 {
-            return Err(SchedError::NoProcessors);
-        }
+        crate::common::require_procs(env)?;
         let unc = self.inner.schedule(g, env)?;
         let schedule = map_clusters(g, &unc.schedule, env.procs(), self.mapping);
         Ok(Outcome {

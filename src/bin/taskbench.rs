@@ -90,6 +90,7 @@ fn run(args: &[String]) -> Result<(), String> {
             emit(&text);
             Ok(())
         }
+        Some("variants") => cmd_variants(&args[1..]),
         Some("help") | None => {
             emit(HELP);
             emit("\n");
@@ -129,6 +130,10 @@ taskbench — benchmarking task graph scheduling algorithms (Kwok & Ahmad, IPPS'
   taskbench info <file.tgf>
   taskbench dot <file.tgf>
   taskbench list
+  taskbench variants                         the composed-scheduler space
+
+<ALGO> is a paper acronym (`taskbench list`) or a composed variant such as
+`compose:PRIO=blevel,LIST=dynamic,SLOT=insert,SEL=ready` (`taskbench variants`).
 
 global flags: -q/--quiet silence stderr notes, -v/--verbose add diagnostics;
 stdout always carries exactly the artifact.";
@@ -217,15 +222,10 @@ fn parse_topology(spec: &str) -> Result<Topology, String> {
     t.map_err(|e| e.to_string())
 }
 
-/// Registry lookup that lists the valid names on a miss instead of a bare
-/// "unknown" error.
+/// Registry lookup. On a miss the registry's error already carries the
+/// full roster and the `compose:` variant grammar — print it verbatim.
 fn lookup_algo(name: &str) -> Result<Box<dyn Scheduler>, String> {
-    registry::by_name(name).ok_or_else(|| {
-        format!(
-            "unknown algorithm `{name}`; valid names: {}",
-            registry::names().join(", ")
-        )
-    })
+    registry::lookup(name).map_err(|e| e.to_string())
 }
 
 /// Shared `-p` / `--topology` parsing for the run/trace/profile commands.
@@ -476,7 +476,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
 /// `i`nteger, `b`oolean. A record of schema K must carry exactly the
 /// fields of versions 1..=K (plus `schema` itself) — nothing missing,
 /// nothing unknown.
-const HISTORY_SCHEMA: [&[(&str, u8)]; 6] = [
+const HISTORY_SCHEMA: [&[(&str, u8)]; 7] = [
     &[
         ("sha", b's'),
         ("date", b's'),
@@ -501,6 +501,10 @@ const HISTORY_SCHEMA: [&[(&str, u8)]; 6] = [
         ("bnb_pruned", b'i'),
     ],
     &[("trace_overhead_dsc", b'n'), ("trace_overhead_bnb", b'n')],
+    &[
+        ("compose_presets_equiv", b'b'),
+        ("compose_variants_total", b'i'),
+    ],
 ];
 
 /// Validate one history record against [`HISTORY_SCHEMA`]; returns its
@@ -613,6 +617,36 @@ fn cmd_bench_history(args: &[String]) -> Result<(), String> {
         "{} records from {path}; columns are speedup ratios \
          (ovh-* are instrumented/pre-instrumentation overhead, gate <= 1.02)",
         records.len()
+    ));
+    Ok(())
+}
+
+/// `taskbench variants` — the composed-scheduler design space, one
+/// canonical grammar name per line in the deterministic enumeration
+/// order, with the six paper presets annotated by their acronym. The
+/// output is byte-stable across runs; CI diffs two invocations.
+fn cmd_variants(args: &[String]) -> Result<(), String> {
+    use taskbench::core::compose;
+
+    if let Some(a) = args.first() {
+        return Err(format!("unexpected argument `{a}`"));
+    }
+    let variants = registry::enumerate();
+    let mut text = String::new();
+    for v in &variants {
+        match compose::PRESETS.iter().find(|&&(_, s)| s == v.spec()) {
+            Some(&(acronym, _)) => text.push_str(&format!("{:<68} = {acronym}\n", v.name())),
+            None => {
+                text.push_str(v.name());
+                text.push('\n');
+            }
+        }
+    }
+    emit(&text);
+    note(&format!(
+        "{} composed variants; grammar: {}",
+        variants.len(),
+        compose::Spec::grammar()
     ));
     Ok(())
 }

@@ -80,6 +80,14 @@ fn errors_are_reported_not_panicked() {
     for name in ["HLFET", "MCP", "DCP", "BSA", "DLS-APN"] {
         assert!(stderr.contains(name), "miss list lacks {name}: {stderr}");
     }
+    // …and the composed-variant grammar, so the space is discoverable.
+    assert!(stderr.contains("compose:"), "{stderr}");
+    assert!(stderr.contains("PRIO"), "{stderr}");
+
+    // Grammar parse errors surface with the offending detail.
+    let (ok, _, stderr) = taskbench(&["run", "compose:PRIO=bogus", "/nonexistent.tgf"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown value `bogus`"), "{stderr}");
 
     let (ok, _, stderr) = taskbench(&["gen", "martian", "1"]);
     assert!(!ok);
@@ -159,6 +167,45 @@ fn adversary_search_reports_and_archives() {
     let (ok, _, stderr) = taskbench(&["adversary", "LC", "optimal", "--max-nodes", "130"]);
     assert!(!ok);
     assert!(stderr.contains("at most 64 tasks"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn variants_enumerates_the_composed_space_deterministically() {
+    let (ok, stdout, _) = taskbench(&["variants"]);
+    assert!(ok);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(lines.len() >= 100, "only {} variants", lines.len());
+    assert!(lines.iter().all(|l| l.starts_with("compose:")), "{stdout}");
+    // The six paper presets are annotated with their acronyms.
+    for acronym in ["HLFET", "ISH", "MCP", "ETF", "DLS", "LAST"] {
+        assert!(
+            lines.iter().any(|l| l.ends_with(&format!("= {acronym}"))),
+            "preset {acronym} not annotated:\n{stdout}"
+        );
+    }
+    // Byte-determinism: a second invocation is identical.
+    let (_, again, _) = taskbench(&["variants"]);
+    assert_eq!(stdout, again);
+}
+
+#[test]
+fn composed_variant_names_run_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("taskbench-compose-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.tgf");
+    let (ok, tgf, _) = taskbench(&["gen", "rgnos", "30", "1.0", "3", "11"]);
+    assert!(ok);
+    std::fs::write(&path, &tgf).unwrap();
+    let p = path.to_str().unwrap();
+
+    let name = "compose:PRIO=blevel,LIST=dynamic,SLOT=insert,SEL=ready";
+    let (ok, stdout, _) = taskbench(&["run", name, p, "-p", "4"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("makespan"), "{stdout}");
+    // The schedule header carries the canonical (FILL-completed) name.
+    assert!(stdout.contains("FILL=none"), "{stdout}");
 
     std::fs::remove_dir_all(&dir).ok();
 }
