@@ -56,6 +56,13 @@
 //!    paper-scale sweep (10 sizes × 25 (CCR, parallelism) points) must
 //!    stay under [`FULL_SWEEP_BUDGET_S`] — the regression tripwire that
 //!    keeps the whole replication runnable.
+//! 10. **serve_throughput** — an in-process `dagsched-serve` daemon
+//!     replaying the RGNOS loadgen suite with verification on: gates that
+//!     every served schedule is byte-identical to in-process scheduling
+//!     (`errors == 0`) and that the repeated suite hits the schedule
+//!     cache (`cache_hit_rate > 0`). Throughput and p50/p95/p99 latency
+//!     are recorded but never gated — wall-clock serving numbers are
+//!     indicative only.
 //!
 //! Output path: `TASKBENCH_BENCH_OUT` or `<workspace>/BENCH_RESULTS.json`.
 //! Additionally, one summary record per run is *appended* to
@@ -710,6 +717,54 @@ fn paper_sweep_budget_section() -> Json {
     ])
 }
 
+/// In-process daemon + loadgen replay: the serving path's correctness
+/// gates (byte-identity under load, cache effectiveness on a repeated
+/// suite) with throughput/latency recorded alongside, never gated.
+fn serve_throughput_section() -> Json {
+    use dagsched_serve::loadgen::{self, LoadgenParams};
+    use dagsched_serve::server::{start, Config};
+
+    let handle = start(Config::default()).expect("bind serve daemon");
+    let params = LoadgenParams {
+        addr: handle.addr().to_string(),
+        qps: 500.0,
+        conns: 2,
+        repeat: 3, // repeats 2..3 should be pure cache hits
+        seed: 42,
+        verify: true,
+        algos: vec!["MCP".into(), "DSC".into(), "BSA".into()],
+        graphs: [0.1, 1.0, 10.0]
+            .iter()
+            .map(|&ccr| rgnos::generate(RgnosParams::new(40, ccr, 2, 42)))
+            .collect(),
+        shutdown: false,
+    };
+    let report = loadgen::run(&params).expect("loadgen runs");
+    handle.shutdown();
+
+    assert_eq!(
+        report.errors, 0,
+        "serve replay must be error-free and byte-identical to in-process \
+         scheduling; first failures: {:?}",
+        report.error_detail
+    );
+    let hit_rate = report.cache_hits as f64 / report.requests as f64;
+    assert!(
+        hit_rate > 0.0,
+        "a 3× repeated suite must hit the schedule cache"
+    );
+    Json::obj([
+        ("requests", Json::Int(report.requests as i64)),
+        ("errors", Json::Int(report.errors as i64)),
+        ("cache_hit_rate", Json::Num(hit_rate)),
+        ("elapsed_s", Json::Num(report.elapsed.as_secs_f64())),
+        ("throughput_rps", Json::Num(report.throughput_rps)),
+        ("p50_us", Json::Int(report.p50_us as i64)),
+        ("p95_us", Json::Int(report.p95_us as i64)),
+        ("p99_us", Json::Int(report.p99_us as i64)),
+    ])
+}
+
 /// The current git commit (short SHA), or `"unknown"` outside a checkout.
 fn git_sha() -> String {
     std::process::Command::new("git")
@@ -785,8 +840,9 @@ fn main() {
     let overhead = trace_overhead_section();
     let compose = compose_equivalence_section();
     let sweep = paper_sweep_budget_section();
+    let serve = serve_throughput_section();
     let report = Json::obj([
-        ("schema", Json::Int(7)),
+        ("schema", Json::Int(8)),
         ("suite", Json::str("rgnos ccr=1.0 par=3")),
         ("dsc_speedup", dsc.clone()),
         ("dsc_incremental_speedup", dsc_inc.clone()),
@@ -799,6 +855,7 @@ fn main() {
         ("trace_overhead", overhead.clone()),
         ("compose_equivalence", compose.clone()),
         ("paper_sweep_budget", sweep.clone()),
+        ("serve_throughput", serve.clone()),
     ]);
     let path = std::env::var("TASKBENCH_BENCH_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_RESULTS.json", env!("CARGO_MANIFEST_DIR")));
@@ -808,7 +865,7 @@ fn main() {
     // Append the run's headline numbers to the trend file: one JSONL record
     // per run, keyed by commit and date, never overwritten.
     let record = Json::obj([
-        ("schema", Json::Int(7)),
+        ("schema", Json::Int(8)),
         ("sha", Json::str(git_sha())),
         ("date", Json::str(utc_date())),
         ("dsc_speedup_v1000", field(&dsc, "headline_speedup_v1000")),
@@ -846,6 +903,13 @@ fn main() {
         ("paper_sweep_s", field(&sweep, "elapsed_s")),
         ("compose_presets_equiv", field(&compose, "presets_equiv")),
         ("compose_variants_total", field(&compose, "variants_total")),
+        ("serve_throughput_rps", field(&serve, "throughput_rps")),
+        ("serve_p50_us", field(&serve, "p50_us")),
+        ("serve_p95_us", field(&serve, "p95_us")),
+        ("serve_p99_us", field(&serve, "p99_us")),
+        ("serve_requests", field(&serve, "requests")),
+        ("serve_errors", field(&serve, "errors")),
+        ("serve_cache_hit_rate", field(&serve, "cache_hit_rate")),
     ]);
     let history = std::env::var("TASKBENCH_BENCH_HISTORY")
         .unwrap_or_else(|_| format!("{}/../../BENCH_HISTORY.jsonl", env!("CARGO_MANIFEST_DIR")));

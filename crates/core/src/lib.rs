@@ -140,6 +140,24 @@ impl Env {
     pub fn procs(&self) -> usize {
         self.topology.num_procs()
     }
+
+    /// Parse a textual platform spec: `bnp:<procs>` for the bounded
+    /// fully-connected machine, or any [`Topology::parse_spec`] spec
+    /// (`hypercube:3`, `mesh:2x4`, …) for an arbitrary network. The serve
+    /// protocol's platform field and loadgen both resolve through here.
+    pub fn parse_spec(spec: &str) -> Result<Env, String> {
+        if let Some(rest) = spec.strip_prefix("bnp:") {
+            let p: usize = rest
+                .parse()
+                .map_err(|_| format!("bad processor count `{rest}`"))?;
+            if p == 0 {
+                return Err("bnp needs at least 1 processor".into());
+            }
+            Ok(Env::bnp(p))
+        } else {
+            Topology::parse_spec(spec).map(Env::apn)
+        }
+    }
 }
 
 /// Why a scheduler could not produce a schedule.
@@ -156,6 +174,17 @@ impl fmt::Display for SchedError {
         match self {
             SchedError::NoProcessors => write!(f, "environment has no processors"),
             SchedError::Unsupported(why) => write!(f, "unsupported input: {why}"),
+        }
+    }
+}
+
+impl SchedError {
+    /// Stable machine-readable code, shared by the CLI and the serve
+    /// protocol (tests pin both values).
+    pub fn code(&self) -> &'static str {
+        match self {
+            SchedError::NoProcessors => "E_SCHED_NO_PROCS",
+            SchedError::Unsupported(_) => "E_SCHED_UNSUPPORTED",
         }
     }
 }
@@ -244,5 +273,24 @@ mod tests {
         assert!(SchedError::Unsupported("x".into())
             .to_string()
             .contains('x'));
+    }
+
+    #[test]
+    fn sched_error_codes_are_pinned() {
+        assert_eq!(SchedError::NoProcessors.code(), "E_SCHED_NO_PROCS");
+        assert_eq!(
+            SchedError::Unsupported("x".into()).code(),
+            "E_SCHED_UNSUPPORTED"
+        );
+    }
+
+    #[test]
+    fn env_parse_spec_covers_both_machine_families() {
+        assert_eq!(Env::parse_spec("bnp:8").unwrap().procs(), 8);
+        assert_eq!(Env::parse_spec("hypercube:3").unwrap().procs(), 8);
+        assert_eq!(Env::parse_spec("mesh:2x4").unwrap().procs(), 8);
+        for bad in ["bnp:0", "bnp:x", "nope:3", "bnp"] {
+            assert!(Env::parse_spec(bad).is_err(), "{bad}");
+        }
     }
 }

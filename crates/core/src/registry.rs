@@ -95,6 +95,19 @@ impl fmt::Display for UnknownAlgo {
     }
 }
 
+impl UnknownAlgo {
+    /// Stable machine-readable code, shared by the CLI and the serve
+    /// protocol (tests pin both values): `E_ALGO_COMPOSE_PARSE` when the
+    /// name addressed the `compose:` grammar but failed to parse,
+    /// `E_ALGO_UNKNOWN` for a plain roster miss.
+    pub fn code(&self) -> &'static str {
+        match self.parse_error {
+            Some(_) => "E_ALGO_COMPOSE_PARSE",
+            None => "E_ALGO_UNKNOWN",
+        }
+    }
+}
+
 impl std::error::Error for UnknownAlgo {}
 
 /// Look an algorithm up by name: a paper acronym (case-insensitive,
@@ -212,6 +225,17 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("unknown value `bogus`"), "{msg}");
         assert!(msg.contains("PRIO"), "{msg}");
+    }
+
+    /// The codes are a wire contract shared by the CLI and the serve
+    /// protocol; pin both of them.
+    #[test]
+    fn miss_codes_are_pinned() {
+        assert_eq!(lookup("nope").err().unwrap().code(), "E_ALGO_UNKNOWN");
+        assert_eq!(
+            lookup("compose:PRIO=bogus").err().unwrap().code(),
+            "E_ALGO_COMPOSE_PARSE"
+        );
     }
 
     #[test]

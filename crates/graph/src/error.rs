@@ -28,6 +28,9 @@ pub enum GraphError {
     TooManyEdges,
     /// A `.tgf` parse failure, with the 1-based line number and a reason.
     Parse { line: usize, reason: String },
+    /// A compact binary frame ([`crate::binio`]) failed to decode: bad
+    /// magic, truncation, or a length field inconsistent with the buffer.
+    Bin { reason: String },
 }
 
 impl fmt::Display for GraphError {
@@ -48,6 +51,26 @@ impl fmt::Display for GraphError {
             GraphError::TooManyTasks => write!(f, "too many tasks (max {})", u32::MAX),
             GraphError::TooManyEdges => write!(f, "too many edges (max {})", u32::MAX),
             GraphError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            GraphError::Bin { reason } => write!(f, "binary frame error: {reason}"),
+        }
+    }
+}
+
+impl GraphError {
+    /// Stable machine-readable code, shared by the CLI and the serve
+    /// protocol. Codes are part of the public contract (tests pin them):
+    /// clients branch on these strings, never on `Display` text.
+    pub fn code(&self) -> &'static str {
+        match self {
+            GraphError::ZeroWeightTask { .. } => "E_GRAPH_ZERO_WEIGHT",
+            GraphError::UnknownTask { .. } => "E_GRAPH_UNKNOWN_TASK",
+            GraphError::SelfLoop { .. } => "E_GRAPH_SELF_LOOP",
+            GraphError::DuplicateEdge { .. } => "E_GRAPH_DUP_EDGE",
+            GraphError::Cycle { .. } => "E_GRAPH_CYCLE",
+            GraphError::Empty => "E_GRAPH_EMPTY",
+            GraphError::TooManyTasks | GraphError::TooManyEdges => "E_GRAPH_TOO_LARGE",
+            GraphError::Parse { .. } => "E_GRAPH_PARSE",
+            GraphError::Bin { .. } => "E_GRAPH_BIN",
         }
     }
 }
@@ -78,6 +101,44 @@ mod tests {
         for (err, needle) in cases {
             let msg = err.to_string();
             assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    /// The codes are a wire contract shared by the CLI and the serve
+    /// protocol; pin every one of them.
+    #[test]
+    fn codes_are_pinned() {
+        let cases: Vec<(GraphError, &str)> = vec![
+            (
+                GraphError::ZeroWeightTask { task: 3 },
+                "E_GRAPH_ZERO_WEIGHT",
+            ),
+            (GraphError::UnknownTask { task: 9 }, "E_GRAPH_UNKNOWN_TASK"),
+            (GraphError::SelfLoop { task: 1 }, "E_GRAPH_SELF_LOOP"),
+            (
+                GraphError::DuplicateEdge { src: 1, dst: 2 },
+                "E_GRAPH_DUP_EDGE",
+            ),
+            (GraphError::Cycle { task: 5 }, "E_GRAPH_CYCLE"),
+            (GraphError::Empty, "E_GRAPH_EMPTY"),
+            (GraphError::TooManyTasks, "E_GRAPH_TOO_LARGE"),
+            (GraphError::TooManyEdges, "E_GRAPH_TOO_LARGE"),
+            (
+                GraphError::Parse {
+                    line: 7,
+                    reason: "bad token".into(),
+                },
+                "E_GRAPH_PARSE",
+            ),
+            (
+                GraphError::Bin {
+                    reason: "truncated".into(),
+                },
+                "E_GRAPH_BIN",
+            ),
+        ];
+        for (err, code) in cases {
+            assert_eq!(err.code(), code, "{err}");
         }
     }
 }

@@ -52,6 +52,7 @@
 //! assert_eq!(levels::cp_length(&g), 4 + 1 + 5 + 2 + 2); // n0→n2→n3 incl. comm
 //! ```
 
+pub mod binio;
 pub mod builder;
 pub mod error;
 pub mod graph;

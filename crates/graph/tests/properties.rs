@@ -1,7 +1,7 @@
 //! Property-based tests for the graph substrate: every invariant the rest of
 //! the workspace relies on, checked over arbitrary random DAGs.
 
-use dagsched_graph::{io, levels, stats, topo, GraphBuilder, TaskGraph, TaskId};
+use dagsched_graph::{binio, io, levels, stats, topo, GraphBuilder, TaskGraph, TaskId};
 use proptest::prelude::*;
 
 /// Strategy: an arbitrary DAG described as (weights, upper-triangular edges).
@@ -174,6 +174,102 @@ proptest! {
         }
         // Canonical: a second trip is byte-identical.
         prop_assert_eq!(io::to_tgf(&h), io::to_tgf(&g));
+    }
+
+    #[test]
+    fn bin_round_trip_is_exact_and_agrees_with_tgf(
+        (weights, edges) in arb_dag(),
+        label_picks in proptest::collection::vec(
+            proptest::collection::vec(0usize..TEXT_CHARS.len(), 0..10), 24),
+        name_pick in proptest::collection::vec(0usize..TEXT_CHARS.len(), 0..12),
+    ) {
+        // The compact binary frame is the serve protocol's second wire
+        // format; `from_bin(to_bin(g))` must be the identity on exactly
+        // the same hostile labels/names the TGF round trip survives, and
+        // both decode paths must agree with each other.
+        let text_of = |picks: &[usize]| -> String {
+            picks.iter().map(|&i| TEXT_CHARS[i]).collect()
+        };
+        let mut b = GraphBuilder::named(text_of(&name_pick));
+        let ids: Vec<TaskId> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| b.add_labeled_task(w, text_of(&label_picks[i % 24])))
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for &(x, y, c) in &edges {
+            let (lo, hi) = (x.min(y), x.max(y));
+            if lo != hi && seen.insert((lo, hi)) {
+                b.add_edge(ids[lo], ids[hi], c).unwrap();
+            }
+        }
+        let g = b.build().unwrap();
+        let h = binio::from_bin(&binio::to_bin(&g)).unwrap();
+        prop_assert_eq!(h.name(), g.name());
+        prop_assert_eq!(h.num_tasks(), g.num_tasks());
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        for n in g.tasks() {
+            prop_assert_eq!(h.weight(n), g.weight(n));
+            prop_assert_eq!(h.label(n), g.label(n));
+        }
+        for e in g.edges() {
+            prop_assert_eq!(h.edge_cost(e.src, e.dst), Some(e.cost));
+        }
+        // Canonical: a second trip is byte-identical…
+        prop_assert_eq!(binio::to_bin(&h), binio::to_bin(&g));
+        // …and the two wire formats decode to byte-identical re-encodings.
+        let via_tgf = io::from_tgf(&io::to_tgf(&g)).unwrap();
+        prop_assert_eq!(binio::to_bin(&via_tgf), binio::to_bin(&g));
+        prop_assert_eq!(io::to_tgf(&h), io::to_tgf(&g));
+    }
+
+    #[test]
+    fn structural_hash_equality_iff_structural_equality(
+        (weights, edges) in arb_dag(),
+        tweak in 0usize..3,
+        pick in 0usize..64,
+    ) {
+        // The serve cache keys on this hash, so both directions matter:
+        // relabeling must not change it (hits across labels are correct —
+        // labels don't affect schedules), while any weight, edge-cost or
+        // shape change must (a stale hit would serve the wrong schedule).
+        let g = build(&weights, &edges);
+        let mut relabeled = GraphBuilder::named("other-name");
+        let ids: Vec<TaskId> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| relabeled.add_labeled_task(w, format!("L{i}")))
+            .collect();
+        for e in g.edges() {
+            relabeled.add_edge(ids[e.src.index()], ids[e.dst.index()], e.cost).unwrap();
+        }
+        let r = relabeled.build().unwrap();
+        prop_assert_eq!(binio::structural_hash(&r), binio::structural_hash(&g));
+
+        // One structural mutation, chosen by (tweak, pick).
+        let mut m = GraphBuilder::new();
+        let mut w2 = weights.clone();
+        let bump_weight = tweak == 0 || g.num_edges() == 0 && tweak == 1;
+        if bump_weight {
+            let i = pick % w2.len();
+            w2[i] += 1;
+        }
+        let ids: Vec<TaskId> = w2.iter().map(|&w| m.add_task(w)).collect();
+        if tweak == 2 {
+            // Extra task: different shape even with identical prefix.
+            m.add_task(1);
+        }
+        let es: Vec<_> = g.edges().collect();
+        for (j, e) in es.iter().enumerate() {
+            let bump_cost = !bump_weight && tweak == 1 && j == pick % es.len();
+            m.add_edge(
+                ids[e.src.index()],
+                ids[e.dst.index()],
+                e.cost + u64::from(bump_cost),
+            ).unwrap();
+        }
+        let mutated = m.build().unwrap();
+        prop_assert!(binio::structural_hash(&mutated) != binio::structural_hash(&g));
     }
 
     #[test]

@@ -65,10 +65,22 @@ pub enum Metric {
     BnbPrunedDuplicate,
     /// Runner: experiment cells executed.
     RunnerCells,
+    /// serve: schedule requests admitted to the worker queue.
+    ServeRequests,
+    /// serve: requests answered with a structured error.
+    ServeErrors,
+    /// serve: requests rejected by queue backpressure (retry-after sent).
+    ServeQueueRejects,
+    /// serve: schedule cache hits.
+    ServeCacheHits,
+    /// serve: schedule cache misses (schedule computed and inserted).
+    ServeCacheMisses,
+    /// serve: cache entries evicted by the per-shard LRU.
+    ServeCacheEvictions,
 }
 
 /// All metrics, in declaration (= print) order.
-pub const METRICS: [Metric; 21] = [
+pub const METRICS: [Metric; 27] = [
     Metric::WsStealAttempts,
     Metric::WsStealHits,
     Metric::WsParks,
@@ -90,6 +102,12 @@ pub const METRICS: [Metric; 21] = [
     Metric::BnbPrunedBound,
     Metric::BnbPrunedDuplicate,
     Metric::RunnerCells,
+    Metric::ServeRequests,
+    Metric::ServeErrors,
+    Metric::ServeQueueRejects,
+    Metric::ServeCacheHits,
+    Metric::ServeCacheMisses,
+    Metric::ServeCacheEvictions,
 ];
 
 impl Metric {
@@ -116,6 +134,12 @@ impl Metric {
             Metric::BnbPrunedBound => "bnb.pruned_bound",
             Metric::BnbPrunedDuplicate => "bnb.pruned_duplicate",
             Metric::RunnerCells => "runner.cells",
+            Metric::ServeRequests => "serve.requests",
+            Metric::ServeErrors => "serve.errors",
+            Metric::ServeQueueRejects => "serve.queue_rejects",
+            Metric::ServeCacheHits => "serve.cache_hits",
+            Metric::ServeCacheMisses => "serve.cache_misses",
+            Metric::ServeCacheEvictions => "serve.cache_evictions",
         }
     }
 }
@@ -134,15 +158,18 @@ pub enum HistId {
     ApnRetireBatch,
     /// Runner: per-cell schedule+validate duration, microseconds.
     RunnerCellUs,
+    /// serve: worker-queue depth sampled at each admit.
+    ServeQueueDepth,
 }
 
 /// All histograms, in declaration (= print) order.
-pub const HISTS: [HistId; 5] = [
+pub const HISTS: [HistId; 6] = [
     HistId::EngineFwdCone,
     HistId::EngineBwdCone,
     HistId::ApnOccupancy,
     HistId::ApnRetireBatch,
     HistId::RunnerCellUs,
+    HistId::ServeQueueDepth,
 ];
 
 impl HistId {
@@ -153,6 +180,7 @@ impl HistId {
             HistId::ApnOccupancy => "apn.occupancy",
             HistId::ApnRetireBatch => "apn.retire_batch",
             HistId::RunnerCellUs => "runner.cell_us",
+            HistId::ServeQueueDepth => "serve.queue_depth",
         }
     }
 }

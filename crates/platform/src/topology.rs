@@ -204,6 +204,43 @@ impl Topology {
         Self::from_links(TopologyKind::Custom, p, links)
     }
 
+    /// Parse a textual topology spec: `full:N`, `ring:N`, `chain:N`,
+    /// `star:N`, `hypercube:D`, `mesh:RxC`, `torus:RxC`. One parser shared
+    /// by the CLI's `--topology` flag and the serve protocol's platform
+    /// field, so the two surfaces can never drift apart.
+    pub fn parse_spec(spec: &str) -> Result<Topology, String> {
+        let (kind, rest) = spec
+            .split_once(':')
+            .ok_or("topology must look like kind:N")?;
+        let n = |what: &str| -> Result<usize, String> {
+            rest.parse().map_err(|_| format!("bad {what} `{rest}`"))
+        };
+        let rc = |what: &str| -> Result<(usize, usize), String> {
+            let (r, c) = rest.split_once('x').ok_or(format!("{what} needs RxC"))?;
+            Ok((
+                r.parse().map_err(|_| "bad rows".to_string())?,
+                c.parse().map_err(|_| "bad cols".to_string())?,
+            ))
+        };
+        let t = match kind {
+            "full" => Topology::fully_connected(n("N")?),
+            "ring" => Topology::ring(n("N")?),
+            "chain" => Topology::chain(n("N")?),
+            "star" => Topology::star(n("N")?),
+            "hypercube" => Topology::hypercube(n("D")?),
+            "mesh" => {
+                let (r, c) = rc("mesh")?;
+                Topology::mesh(r, c)
+            }
+            "torus" => {
+                let (r, c) = rc("torus")?;
+                Topology::torus(r, c)
+            }
+            other => return Err(format!("unknown topology `{other}`")),
+        };
+        t.map_err(|e| e.to_string())
+    }
+
     fn from_links(
         kind: TopologyKind,
         p: usize,
@@ -575,6 +612,26 @@ mod tests {
             for b in t.procs() {
                 assert!(t.distance(a, b) <= mesh.distance(a, b));
             }
+        }
+    }
+
+    #[test]
+    fn parse_spec_round_trips_every_family() {
+        let cases: [(&str, usize); 7] = [
+            ("full:5", 5),
+            ("ring:6", 6),
+            ("chain:4", 4),
+            ("star:5", 5),
+            ("hypercube:3", 8),
+            ("mesh:2x3", 6),
+            ("torus:3x4", 12),
+        ];
+        for (spec, procs) in cases {
+            let t = Topology::parse_spec(spec).unwrap();
+            assert_eq!(t.num_procs(), procs, "{spec}");
+        }
+        for bad in ["full", "full:x", "mesh:3", "warp:9", "torus:1x9"] {
+            assert!(Topology::parse_spec(bad).is_err(), "{bad}");
         }
     }
 

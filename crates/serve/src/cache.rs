@@ -1,0 +1,182 @@
+//! Schedule memoization: a sharded LRU keyed by (structural graph hash,
+//! platform spec, canonical algorithm name).
+//!
+//! The cache stores *rendered response bytes* (`Arc<Vec<u8>>`), not
+//! schedules — a hit returns byte-identical output to the original
+//! computation by construction, which is the property the e2e suite
+//! pins. Keys use [`dagsched_graph::binio::structural_hash`], which
+//! covers weights and edges but not labels, matching the determinism
+//! contract: two graphs that schedule identically share an entry.
+//!
+//! Sharding is by the second hash word, so concurrent requests for
+//! different graphs rarely contend on a lock. Each shard runs its own
+//! LRU via a global monotonic stamp; eviction is an O(shard) min-stamp
+//! scan, fine at the per-shard capacities a daemon uses (≤ a few
+//! hundred). Hit/miss/eviction counters land in
+//! [`dagsched_obs::registry::global`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+use dagsched_obs::registry::{global, Metric};
+
+const SHARDS: usize = 8;
+
+/// What a cached schedule is looked up by.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`dagsched_graph::binio::structural_hash`] of the graph.
+    pub graph: [u64; 2],
+    /// Platform spec string as sent (`bnp:8`, `hypercube:3`, …).
+    pub platform: String,
+    /// Canonical algorithm name (`Scheduler::name()`, not the request
+    /// spelling — so `mcp` and `MCP` share an entry).
+    pub algo: String,
+}
+
+struct Entry {
+    val: Arc<Vec<u8>>,
+    stamp: u64,
+}
+
+/// Sharded LRU over rendered response bytes.
+pub struct ShardedLru {
+    shards: [Mutex<HashMap<CacheKey, Entry>>; SHARDS],
+    clock: AtomicU64,
+    shard_cap: usize,
+}
+
+impl ShardedLru {
+    /// `capacity` is the total entry budget across shards; `0` disables
+    /// the cache entirely (every `get` is a miss, `insert` is a no-op).
+    pub fn new(capacity: usize) -> Self {
+        ShardedLru {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            clock: AtomicU64::new(0),
+            shard_cap: capacity.div_ceil(SHARDS) * usize::from(capacity > 0),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Entry>> {
+        &self.shards[key.graph[1] as usize % SHARDS]
+    }
+
+    /// Look up a key, bumping its recency on a hit. Counts a cache hit or
+    /// miss in the global metric registry either way.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
+        if self.shard_cap == 0 {
+            global().incr(Metric::ServeCacheMisses);
+            return None;
+        }
+        let mut g = self.shard(key).lock().unwrap();
+        match g.get_mut(key) {
+            Some(e) => {
+                e.stamp = self.clock.fetch_add(1, Relaxed);
+                global().incr(Metric::ServeCacheHits);
+                Some(Arc::clone(&e.val))
+            }
+            None => {
+                global().incr(Metric::ServeCacheMisses);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an entry, evicting the least-recently-used
+    /// entry of the shard when it is full.
+    pub fn insert(&self, key: CacheKey, val: Arc<Vec<u8>>) {
+        if self.shard_cap == 0 {
+            return;
+        }
+        let mut g = self.shard(&key).lock().unwrap();
+        let stamp = self.clock.fetch_add(1, Relaxed);
+        if g.len() >= self.shard_cap && !g.contains_key(&key) {
+            if let Some(victim) = g
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                g.remove(&victim);
+                global().incr(Metric::ServeCacheEvictions);
+            }
+        }
+        g.insert(key, Entry { val, stamp });
+    }
+
+    /// Total live entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(graph: u64, algo: &str) -> CacheKey {
+        CacheKey {
+            graph: [graph, graph.wrapping_mul(31)],
+            platform: "bnp:8".into(),
+            algo: algo.into(),
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_bytes() {
+        let c = ShardedLru::new(16);
+        let k = key(7, "MCP");
+        assert!(c.get(&k).is_none());
+        c.insert(k.clone(), Arc::new(b"ok MCP\n".to_vec()));
+        assert_eq!(*c.get(&k).unwrap(), b"ok MCP\n".to_vec());
+    }
+
+    #[test]
+    fn distinct_algo_or_platform_are_distinct_entries() {
+        let c = ShardedLru::new(64);
+        let a = key(7, "MCP");
+        let mut b = key(7, "DSC");
+        c.insert(a.clone(), Arc::new(vec![1]));
+        c.insert(b.clone(), Arc::new(vec![2]));
+        b.platform = "bnp:2".into();
+        c.insert(b.clone(), Arc::new(vec![3]));
+        assert_eq!(*c.get(&a).unwrap(), vec![1]);
+        assert_eq!(*c.get(&key(7, "DSC")).unwrap(), vec![2]);
+        assert_eq!(*c.get(&b).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry_per_shard() {
+        // Capacity 8 over 8 shards = 1 entry per shard; two keys in the
+        // same shard force an eviction of the older one.
+        let c = ShardedLru::new(8);
+        let a = key(8, "A"); // 8*31 % 8 == 0
+        let b = key(16, "B"); // 16*31 % 8 == 0 — same shard
+        c.insert(a.clone(), Arc::new(vec![1]));
+        c.insert(b.clone(), Arc::new(vec![2]));
+        assert!(c.get(&a).is_none(), "older entry evicted");
+        assert_eq!(*c.get(&b).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn refreshing_a_key_does_not_evict() {
+        let c = ShardedLru::new(8);
+        let a = key(8, "A");
+        c.insert(a.clone(), Arc::new(vec![1]));
+        c.insert(a.clone(), Arc::new(vec![2]));
+        assert_eq!(*c.get(&a).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let c = ShardedLru::new(0);
+        let k = key(1, "MCP");
+        c.insert(k.clone(), Arc::new(vec![1]));
+        assert!(c.get(&k).is_none());
+        assert_eq!(c.len(), 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every protocol message travels as one frame: a big-endian `u32`
+//! payload length followed by the payload. Frames are capped at
+//! [`MAX_FRAME`] bytes — a hostile length prefix is rejected before any
+//! allocation, and the connection (not the daemon) pays for it.
+//!
+//! [`FrameReader`] accumulates bytes across `read` calls, so it is safe
+//! on sockets with read timeouts: a timeout mid-frame keeps the partial
+//! bytes buffered and surfaces [`FrameError::Idle`] for the caller's
+//! shutdown poll, instead of corrupting the stream the way a bare
+//! `read_exact` would.
+
+use std::io::{self, ErrorKind, Read, Write};
+
+/// Hard cap on a frame payload (16 MiB — a ~500k-task binary graph).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream in the middle of a frame.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME`]; the stream cannot be
+    /// resynchronized past it.
+    Oversize(usize),
+    /// A read timed out (sockets with a read timeout only). `mid_frame`
+    /// tells the caller whether partial frame bytes are buffered.
+    Idle { mid_frame: bool },
+    /// Any other I/O failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "stream closed mid-frame"),
+            FrameError::Oversize(n) => write!(f, "frame of {n} bytes exceeds cap {MAX_FRAME}"),
+            FrameError::Idle { mid_frame } => write!(f, "read timed out (mid_frame={mid_frame})"),
+            FrameError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Write one frame (length prefix + payload) and flush.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Incremental frame decoder holding partial bytes between `poll` calls.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether partial frame bytes are currently buffered.
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Read until one complete frame is available and return its payload.
+    /// `Ok(None)` is a clean EOF at a frame boundary; EOF mid-frame is
+    /// [`FrameError::Truncated`]. On a socket with a read timeout, a
+    /// timeout returns [`FrameError::Idle`] with the partial bytes kept
+    /// buffered for the next call.
+    pub fn poll(&mut self, r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+        loop {
+            if self.buf.len() >= 4 {
+                let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+                    as usize;
+                if len > MAX_FRAME {
+                    return Err(FrameError::Oversize(len));
+                }
+                if self.buf.len() >= 4 + len {
+                    let payload = self.buf[4..4 + len].to_vec();
+                    self.buf.drain(..4 + len);
+                    return Ok(Some(payload));
+                }
+            }
+            let mut tmp = [0u8; 4096];
+            match r.read(&mut tmp) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(FrameError::Truncated)
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&tmp[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Err(FrameError::Idle {
+                        mid_frame: !self.buf.is_empty(),
+                    });
+                }
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"alpha").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, b"beta gamma").unwrap();
+        let mut r = FrameReader::new();
+        let mut src = &wire[..];
+        assert_eq!(r.poll(&mut src).unwrap().unwrap(), b"alpha");
+        assert_eq!(r.poll(&mut src).unwrap().unwrap(), b"");
+        assert_eq!(r.poll(&mut src).unwrap().unwrap(), b"beta gamma");
+        assert!(r.poll(&mut src).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_mid_frame_is_truncated() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"alpha").unwrap();
+        for cut in 1..wire.len() {
+            let mut r = FrameReader::new();
+            let mut src = &wire[..cut];
+            assert!(
+                matches!(r.poll(&mut src), Err(FrameError::Truncated)),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_prefix_is_rejected_before_reading_payload() {
+        let wire = (MAX_FRAME as u32 + 1).to_be_bytes();
+        let mut r = FrameReader::new();
+        assert!(matches!(
+            r.poll(&mut &wire[..]),
+            Err(FrameError::Oversize(_))
+        ));
+    }
+
+    /// A reader that yields one byte per call then times out, simulating a
+    /// slow client on a socket with a read timeout.
+    struct Dribble<'a> {
+        data: &'a [u8],
+        pos: usize,
+        ready: bool,
+    }
+
+    impl Read for Dribble<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::new(ErrorKind::WouldBlock, "timeout"));
+            }
+            self.ready = false;
+            if self.pos == self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn partial_bytes_survive_timeouts() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"slowly").unwrap();
+        let mut src = Dribble {
+            data: &wire,
+            pos: 0,
+            ready: false,
+        };
+        let mut r = FrameReader::new();
+        let mut idles = 0;
+        loop {
+            match r.poll(&mut src) {
+                Ok(Some(p)) => {
+                    assert_eq!(p, b"slowly");
+                    break;
+                }
+                Ok(None) => panic!("hit EOF before the frame completed"),
+                Err(FrameError::Idle { .. }) => idles += 1,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(idles > wire.len() / 2, "every byte cost one timeout");
+    }
+}

@@ -1,0 +1,57 @@
+//! # dagsched-serve — scheduling as a service
+//!
+//! The workspace's long-running front end: a std-only TCP daemon that
+//! answers schedule requests (`taskbench serve`), and the load-generator
+//! client that replays benchmark suites against it at a configurable
+//! request rate (`taskbench loadgen`).
+//!
+//! A request carries a DAG (TGF text or the compact binary frame of
+//! [`dagsched_graph::binio`]), a platform spec (`bnp:8`, `hypercube:3`,
+//! …), and an algorithm name — any of the fifteen roster acronyms or a
+//! `compose:` grammar variant. The response is the schedule (one line per
+//! task), its makespan and processor count, or a structured error whose
+//! machine-readable code is shared with the CLI ([`proto`]).
+//!
+//! Production concerns are the point of this crate:
+//!
+//! * **Framing** ([`frame`]) — u32 length-prefixed frames with a hard
+//!   size cap; a malformed or oversize frame fails one connection with a
+//!   structured error, never the daemon.
+//! * **Backpressure** ([`queue`]) — a bounded worker queue; when it is
+//!   full the request is rejected immediately with `E_QUEUE_FULL` and a
+//!   `retry_after_ms` hint instead of stacking latency.
+//! * **Memoization** ([`cache`]) — a sharded LRU keyed by (structural
+//!   graph hash, platform, canonical algorithm name) storing rendered
+//!   response bytes, so a cache hit returns *byte-identical* output to
+//!   the original computation. Hit/miss/eviction counters live in
+//!   [`dagsched_obs::registry`].
+//! * **Worker pool** ([`server`]) — `TASKBENCH_THREADS`-aware (via
+//!   [`dagsched_ws::worker_count`]); graceful shutdown stops accepting,
+//!   drains in-flight requests, then joins every thread.
+//!
+//! Everything is threads + mpsc over blocking sockets — deliberately
+//! tokio-shaped (one acceptor, per-connection readers, a submission
+//! queue, a worker pool) so an async runtime can replace the thread pool
+//! without touching the protocol or cache layers when registry access
+//! arrives.
+//!
+//! ## Determinism contract
+//!
+//! Served schedules are byte-identical to in-process scheduling for the
+//! same (graph, platform, algorithm) — the e2e suite pins this for every
+//! roster algorithm — and independent of worker count and cache state.
+//! Wall-clock throughput/latency numbers from [`loadgen`] are indicative
+//! only and are never CI-diffed.
+
+pub mod cache;
+pub mod frame;
+pub mod loadgen;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CacheKey, ShardedLru};
+pub use frame::{FrameError, FrameReader, MAX_FRAME};
+pub use loadgen::{LoadgenParams, LoadgenReport};
+pub use proto::{Request, Response, ServeError};
+pub use server::{Config, Handle};

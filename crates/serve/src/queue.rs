@@ -1,0 +1,181 @@
+//! A bounded MPMC queue with non-blocking admission — the backpressure
+//! primitive behind `E_QUEUE_FULL`.
+//!
+//! Producers (connection threads) use [`Bounded::try_push`], which never
+//! blocks: when the queue is at capacity the caller gets
+//! [`PushError::Full`] immediately and turns it into a structured
+//! reject-with-retry-after, instead of stacking unbounded latency behind
+//! a slow worker pool. Consumers (workers) block on [`Bounded::pop`]
+//! until an item arrives or the queue is closed and drained.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`Bounded::try_push`] refused an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; retry later.
+    Full,
+    /// The queue was closed; no new work is admitted.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Fixed-capacity FIFO shared between connection threads and workers.
+pub struct Bounded<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> Bounded<T> {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "a zero-capacity queue admits nothing");
+        Bounded {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Non-blocking admission. On success returns the queue depth *after*
+    /// the push (for the queue-depth histogram).
+    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return Err(PushError::Closed);
+        }
+        if g.items.len() >= self.cap {
+            return Err(PushError::Full);
+        }
+        g.items.push_back(item);
+        let depth = g.items.len();
+        drop(g);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Block until an item is available. `None` means the queue is closed
+    /// *and* fully drained — workers use this as their exit signal, which
+    /// is what lets shutdown finish in-flight requests.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.ready.wait(g).unwrap();
+        }
+    }
+
+    /// Stop admitting work; queued items still drain through [`pop`].
+    ///
+    /// [`pop`]: Bounded::pop
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = Bounded::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(2));
+    }
+
+    #[test]
+    fn close_drains_then_releases_poppers() {
+        let q = Arc::new(Bounded::new(4));
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        q.close();
+        assert_eq!(q.try_push(12), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_popper_wakes_on_close() {
+        let q = Arc::new(Bounded::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let q = Arc::new(Bounded::new(8));
+        let total: u32 = 400;
+        let mut producers = Vec::new();
+        for p in 0..4u32 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..total / 4 {
+                    let v = p * 1000 + i;
+                    loop {
+                        match q.try_push(v) {
+                            Ok(_) => break,
+                            Err(PushError::Full) => std::thread::yield_now(),
+                            Err(PushError::Closed) => panic!("closed early"),
+                        }
+                    }
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for h in producers {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut want: Vec<u32> = (0..4u32)
+            .flat_map(|p| (0..total / 4).map(move |i| p * 1000 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(all, want);
+    }
+}

@@ -10,6 +10,8 @@
 //! taskbench info <file.tgf>              structural statistics
 //! taskbench dot  <file.tgf>              Graphviz export
 //! taskbench list                         the fifteen algorithms
+//! taskbench serve [--addr H:P]           scheduling-as-a-service daemon
+//! taskbench loadgen --addr H:P [flags]   replay a suite against a daemon
 //! ```
 //!
 //! Families for `gen`: `rgbos v ccr seed`, `rgnos v ccr par seed`,
@@ -91,6 +93,8 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("variants") => cmd_variants(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("help") | None => {
             emit(HELP);
             emit("\n");
@@ -131,6 +135,11 @@ taskbench — benchmarking task graph scheduling algorithms (Kwok & Ahmad, IPPS'
   taskbench dot <file.tgf>
   taskbench list
   taskbench variants                         the composed-scheduler space
+  taskbench serve [--addr H:P] [--workers N] [--queue-cap N] [--cache-cap N]
+            scheduling daemon; prints the bound address, runs until `shutdown`
+  taskbench loadgen --addr H:P [--qps Q] [--conns N] [--repeat N] [--seed S]
+            [--algo NAME]... [--suite rgnos|adversarial] [--verify] [--shutdown]
+            replay a graph suite against a daemon; prints a JSON report
 
 <ALGO> is a paper acronym (`taskbench list`) or a composed variant such as
 `compose:PRIO=blevel,LIST=dynamic,SLOT=insert,SEL=ready` (`taskbench variants`).
@@ -188,44 +197,26 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Load a TGF file. Parse failures lead with the same stable
+/// machine-readable code (`[E_GRAPH_*]`) the serve protocol returns, so
+/// scripts branch identically on both front ends.
 fn load(path: &str) -> Result<TaskGraph, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    taskbench::graph::io::from_tgf(&text).map_err(|e| format!("{path}: {e}"))
+    taskbench::graph::io::from_tgf(&text).map_err(|e| format!("{path}: [{}] {e}", e.code()))
 }
 
+/// One topology grammar for the whole workspace: the CLI `--topology`
+/// flag and the serve protocol's platform field both resolve through
+/// [`Topology::parse_spec`].
 fn parse_topology(spec: &str) -> Result<Topology, String> {
-    let (kind, rest) = spec
-        .split_once(':')
-        .ok_or("topology must look like kind:N")?;
-    let t = match kind {
-        "full" => Topology::fully_connected(rest.parse().map_err(|_| "bad N")?),
-        "ring" => Topology::ring(rest.parse().map_err(|_| "bad N")?),
-        "chain" => Topology::chain(rest.parse().map_err(|_| "bad N")?),
-        "star" => Topology::star(rest.parse().map_err(|_| "bad N")?),
-        "hypercube" => Topology::hypercube(rest.parse().map_err(|_| "bad D")?),
-        "mesh" => {
-            let (r, c) = rest.split_once('x').ok_or("mesh needs RxC")?;
-            Topology::mesh(
-                r.parse().map_err(|_| "bad rows")?,
-                c.parse().map_err(|_| "bad cols")?,
-            )
-        }
-        "torus" => {
-            let (r, c) = rest.split_once('x').ok_or("torus needs RxC")?;
-            Topology::torus(
-                r.parse().map_err(|_| "bad rows")?,
-                c.parse().map_err(|_| "bad cols")?,
-            )
-        }
-        other => return Err(format!("unknown topology `{other}`")),
-    };
-    t.map_err(|e| e.to_string())
+    Topology::parse_spec(spec)
 }
 
-/// Registry lookup. On a miss the registry's error already carries the
-/// full roster and the `compose:` variant grammar — print it verbatim.
+/// Registry lookup. On a miss the error leads with its stable code
+/// (`[E_ALGO_UNKNOWN]` / `[E_ALGO_COMPOSE_PARSE]` — shared with the
+/// serve protocol) followed by the full roster and `compose:` grammar.
 fn lookup_algo(name: &str) -> Result<Box<dyn Scheduler>, String> {
-    registry::lookup(name).map_err(|e| e.to_string())
+    registry::lookup(name).map_err(|e| format!("[{}] {e}", e.code()))
 }
 
 /// Shared `-p` / `--topology` parsing for the run/trace/profile commands.
@@ -476,7 +467,7 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
 /// `i`nteger, `b`oolean. A record of schema K must carry exactly the
 /// fields of versions 1..=K (plus `schema` itself) — nothing missing,
 /// nothing unknown.
-const HISTORY_SCHEMA: [&[(&str, u8)]; 7] = [
+const HISTORY_SCHEMA: [&[(&str, u8)]; 8] = [
     &[
         ("sha", b's'),
         ("date", b's'),
@@ -504,6 +495,15 @@ const HISTORY_SCHEMA: [&[(&str, u8)]; 7] = [
     &[
         ("compose_presets_equiv", b'b'),
         ("compose_variants_total", b'i'),
+    ],
+    &[
+        ("serve_throughput_rps", b'n'),
+        ("serve_p50_us", b'i'),
+        ("serve_p95_us", b'i'),
+        ("serve_p99_us", b'i'),
+        ("serve_requests", b'i'),
+        ("serve_errors", b'i'),
+        ("serve_cache_hit_rate", b'n'),
     ],
 ];
 
@@ -582,7 +582,7 @@ fn cmd_bench_history(args: &[String]) -> Result<(), String> {
 
     // Short header per column; `-` marks fields the record's schema
     // predates. Ratios >= baseline render with two decimals.
-    let cols: [(&str, &str); 9] = [
+    let cols: [(&str, &str); 10] = [
         ("dsc", "dsc_speedup_v1000"),
         ("dsc-inc", "dsc_incremental_speedup_v5000"),
         ("md-inc", "md_incremental_speedup_v2000"),
@@ -592,6 +592,7 @@ fn cmd_bench_history(args: &[String]) -> Result<(), String> {
         ("bnb-par", "bnb_parallel_speedup"),
         ("ovh-dsc", "trace_overhead_dsc"),
         ("ovh-bnb", "trace_overhead_bnb"),
+        ("srv-rps", "serve_throughput_rps"),
     ];
     let mut out = format!("{:<13} {:<11} {:>2}", "sha", "date", "sv");
     for (hdr, _) in &cols {
@@ -790,6 +791,191 @@ fn cmd_adversary(args: &[String]) -> Result<(), String> {
         );
         std::fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?;
         note(&format!("wrote {path}"));
+    }
+    Ok(())
+}
+
+/// `taskbench serve` — run the scheduling daemon. The artifact on stdout
+/// is the bound address (one line), so scripts can use an ephemeral port
+/// (`--addr 127.0.0.1:0`) and still find the server. Runs until a client
+/// sends `shutdown`, then drains in-flight requests and exits.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use taskbench::obs::{global, registry::Metric};
+    use taskbench::serve::Config;
+
+    let mut cfg = Config::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                cfg.addr = args.get(i + 1).ok_or("missing address")?.clone();
+                i += 2;
+            }
+            "--workers" => {
+                cfg.workers = parse(args.get(i + 1), "workers")?;
+                i += 2;
+            }
+            "--queue-cap" => {
+                cfg.queue_cap = parse(args.get(i + 1), "queue-cap")?;
+                i += 2;
+            }
+            "--cache-cap" => {
+                cfg.cache_cap = parse(args.get(i + 1), "cache-cap")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if cfg.queue_cap == 0 {
+        return Err("queue-cap must be at least 1".into());
+    }
+    let handle = taskbench::serve::server::start(cfg).map_err(|e| e.to_string())?;
+    emit(&format!("{}\n", handle.addr()));
+    // stdout is block-buffered under a pipe; the address must reach the
+    // launching script before the daemon parks in `wait()`.
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    note("serving; send a `shutdown` request (taskbench loadgen --shutdown) to stop");
+    handle.wait();
+    let snap = global().snapshot();
+    note(&format!(
+        "served {} requests ({} errors, {} queue rejects); cache {} hits / {} misses / {} evictions",
+        snap.get(Metric::ServeRequests),
+        snap.get(Metric::ServeErrors),
+        snap.get(Metric::ServeQueueRejects),
+        snap.get(Metric::ServeCacheHits),
+        snap.get(Metric::ServeCacheMisses),
+        snap.get(Metric::ServeCacheEvictions),
+    ));
+    Ok(())
+}
+
+/// The deterministic graph suite `taskbench loadgen` replays: RGNOS
+/// graphs across the paper's CCR corners, or small adversarially-searched
+/// instances (both seeded — the same seed replays the same suite).
+fn loadgen_suite(name: &str, seed: u64) -> Result<Vec<TaskGraph>, String> {
+    use taskbench::adversary::{matrix, search, Budget, Reference};
+    use taskbench::suites::rgnos;
+
+    match name {
+        "rgnos" => Ok([0.1, 1.0, 10.0]
+            .iter()
+            .flat_map(|&ccr| {
+                [seed, seed + 1].map(|s| rgnos::generate(rgnos::RgnosParams::new(40, ccr, 2, s)))
+            })
+            .collect()),
+        "adversarial" => {
+            let mut graphs = Vec::new();
+            for (target, baseline) in [("MCP", "HLFET"), ("DSC", "EZ"), ("BSA", "MH")] {
+                let t = lookup_algo(target)?;
+                let b = lookup_algo(baseline)?;
+                let budget = Budget {
+                    max_evals: 25,
+                    seed,
+                    max_nodes: 20,
+                };
+                let env = matrix::env_for(t.class());
+                let r = search::search(t.as_ref(), &Reference::Algo(b.as_ref()), &env, &budget);
+                graphs.push(r.graph);
+            }
+            Ok(graphs)
+        }
+        other => Err(format!("unknown suite `{other}` (rgnos, adversarial)")),
+    }
+}
+
+/// `taskbench loadgen` — replay a suite against a running daemon. The
+/// artifact on stdout is a one-object JSON report; throughput/latency
+/// numbers in it are wall-clock and machine-dependent (indicative only,
+/// never CI-diffed — CI gates on `errors` and the cache hit count).
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    use taskbench::serve::loadgen;
+
+    let mut params = loadgen::LoadgenParams::default();
+    let mut suite = "rgnos".to_string();
+    let mut algos: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                params.addr = args.get(i + 1).ok_or("missing address")?.clone();
+                i += 2;
+            }
+            "--qps" => {
+                params.qps = parse(args.get(i + 1), "qps")?;
+                i += 2;
+            }
+            "--conns" => {
+                params.conns = parse(args.get(i + 1), "conns")?;
+                i += 2;
+            }
+            "--repeat" => {
+                params.repeat = parse(args.get(i + 1), "repeat")?;
+                i += 2;
+            }
+            "--seed" => {
+                params.seed = parse(args.get(i + 1), "seed")?;
+                i += 2;
+            }
+            "--algo" => {
+                algos.push(args.get(i + 1).ok_or("missing algorithm name")?.clone());
+                i += 2;
+            }
+            "--suite" => {
+                suite = args.get(i + 1).ok_or("missing suite name")?.clone();
+                i += 2;
+            }
+            "--verify" => {
+                params.verify = true;
+                i += 1;
+            }
+            "--shutdown" => {
+                params.shutdown = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if params.addr.is_empty() {
+        return Err("loadgen needs --addr (the daemon's address)".into());
+    }
+    if !algos.is_empty() {
+        // Validate eagerly so a typo fails before any traffic is sent.
+        for a in &algos {
+            lookup_algo(a)?;
+        }
+        params.algos = algos;
+    }
+    params.graphs = loadgen_suite(&suite, params.seed)?;
+    verbose(&format!(
+        "replaying {} graphs × {} algos × {} repeats at {} qps over {} conns",
+        params.graphs.len(),
+        params.algos.len(),
+        params.repeat,
+        params.qps,
+        params.conns
+    ));
+    let report = loadgen::run(&params)?;
+    emit(&format!(
+        "{{\"requests\": {}, \"errors\": {}, \"cache_hits\": {}, \
+         \"elapsed_s\": {:.3}, \"throughput_rps\": {:.1}, \
+         \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}\n",
+        report.requests,
+        report.errors,
+        report.cache_hits,
+        report.elapsed.as_secs_f64(),
+        report.throughput_rps,
+        report.p50_us,
+        report.p95_us,
+        report.p99_us
+    ));
+    for e in &report.error_detail {
+        note(&format!("error: {e}"));
+    }
+    if report.errors > 0 {
+        return Err(format!(
+            "{} of {} requests failed",
+            report.errors, report.requests
+        ));
     }
     Ok(())
 }

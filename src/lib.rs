@@ -22,7 +22,9 @@
 //! * [`obs`] — zero-cost event tracing, hot-path counters and span
 //!   profiling (the `taskbench trace` / `taskbench profile` front door);
 //! * [`crate::bench`] — the experiment harness behind every table and
-//!   figure, plus the perf-baseline machinery.
+//!   figure, plus the perf-baseline machinery;
+//! * [`serve`] — scheduling as a service: the framed TCP daemon behind
+//!   `taskbench serve` and the `taskbench loadgen` replay client.
 //!
 //! ## Quickstart
 //!
@@ -61,6 +63,7 @@ pub use dagsched_metrics as metrics;
 pub use dagsched_obs as obs;
 pub use dagsched_optimal as optimal;
 pub use dagsched_platform as platform;
+pub use dagsched_serve as serve;
 pub use dagsched_suites as suites;
 
 /// The names most programs need, in one import.

@@ -75,6 +75,9 @@ fn errors_are_reported_not_panicked() {
     let (ok, _, stderr) = taskbench(&["run", "NOPE", "/nonexistent.tgf"]);
     assert!(!ok);
     assert!(stderr.contains("unknown algorithm"));
+    // The stable machine-readable code leads the message — the same code
+    // the serve protocol returns for this failure.
+    assert!(stderr.contains("[E_ALGO_UNKNOWN]"), "{stderr}");
     // A miss lists every valid name instead of a bare error.
     assert!(stderr.contains("valid names"), "{stderr}");
     for name in ["HLFET", "MCP", "DCP", "BSA", "DLS-APN"] {
@@ -84,10 +87,12 @@ fn errors_are_reported_not_panicked() {
     assert!(stderr.contains("compose:"), "{stderr}");
     assert!(stderr.contains("PRIO"), "{stderr}");
 
-    // Grammar parse errors surface with the offending detail.
+    // Grammar parse errors surface with the offending detail and their
+    // own stable code.
     let (ok, _, stderr) = taskbench(&["run", "compose:PRIO=bogus", "/nonexistent.tgf"]);
     assert!(!ok);
     assert!(stderr.contains("unknown value `bogus`"), "{stderr}");
+    assert!(stderr.contains("[E_ALGO_COMPOSE_PARSE]"), "{stderr}");
 
     let (ok, _, stderr) = taskbench(&["gen", "martian", "1"]);
     assert!(!ok);
@@ -100,6 +105,28 @@ fn errors_are_reported_not_panicked() {
     let (ok, _, stderr) = taskbench(&["run", "BSA", "/nonexistent.tgf"]);
     assert!(!ok);
     assert!(stderr.contains("nonexistent"));
+}
+
+/// TGF load failures lead with the same stable `E_GRAPH_*` codes the
+/// serve protocol uses, pinned here at the CLI surface.
+#[test]
+fn graph_errors_carry_stable_codes() {
+    let dir = std::env::temp_dir().join(format!("taskbench-codes-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let bad = dir.join("bad.tgf");
+    std::fs::write(&bad, "task zero five\n").unwrap();
+    let (ok, _, stderr) = taskbench(&["info", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("[E_GRAPH_PARSE]"), "{stderr}");
+
+    let cyclic = dir.join("cyclic.tgf");
+    std::fs::write(&cyclic, "task 0 1\ntask 1 1\nedge 0 1 1\nedge 1 0 1\n").unwrap();
+    let (ok, _, stderr) = taskbench(&["info", cyclic.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("[E_GRAPH_CYCLE]"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
