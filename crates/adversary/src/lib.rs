@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dagsched-adversary — adversarial instance search & dominance analysis
 //!
 //! Kwok & Ahmad benchmark the fifteen schedulers on *fixed* suites, which

@@ -1,3 +1,5 @@
+// Examples and bench binaries own their stdout (terminal reports).
+#![allow(clippy::print_stdout)]
 //! All-pairs adversarial search → dominance matrix → archived instances.
 //!
 //! For every ordered scheduler pair in a class this binary searches graph
@@ -28,10 +30,9 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 fn out_dir() -> PathBuf {
-    match std::env::var("TASKBENCH_ADV_DIR") {
-        Ok(d) => PathBuf::from(d),
-        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/adversarial"),
-    }
+    dagsched_bench::config::adversary_dir().unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/adversarial")
+    })
 }
 
 fn main() {

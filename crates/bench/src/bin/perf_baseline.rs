@@ -1,3 +1,5 @@
+// Examples and bench binaries own their stdout (terminal reports).
+#![allow(clippy::print_stdout)]
 //! Records the workspace perf baseline into `BENCH_RESULTS.json`.
 //!
 //! Eight sections, all deterministic given the seed:
@@ -857,8 +859,10 @@ fn main() {
         ("paper_sweep_budget", sweep.clone()),
         ("serve_throughput", serve.clone()),
     ]);
-    let path = std::env::var("TASKBENCH_BENCH_OUT")
-        .unwrap_or_else(|_| format!("{}/../../BENCH_RESULTS.json", env!("CARGO_MANIFEST_DIR")));
+    let path = dagsched_bench::config::bench_out().unwrap_or_else(|| {
+        format!("{}/../../BENCH_RESULTS.json", env!("CARGO_MANIFEST_DIR")).into()
+    });
+    let path = path.display().to_string();
     std::fs::write(&path, report.pretty()).expect("write BENCH_RESULTS.json");
     println!("wrote {path}");
 
@@ -911,8 +915,10 @@ fn main() {
         ("serve_errors", field(&serve, "errors")),
         ("serve_cache_hit_rate", field(&serve, "cache_hit_rate")),
     ]);
-    let history = std::env::var("TASKBENCH_BENCH_HISTORY")
-        .unwrap_or_else(|_| format!("{}/../../BENCH_HISTORY.jsonl", env!("CARGO_MANIFEST_DIR")));
+    let history = dagsched_bench::config::bench_history().unwrap_or_else(|| {
+        format!("{}/../../BENCH_HISTORY.jsonl", env!("CARGO_MANIFEST_DIR")).into()
+    });
+    let history = history.display().to_string();
     use std::io::Write as _;
     let mut f = std::fs::OpenOptions::new()
         .create(true)

@@ -1,3 +1,5 @@
+// Examples and bench binaries own their stdout (terminal reports).
+#![allow(clippy::print_stdout)]
 //! Runs every experiment in paper order and streams all tables to stdout.
 //! `TASKBENCH_FULL=1` switches to paper-scale sample counts.
 use dagsched_bench::experiments as exp;

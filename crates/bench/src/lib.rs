@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dagsched-bench — the experiment harness
 //!
 //! One binary per table and figure of Kwok & Ahmad (IPPS 1998), §6:

@@ -1,3 +1,6 @@
+#![forbid(unsafe_code)]
+// Criterion's terminal report goes to stdout by upstream convention.
+#![allow(clippy::print_stdout)]
 //! Offline stand-in for the `criterion` benchmarking crate.
 //!
 //! Provides the API surface the workspace's benches use — [`Criterion`],

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Provides the subset of proptest this workspace's property tests use:

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `rand` crate.
 //!
 //! The workspace builds in an environment without crates.io access, so this

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dagsched-core — the fifteen DAG scheduling algorithms
 //!
 //! This crate implements the full algorithm roster of Kwok & Ahmad,

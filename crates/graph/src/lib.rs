@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dagsched-graph — the task graph substrate
 //!
 //! A *task graph* (also called a macro-dataflow graph) is a weighted directed

@@ -1,0 +1,123 @@
+//! The pragma engine: `lint:allow(rule) reason` / `relaxed-ok: reason`
+//! grammar, target resolution, and the hygiene meta-rules (an allow
+//! without a reason and an allow that suppresses nothing are themselves
+//! diagnostics).
+
+use dagsched_lint::rules::{self, lint_source};
+
+fn rules_of(diags: &[rules::Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn allow_with_reason_suppresses_same_line() {
+    let src = r#"
+        fn f() { println!("x"); } // lint:allow(one-artifact-stdout) demo front door
+    "#;
+    assert!(lint_source("crates/graph/src/util.rs", src).is_empty());
+}
+
+#[test]
+fn comment_only_allow_targets_the_next_code_line() {
+    let src = r#"
+        // lint:allow(one-artifact-stdout) demo front door
+        fn f() { println!("x"); }
+    "#;
+    assert!(lint_source("crates/graph/src/util.rs", src).is_empty());
+}
+
+#[test]
+fn allow_without_reason_is_bare_and_does_not_suppress() {
+    let src = r#"
+        // lint:allow(one-artifact-stdout)
+        fn f() { println!("x"); }
+    "#;
+    let diags = lint_source("crates/graph/src/util.rs", src);
+    // Both the hygiene error and the undimmed violation are reported.
+    assert_eq!(
+        rules_of(&diags),
+        vec![rules::BARE_ALLOW, rules::ONE_ARTIFACT_STDOUT]
+    );
+}
+
+#[test]
+fn relaxed_ok_without_reason_is_bare() {
+    let src = r#"
+        // relaxed-ok:
+        fn get(c: &AtomicU64) -> u64 { c.load(Ordering::Relaxed) }
+    "#;
+    let diags = lint_source("crates/obs/src/x.rs", src);
+    assert_eq!(
+        rules_of(&diags),
+        vec![rules::BARE_ALLOW, rules::RELAXED_ORDERING_AUDIT]
+    );
+}
+
+#[test]
+fn unused_allow_is_an_error() {
+    let src = r#"
+        // lint:allow(no-wall-clock) nothing here actually reads the clock
+        fn f() {}
+    "#;
+    let diags = lint_source("crates/graph/src/util.rs", src);
+    assert_eq!(rules_of(&diags), vec![rules::UNUSED_ALLOW]);
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn unknown_rule_is_an_error() {
+    let src = r#"
+        // lint:allow(no-such-rule) reason text
+        fn f() {}
+    "#;
+    let diags = lint_source("crates/graph/src/util.rs", src);
+    assert_eq!(rules_of(&diags), vec![rules::UNKNOWN_RULE]);
+}
+
+#[test]
+fn malformed_allow_is_bare() {
+    let src = r#"
+        // lint:allow no parens at all
+        fn f() {}
+    "#;
+    let diags = lint_source("crates/graph/src/util.rs", src);
+    assert_eq!(rules_of(&diags), vec![rules::BARE_ALLOW]);
+}
+
+#[test]
+fn allow_covers_only_its_named_rule() {
+    let src = r#"
+        // lint:allow(no-wall-clock) timing for a demo
+        fn f() { let t = std::time::Instant::now(); println!("x"); }
+    "#;
+    let diags = lint_source("crates/graph/src/util.rs", src);
+    // The wall-clock violation is suppressed; the stdout one is not.
+    assert_eq!(rules_of(&diags), vec![rules::ONE_ARTIFACT_STDOUT]);
+}
+
+#[test]
+fn prose_mentioning_the_syntax_is_not_a_pragma() {
+    // Doc comments *about* pragmas must not parse as pragmas (they would
+    // be flagged unused). The pragma must start the comment text.
+    let src = r#"
+        /// Use `lint:allow(no-wall-clock) reason` to grant an exception.
+        fn f() {}
+    "#;
+    assert!(lint_source("crates/graph/src/util.rs", src).is_empty());
+}
+
+#[test]
+fn relaxed_ok_does_not_leak_to_later_lines() {
+    let src = r#"
+        fn get(c: &AtomicU64) -> u64 {
+            // relaxed-ok: tally read after writers join.
+            let a = c.load(Ordering::Relaxed);
+            let b = c.load(Ordering::Relaxed);
+            a + b
+        }
+    "#;
+    let diags = lint_source("crates/obs/src/x.rs", src);
+    // Only the first load is covered; the second needs its own reason.
+    assert_eq!(rules_of(&diags), vec![rules::RELAXED_ORDERING_AUDIT]);
+    assert_eq!(diags[0].line, 5);
+}

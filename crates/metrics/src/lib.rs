@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dagsched-metrics — the paper's performance measures and reporting
 //!
 //! §6 of Kwok & Ahmad defines six comparison measures; this crate

@@ -54,11 +54,15 @@ impl LogHist {
     /// Record one sample.
     #[inline]
     pub fn record(&self, v: u64) {
+        // relaxed-ok: independent monotone tallies; readers only consume
+        // them after the recording threads are joined.
         self.buckets[bucket_of(v)].fetch_add(1, Relaxed);
     }
 
     /// Total number of recorded samples.
     pub fn count(&self) -> u64 {
+        // relaxed-ok: snapshot read of independent counters; exactness is
+        // only guaranteed once recorders have quiesced.
         self.buckets.iter().map(|b| b.load(Relaxed)).sum()
     }
 
@@ -68,12 +72,14 @@ impl LogHist {
 
     /// Samples recorded into bucket `i`.
     pub fn bucket_count(&self, i: usize) -> u64 {
+        // relaxed-ok: same quiesced-snapshot contract as count().
         self.buckets[i].load(Relaxed)
     }
 
     /// Bucket index holding the nearest-rank `q`-quantile sample
     /// (`q` clamped to `[0, 1]`). `None` when empty.
     pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        // relaxed-ok: same quiesced-snapshot contract as count().
         let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
         let n: u64 = counts.iter().sum();
         if n == 0 {
@@ -100,6 +106,8 @@ impl LogHist {
     /// Reset all buckets to zero.
     pub fn reset(&self) {
         for b in &self.buckets {
+            // relaxed-ok: reset is only called between measurement phases,
+            // never concurrently with recorders it must synchronize with.
             b.store(0, Relaxed);
         }
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `dagsched-obs` — observability primitives for the scheduler stack.
 //!
 //! Bottom-of-stack and std-only (like `dagsched-ws`): every other crate may
@@ -26,6 +27,7 @@
 //!    profile output is explicitly non-deterministic and never CI-diffed.
 
 pub mod chrome;
+pub mod env;
 pub mod event;
 pub mod hist;
 pub mod registry;

@@ -205,6 +205,8 @@ fn shard_index() -> usize {
         if v != usize::MAX {
             v
         } else {
+            // relaxed-ok: round-robin slot assignment only needs uniqueness
+            // of the fetched value, not ordering with other memory.
             let v = NEXT_SHARD.fetch_add(1, Relaxed) & (SHARDS - 1);
             c.set(v);
             v
@@ -227,6 +229,9 @@ impl Counter {
 
     #[inline]
     pub fn add(&self, n: u64) {
+        // relaxed-ok: monotone per-shard tally; no other memory is
+        // published through it, and get() only promises exactness after
+        // writer threads are joined.
         self.shards[shard_index()].0.fetch_add(n, Relaxed);
     }
 
@@ -236,11 +241,15 @@ impl Counter {
     }
 
     pub fn get(&self) -> u64 {
+        // relaxed-ok: snapshot sum over shards; exact once writers have
+        // quiesced (joined), approximate while they run — by design.
         self.shards.iter().map(|s| s.0.load(Relaxed)).sum()
     }
 
     pub fn reset(&self) {
         for s in &self.shards {
+            // relaxed-ok: reset runs between measurement phases, never
+            // concurrently with writers it must synchronize with.
             s.0.store(0, Relaxed);
         }
     }
@@ -380,12 +389,15 @@ mod tests {
 
     #[test]
     fn counters_sum_across_threads() {
+        // TASKBENCH_STRESS amplifies both axes for sanitizer runs.
+        let stress = crate::env::stress_factor();
+        let (threads, iters) = (4 * stress as u64, 1000 * stress as u64);
         let r = std::sync::Arc::new(Registry::new());
-        let hs: Vec<_> = (0..4)
+        let hs: Vec<_> = (0..threads)
             .map(|_| {
                 let r = r.clone();
                 std::thread::spawn(move || {
-                    for _ in 0..1000 {
+                    for _ in 0..iters {
                         r.incr(Metric::WsStealAttempts);
                     }
                 })
@@ -394,7 +406,7 @@ mod tests {
         for h in hs {
             h.join().unwrap();
         }
-        assert_eq!(r.get(Metric::WsStealAttempts), 4000);
+        assert_eq!(r.get(Metric::WsStealAttempts), threads * iters);
     }
 
     #[test]

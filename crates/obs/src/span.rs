@@ -19,11 +19,14 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 /// Turn span recording on (process-wide) for the calling thread's
 /// subsequently opened spans.
 pub fn enable() {
+    // relaxed-ok: a lone on/off flag guarding thread-local state; no
+    // cross-thread data is published through it.
     ENABLED.store(true, Relaxed);
 }
 
 /// Turn span recording off.
 pub fn disable() {
+    // relaxed-ok: same lone-flag contract as enable().
     ENABLED.store(false, Relaxed);
 }
 
@@ -67,6 +70,8 @@ pub struct Span {
 
 /// Open a timed scope. Inert (a single atomic load) unless [`enable`]d.
 pub fn span(name: &'static str) -> Span {
+    // relaxed-ok: reading the lone on/off flag; spans it gates are
+    // recorded into thread-local state only.
     if !ENABLED.load(Relaxed) {
         return Span { active: false };
     }

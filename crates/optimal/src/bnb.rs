@@ -480,12 +480,19 @@ impl Ctl for SharedCtl {
     }
 
     fn note_expanded(&self) -> bool {
+        // relaxed-ok: capped is a stop hint — a late observer only expands
+        // a few extra nodes; correctness of the incumbent never depends on
+        // seeing it promptly, and the final flag is read after join.
         if self.capped.load(Ordering::Relaxed) {
             return false;
         }
+        // relaxed-ok: node budget tally; fetch_add uniqueness is all the
+        // cap check needs, and exact totals are read after join.
         let prev = self.nodes.fetch_add(1, Ordering::Relaxed);
         if prev >= self.node_limit {
+            // relaxed-ok: same budget-tally contract as the fetch_add.
             self.nodes.fetch_sub(1, Ordering::Relaxed);
+            // relaxed-ok: same stop-hint contract as the load above.
             self.capped.store(true, Ordering::Relaxed);
             return false;
         }
@@ -497,10 +504,12 @@ impl Ctl for SharedCtl {
             PruneBound::LowerBound => &self.pruned_bound,
             PruneBound::Duplicate => &self.pruned_duplicate,
         };
+        // relaxed-ok: prune statistics only; read after workers join.
         ctr.fetch_add(1, Ordering::Relaxed);
     }
 
     fn stopped(&self) -> bool {
+        // relaxed-ok: same stop-hint contract as note_expanded().
         self.capped.load(Ordering::Relaxed)
     }
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dagsched-optimal — branch-and-bound optimal schedules
 //!
 //! The RGBOS benchmark family (§5.2 of the paper) measures each heuristic's

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dagsched-platform — processors, schedules and interconnects
 //!
 //! The machine-side substrate of the benchmark study. Three machine models

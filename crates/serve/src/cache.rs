@@ -72,6 +72,9 @@ impl ShardedLru {
         let mut g = self.shard(key).lock().unwrap();
         match g.get_mut(key) {
             Some(e) => {
+                // relaxed-ok: LRU stamps only order evictions; the entry
+                // itself is protected by the shard mutex, and an
+                // occasionally stale victim choice is harmless.
                 e.stamp = self.clock.fetch_add(1, Relaxed);
                 global().incr(Metric::ServeCacheHits);
                 Some(Arc::clone(&e.val))
@@ -90,6 +93,7 @@ impl ShardedLru {
             return;
         }
         let mut g = self.shard(&key).lock().unwrap();
+        // relaxed-ok: same LRU-stamp contract as get().
         let stamp = self.clock.fetch_add(1, Relaxed);
         if g.len() >= self.shard_cap && !g.contains_key(&key) {
             if let Some(victim) = g

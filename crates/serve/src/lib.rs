@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dagsched-serve — scheduling as a service
 //!
 //! The workspace's long-running front end: a std-only TCP daemon that

@@ -51,11 +51,13 @@ fn responses_are_exactly_once_and_in_request_order_per_connection() {
     .expect("bind");
     let addr = handle.addr().to_string();
 
-    const CLIENTS: u64 = 4;
+    // TASKBENCH_STRESS amplifies client count for sanitizer runs (the
+    // request count stays put so the expected-makespan table is bounded).
+    let clients_n: u64 = 4 * dagsched_obs::env::stress_factor() as u64;
     const REQUESTS: u64 = 24;
 
     // Expected makespan per tag, from one in-process request each.
-    let expect: Vec<u64> = (0..CLIENTS * REQUESTS)
+    let expect: Vec<u64> = (0..clients_n * REQUESTS)
         // A chain schedules serially on one processor (same-proc comm is
         // free), so its makespan is exactly the weight sum.
         .map(|tag| chain(tag).weights().iter().sum::<u64>())
@@ -63,7 +65,7 @@ fn responses_are_exactly_once_and_in_request_order_per_connection() {
     let expect = Arc::new(expect);
 
     let mut clients = Vec::new();
-    for c in 0..CLIENTS {
+    for c in 0..clients_n {
         let addr = addr.clone();
         let expect = Arc::clone(&expect);
         clients.push(std::thread::spawn(move || {
@@ -128,8 +130,9 @@ fn cache_never_returns_wrong_key_bytes_under_concurrent_evict() {
         algo: format!("A{algo}"),
     };
 
+    // TASKBENCH_STRESS amplifies thread count for sanitizer runs.
     let mut threads = Vec::new();
-    for t in 0..8u64 {
+    for t in 0..8 * dagsched_obs::env::stress_factor() as u64 {
         let cache = Arc::clone(&cache);
         threads.push(std::thread::spawn(move || {
             let mut state = t + 1;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dagsched-suites — the five benchmark task-graph families
 //!
 //! §5 of Kwok & Ahmad (IPPS 1998) proposes a benchmark suite of five graph

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dagsched-ws — the work-stealing execution substrate
 //!
 //! One runtime, two consumers: the experiment harness's order-preserving
@@ -501,16 +502,20 @@ mod tests {
                 vec![6u32, 5, 4],
                 |_| (),
                 |_, job, ctx| {
+                    // relaxed-ok: test tally; run_jobs joins its workers
+                    // before returning, so the load below is exact.
                     executed.fetch_add(1, Ordering::Relaxed);
                     for child in 0..job {
                         ctx.spawn(child);
                     }
                 },
             );
+            // relaxed-ok: read after run_jobs joined all workers.
             executed.load(Ordering::Relaxed)
         };
         let serial = count(1);
-        assert_eq!(serial, count(4));
+        // TASKBENCH_STRESS amplifies worker count for sanitizer runs.
+        assert_eq!(serial, count(4 * dagsched_obs::env::stress_factor()));
         // 6,5,4 with f(k) = 1 + sum f(0..k): f(0)=1 f(1)=2 f(2)=4 f(3)=8 → 2^k
         assert_eq!(serial, (1u64 << 6) + (1 << 5) + (1 << 4));
     }

@@ -57,7 +57,8 @@ proptest! {
     #[test]
     fn concurrent_steals_take_each_item_exactly_once(
         ops in arb_ops(),
-        stealers in 1usize..=3,
+        // TASKBENCH_STRESS amplifies the stealer count for sanitizer runs.
+        stealers in 1usize..=3 * dagsched_obs::env::stress_factor(),
     ) {
         let deque = WsDeque::new();
         let done = AtomicBool::new(false);
@@ -116,6 +117,8 @@ proptest! {
             seeds.clone(),
             |_| (),
             |_, depth, ctx| {
+                // relaxed-ok: test tally; run_jobs joins its workers before
+                // returning, so the assertion load below is exact.
                 executed.fetch_add(1, Ordering::Relaxed);
                 for _ in 0..depth {
                     ctx.spawn(depth - 1);
@@ -130,6 +133,7 @@ proptest! {
             }
             f
         }).sum();
+        // relaxed-ok: read after run_jobs joined all workers.
         prop_assert_eq!(executed.load(Ordering::Relaxed), expect);
     }
 

@@ -1,3 +1,5 @@
+// Examples and bench binaries own their stdout (terminal reports).
+#![allow(clippy::print_stdout)]
 //! The paper's traced-graph workload: schedule Cholesky-factorization task
 //! graphs (§5.5 / Fig. 4) with all fifteen algorithms and compare classes.
 //!

@@ -1,3 +1,5 @@
+// Examples and bench binaries own their stdout (terminal reports).
+#![allow(clippy::print_stdout)]
 //! Extending the framework: implement your own scheduling algorithm behind
 //! the [`Scheduler`] trait and benchmark it against the paper's roster on
 //! an RGNOS sample — the exact workflow the paper proposes its benchmarks

@@ -1,3 +1,5 @@
+// Examples and bench binaries own their stdout (terminal reports).
+#![allow(clippy::print_stdout)]
 //! Quickstart: build a task graph, schedule it with two algorithms from
 //! different classes, inspect the result.
 //!

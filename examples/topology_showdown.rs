@@ -1,3 +1,5 @@
+// Examples and bench binaries own their stdout (terminal reports).
+#![allow(clippy::print_stdout)]
 //! APN scheduling up close: one communication-heavy graph, four network
 //! topologies, full message-level inspection (§6.4's excluded topology
 //! study, zoomed into a single instance).

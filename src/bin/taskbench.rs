@@ -38,6 +38,8 @@ static VERBOSITY: AtomicI8 = AtomicI8::new(0);
 
 /// Progress/side-fact channel (stderr). Suppressed by `-q`.
 fn note(text: &str) {
+    // relaxed-ok: verbosity is written once in main before any reader
+    // runs; the atomic exists only to satisfy static-mut rules.
     if VERBOSITY.load(Ordering::Relaxed) >= 0 {
         eprintln!("{text}");
     }
@@ -45,6 +47,7 @@ fn note(text: &str) {
 
 /// Diagnostic channel (stderr). Printed only with `-v`.
 fn verbose(text: &str) {
+    // relaxed-ok: same write-once-at-startup contract as note().
     if VERBOSITY.load(Ordering::Relaxed) >= 1 {
         eprintln!("{text}");
     }
@@ -55,10 +58,12 @@ fn main() -> ExitCode {
     // Global flags may appear anywhere; strip them before dispatch.
     args.retain(|a| match a.as_str() {
         "-q" | "--quiet" => {
+            // relaxed-ok: single-threaded startup, before any reader.
             VERBOSITY.store(-1, Ordering::Relaxed);
             false
         }
         "-v" | "--verbose" => {
+            // relaxed-ok: single-threaded startup, before any reader.
             VERBOSITY.store(1, Ordering::Relaxed);
             false
         }
@@ -95,6 +100,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("variants") => cmd_variants(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("help") | None => {
             emit(HELP);
             emit("\n");
@@ -140,6 +146,8 @@ taskbench — benchmarking task graph scheduling algorithms (Kwok & Ahmad, IPPS'
   taskbench loadgen --addr H:P [--qps Q] [--conns N] [--repeat N] [--seed S]
             [--algo NAME]... [--suite rgnos|adversarial] [--verify] [--shutdown]
             replay a graph suite against a daemon; prints a JSON report
+  taskbench lint [--json] [ROOT]             workspace invariant checker: scan all
+            Rust sources for rule violations (nonzero exit on any diagnostic)
 
 <ALGO> is a paper acronym (`taskbench list`) or a composed variant such as
 `compose:PRIO=blevel,LIST=dynamic,SLOT=insert,SEL=ready` (`taskbench variants`).
@@ -978,4 +986,47 @@ fn cmd_loadgen(args: &[String]) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let mut json = false;
+    let mut root: Option<std::path::PathBuf> = None;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(std::path::PathBuf::from(other))
+            }
+            other => return Err(format!("unknown lint flag `{other}`")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("getcwd: {e}"))?;
+            dagsched_lint::find_workspace_root(&cwd)
+                .ok_or("no workspace root found above the current directory; pass ROOT")?
+        }
+    };
+    let report = dagsched_lint::lint_tree(&root).map_err(|e| format!("lint walk: {e}"))?;
+    if json {
+        emit(&dagsched_lint::render_json(&report.diagnostics));
+    } else {
+        emit(&dagsched_lint::render_text(&report.diagnostics));
+    }
+    note(&format!(
+        "lint: {} files scanned, {} diagnostic{}",
+        report.files,
+        report.diagnostics.len(),
+        if report.diagnostics.len() == 1 {
+            ""
+        } else {
+            "s"
+        }
+    ));
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(format!("{} lint diagnostics", report.diagnostics.len()))
+    }
 }

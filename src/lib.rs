@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # taskbench — benchmarking task-graph scheduling algorithms
 //!
 //! A from-scratch Rust reproduction of **Kwok & Ahmad, "Benchmarking the
